@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at full
+scale, prints a paper-vs-measured report, and asserts the qualitative
+shape.  ``pytest benchmarks/ --benchmark-only`` runs them all; each
+experiment executes once (rounds=1) since the workloads are large.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, runner, *args, **kwargs):
+    """Execute ``runner`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(runner, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def report(result) -> None:
+    """Print an experiment's paper-vs-measured report."""
+    print()
+    print(result.format_report())

@@ -1,0 +1,40 @@
+"""Benchmark: the design-choice ablations DESIGN.md calls out.
+
+1. Equation 7-aware planning vs naive full-capacity planning.
+2. Three-phase scheduling vs naive blocks.
+3. Scale-in confirmation (churn suppression).
+4. Prediction-inflation sweep (cost vs violation risk).
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark):
+    result = run_once(benchmark, ablations.run)
+    report(result)
+    # 1. Naive planning under-provisions; Eq. 7 planning never does.
+    assert result.effcap.naive_true_violations > 0
+    assert result.effcap.aware_true_violations == 0
+    # 2. The three-phase schedule saves rounds on every phase-3 move.
+    assert result.schedule.total_saved_rounds > 0
+    # 3. Confirmation reduces reconfiguration churn.
+    by_conf = {p.label: p for p in result.policy.confirmation}
+    assert by_conf["3"].moves < by_conf["1"].moves
+    # 4. Inflation buys violation headroom with cost.
+    by_infl = {p.label: p for p in result.policy.inflation}
+    assert by_infl["30%"].cost > by_infl["0%"].cost
+    assert (
+        by_infl["30%"].pct_time_insufficient
+        <= by_infl["0%"].pct_time_insufficient
+    )
+    # 5. Under-sized forecast windows block scale-ins -> higher cost.
+    by_h = {int(p.label): p for p in result.horizon.points}
+    assert by_h[min(by_h)].cost > 1.02 * by_h[max(by_h)].cost
+    # 6. The DP dominates the greedy predictive rule.
+    assert result.greedy.dp_point.cost < result.greedy.greedy_point.cost
+    assert (
+        result.greedy.dp_point.pct_time_insufficient
+        <= result.greedy.greedy_point.pct_time_insufficient + 1e-9
+    )

@@ -1,0 +1,28 @@
+"""Benchmark: the full P-Store pipeline on Wikipedia-like workloads.
+
+An extension beyond the paper (which validates SPAR on Wikipedia but
+evaluates the full system only on B2W): SPAR + planner + capacity
+simulation on the hourly en/de traces versus reactive and static.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import ext_wikipedia_provisioning
+
+
+def test_ext_wikipedia_provisioning(benchmark):
+    result = run_once(benchmark, ext_wikipedia_provisioning.run)
+    report(result)
+    for language in ("en", "de"):
+        by = result.results[language]
+        # P-Store is far cheaper than static peak provisioning...
+        assert by["pstore-spar"].cost < 0.7 * by["static-10"].cost
+        # ...and at least as cheap as the reactive baseline here
+        # (hourly reactive scale-in is sluggish).
+        assert by["pstore-spar"].cost <= by["reactive"].cost
+        assert by["pstore-spar"].pct_time_insufficient < 1.0
+    # The less predictable edition pays more violations under SPAR.
+    assert (
+        result.results["de"]["pstore-spar"].pct_time_insufficient
+        >= result.results["en"]["pstore-spar"].pct_time_insufficient
+    )

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 11 (unexpected spike, rate R vs R x 8).
+
+Paper: when a flash crowd defeats the predictions, scaling at R x 8
+trades a little extra median latency for far fewer tail violations —
+violations drop from 16/101/143 (p50/p95/p99) to 22/44/51.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import fig11_spike_reaction
+
+
+def test_fig11_spike_reaction(benchmark):
+    result = run_once(benchmark, fig11_spike_reaction.run)
+    report(result)
+    normal = result.runs["rate-R"].report
+    boosted = result.runs["rate-Rx8"].report
+    # The spike actually hurt at the normal rate.
+    assert normal.violations_p99 > 20
+    # Boosting cuts the tail sharply...
+    assert boosted.violations_p99 < 0.6 * normal.violations_p99
+    # ...and reduces the total seconds in violation.
+    total = lambda r: r.violations_p50 + r.violations_p95 + r.violations_p99
+    assert total(boosted) < total(normal)

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 12 (cost vs insufficient capacity,
+4.5 months of simulated load including Black Friday).
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import fig12_cost_capacity
+
+
+def test_fig12_cost_capacity(benchmark):
+    result = run_once(benchmark, fig12_cost_capacity.run)
+    report(result)
+    spar = result.default_point("pstore-spar")
+    oracle = result.default_point("pstore-oracle")
+    reactive = result.default_point("reactive")
+
+    # Oracle is the upper bound, but not zero (sub-slot spikes).
+    assert oracle.pct_time_insufficient <= spar.pct_time_insufficient + 0.05
+    assert oracle.pct_time_insufficient > 0.0
+    # At comparable cost, reactive violates much more than P-Store.
+    assert reactive.cost < 1.15 * spar.cost
+    assert reactive.pct_time_insufficient > 2.0 * spar.pct_time_insufficient
+    # P-Store default uses about half the machines of static-10.
+    static10 = next(
+        p for p in result.points if p.strategy == "static" and p.parameter == 10
+    )
+    assert 0.4 < spar.avg_machines / static10.avg_machines < 0.65
+    # Sweeping Q traces the capacity-cost trade-off (cost falls, risk rises).
+    spar_points = sorted(
+        (p for p in result.points if p.strategy == "pstore-spar"),
+        key=lambda p: p.parameter,
+    )
+    costs = [p.cost for p in spar_points]
+    assert costs == sorted(costs, reverse=True)
+    # Static-4 is catastrophic; the simple strategy is poor.
+    static4 = next(
+        p for p in result.points if p.strategy == "static" and p.parameter == 4
+    )
+    assert static4.pct_time_insufficient > 20.0

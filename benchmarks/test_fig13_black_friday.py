@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 13 (effective capacity around Black
+Friday for P-Store, Simple and Static).
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import fig13_black_friday
+
+
+def test_fig13_black_friday(benchmark):
+    result = run_once(benchmark, fig13_black_friday.run)
+    report(result)
+    regular = {
+        n: result.window_stats(n, result.regular_window) for n in result.results
+    }
+    friday = {
+        n: result.window_stats(n, result.black_friday_window)
+        for n in result.results
+    }
+    # Simple looks workable on a regular stretch...
+    assert regular["simple"].pct_time_insufficient < 2.0
+    # ...but breaks down on the Black Friday surge.
+    assert friday["simple"].pct_time_insufficient > regular["simple"].pct_time_insufficient
+    assert friday["simple"].pct_time_insufficient > 1.0
+    # Static cannot absorb the surge either.
+    assert friday["static"].pct_time_insufficient > 0.5
+    # P-Store (predictive + reactive fallback) handles it.
+    assert friday["pstore-spar"].pct_time_insufficient < 0.5

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 1 (B2W load over three days)."""
+
+from conftest import report, run_once
+
+from repro.experiments import fig1_load_trace
+
+
+def test_fig1_load_trace(benchmark):
+    result = run_once(benchmark, fig1_load_trace.run)
+    report(result)
+    assert 1.5e4 < result.peak_per_minute < 4e4       # paper: ~2.3e4
+    assert 6 < result.peak_to_trough < 18             # paper: ~10x
+    assert result.day_shape_correlation > 0.8

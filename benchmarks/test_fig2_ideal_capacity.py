@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 2 (ideal vs stepped capacity)."""
+
+import numpy as np
+from conftest import report, run_once
+
+from repro.experiments import fig2_ideal_capacity
+
+
+def test_fig2_ideal_capacity(benchmark):
+    result = run_once(benchmark, fig2_ideal_capacity.run)
+    report(result)
+    assert np.all(result.stepped_servers * result.q >= result.demand)
+    assert result.avg_stepped_servers >= result.avg_ideal_servers
+    assert result.avg_stepped_servers < 1.25 * result.avg_ideal_servers

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 3 (the planner-goal schematic)."""
+
+from conftest import report, run_once
+
+from repro.experiments import fig3_planner_goal
+
+
+def test_fig3_planner_goal(benchmark):
+    result = run_once(benchmark, fig3_planner_goal.run)
+    report(result)
+    assert result.plan.moves[0].before == 2
+    assert result.final_machines == 4
+    assert result.capacity_always_exceeds_demand()

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 4 (effective capacity during moves)."""
+
+from conftest import report, run_once
+
+from repro.experiments import fig4_effective_capacity
+
+
+def test_fig4_effective_capacity(benchmark):
+    result = run_once(benchmark, fig4_effective_capacity.run)
+    report(result)
+    assert result.profiles[(3, 5)].schedule.num_rounds == 3
+    assert result.profiles[(3, 9)].schedule.num_rounds == 6
+    assert result.profiles[(3, 14)].schedule.num_rounds == 11
+    # The bigger the move, the further effective capacity lags the
+    # allocated machine count (the Figure 4c warning).
+    def max_lag(profile):
+        return max(
+            a - e
+            for a, e in zip(profile.machines_allocated, profile.effective_machines)
+        )
+
+    small_lag = max_lag(result.profiles[(3, 5)])
+    large_lag = max_lag(result.profiles[(3, 14)])
+    assert large_lag > 3 * small_lag
+    assert large_lag > 4.0  # several machines' worth of missing capacity

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 5 (SPAR on B2W, full 4-week protocol)."""
+
+from conftest import report, run_once
+
+from repro.experiments import fig5_spar_b2w
+
+
+def test_fig5_spar_b2w(benchmark):
+    result = run_once(benchmark, fig5_spar_b2w.run)
+    report(result)
+    taus = sorted(result.mre_pct)
+    # Paper: MRE decays gracefully, ~6% at short horizons to 10.4% at 60.
+    assert result.mre_pct[taus[0]] <= result.mre_pct[taus[-1]]
+    assert 4.0 < result.mre_pct[taus[0]] < 9.0
+    assert 7.0 < result.mre_pct[60] < 14.0

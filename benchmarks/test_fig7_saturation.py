@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 7 (single-machine saturation sweep).
+
+Paper: the B2W workload saturates one H-Store node at 438 txn/s;
+Q_hat = 350 (80%) and Q = 285 (65%).
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import fig7_saturation
+
+
+def test_fig7_saturation(benchmark):
+    result = run_once(benchmark, fig7_saturation.run)
+    report(result)
+    assert 400 <= result.saturation_rate <= 470        # paper: 438
+    assert result.derived.q_max == 0.80 * result.saturation_rate
+    assert result.derived.q == 0.65 * result.saturation_rate
+    # Latency explodes past saturation while throughput plateaus.
+    last = result.levels[-1]
+    assert last.served < last.offered
+    assert last.p99_ms > 2000

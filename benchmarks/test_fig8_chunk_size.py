@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 8 (migration chunk-size sweep).
+
+Paper: 1000 kB chunks keep p99 only slightly above a static system;
+larger chunks finish no faster per-byte but spike the tail latency.
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import fig8_chunk_size
+
+
+def test_fig8_chunk_size(benchmark):
+    result = run_once(benchmark, fig8_chunk_size.run)
+    report(result)
+    by = result.by_chunk()
+    static = by[None]
+    small = by[1000.0]
+    large = by[8000.0]
+    assert small.p99_ms_max < 500.0                      # within the SLA
+    assert small.p99_ms_max < 1.5 * static.p99_ms_max    # "slightly larger"
+    assert large.p99_ms_max > 3.0 * small.p99_ms_max     # big chunks spike
+    # p99 grows monotonically with chunk size.
+    chunk_p99 = [by[c].p99_ms_max for c in sorted(k for k in by if k)]
+    assert chunk_p99 == sorted(chunk_p99)
+    # Derived D lands near the paper's 4646 s.
+    assert 4000 < result.derived_d_seconds < 5600

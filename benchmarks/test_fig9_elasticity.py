@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Figure 9, Table 2 and Figure 10.
+
+The full pipeline: a 3-day B2W-like trace replayed at 10x speed against
+the simulated engine under four elasticity approaches (static-10,
+static-4, reactive, P-Store), then the Table 2 SLA accounting and the
+Figure 10 top-1% latency CDFs — all from the same runs, as in the paper.
+"""
+
+import pytest
+from conftest import report, run_once
+
+from repro.experiments import fig9_elasticity, fig10_latency_cdfs
+
+_cache = {}
+
+
+def _result():
+    if "fig9" not in _cache:
+        _cache["fig9"] = fig9_elasticity.run(fast=False)
+    return _cache["fig9"]
+
+
+def test_fig9_and_table2(benchmark):
+    result = run_once(benchmark, _result)
+    report(result)
+    runs = result.runs
+    pstore = runs["pstore"].report
+    reactive = runs["reactive"].report
+    static10 = runs["static-10"].report
+    static4 = runs["static-4"].report
+
+    # Paper Table 2's orderings:
+    # P-Store causes far fewer tail violations than reactive (~72% fewer).
+    assert pstore.violations_p99 < 0.6 * reactive.violations_p99
+    # P-Store uses about half the machines of peak provisioning.
+    assert 0.35 < pstore.average_machines / static10.average_machines < 0.70
+    # Static-4 is much worse than static-10 at the tail.
+    assert static4.violations_p99 > 10 * max(static10.violations_p99, 1)
+    # Reactive is the worst elastic approach.
+    assert reactive.violations_p99 >= pstore.violations_p99
+    # No approach violates the median SLA except under sustained overload.
+    assert pstore.violations_p50 == 0
+
+
+def test_fig10_latency_cdfs(benchmark):
+    cdfs = run_once(benchmark, fig10_latency_cdfs.from_fig9, _result())
+    report(cdfs)
+    # Reactive worst and static-10 best at the p99 tail (Figure 10).
+    med = cdfs.median_of_top1
+    assert med("reactive", "p99") >= med("pstore", "p99")
+    assert med("static-10", "p99") <= med("pstore", "p99")
+    assert med("static-10", "p95") <= med("static-4", "p95")

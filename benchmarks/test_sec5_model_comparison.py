@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the Section 5 model comparison (SPAR/ARMA/AR).
+
+Paper: MRE at tau=60 on B2W is 10.4% (SPAR), 12.2% (ARMA), 12.5% (AR).
+"""
+
+from conftest import report, run_once
+
+from repro.experiments import sec5_model_comparison
+
+
+def test_sec5_model_comparison(benchmark):
+    result = run_once(benchmark, sec5_model_comparison.run)
+    report(result)
+    mre = result.mre_pct
+    assert mre["spar"] < mre["arma"] < mre["persistence"]
+    assert mre["spar"] < mre["ar"]
+    assert mre["spar"] < mre["seasonal-naive"]

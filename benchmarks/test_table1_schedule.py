@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (3 -> 14 migration schedule)."""
+
+from conftest import report, run_once
+
+from repro.experiments import table1_schedule
+
+
+def test_table1_schedule(benchmark):
+    result = run_once(benchmark, table1_schedule.run)
+    report(result)
+    assert result.schedule.num_rounds == 11        # paper: 11 rounds
+    assert result.naive_rounds == 12               # paper: >= 12 naive
+    assert result.rounds_by_phase == {1: 6, 2: 2, 3: 3}

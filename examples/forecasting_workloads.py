@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Load forecasting with SPAR, ARMA, AR and baselines (Section 5).
+
+Trains each model on four weeks of a B2W-like minute-granularity trace
+plus the two Wikipedia-like hourly traces, then walks forward through
+held-out data scoring the mean relative error at several horizons
+(Figures 5 and 6 of the paper).
+
+Run:  python examples/forecasting_workloads.py
+"""
+
+from repro.prediction import (
+    ARPredictor,
+    PersistencePredictor,
+    SPARPredictor,
+    SeasonalNaivePredictor,
+    rolling_forecast,
+)
+from repro.workloads import generate_b2w_trace, generate_wikipedia_pair
+
+
+def b2w_section() -> None:
+    print("=== B2W load, 1-minute slots (Figure 5) ===")
+    trace = generate_b2w_trace(31, seed=20160601)
+    period = trace.slots_per_day
+    train = trace.values[: 28 * period]
+    eval_start = 28 * period
+
+    spar = SPARPredictor(period=period, n_periods=7, n_recent=30,
+                         max_horizon=60).fit(train)
+    seasonal = SeasonalNaivePredictor(period=period)
+    persistence = PersistencePredictor()
+
+    print(f"{'tau (min)':>9}  {'SPAR':>6}  {'seasonal':>8}  {'persist':>8}")
+    for tau in (10, 30, 60):
+        row = []
+        for model in (spar, seasonal, persistence):
+            step = 1 if model is spar else 5
+            mre = rolling_forecast(
+                model, trace, tau, eval_start=eval_start, step=step
+            ).mre_pct
+            row.append(mre)
+        print(f"{tau:>9}  {row[0]:>5.1f}%  {row[1]:>7.1f}%  {row[2]:>7.1f}%")
+
+    # A sample of the 60-minute-ahead forecast against the truth.
+    sample = rolling_forecast(spar, trace[: eval_start + period], 60,
+                              eval_start=eval_start)
+    print("\n60-min-ahead forecast vs actual (every 3 hours):")
+    for i in range(0, len(sample), 180):
+        actual = sample.actual[i]
+        predicted = sample.predicted[i]
+        print(f"  slot {sample.target_indices[i]:>6}: actual {actual:>8.0f}  "
+              f"predicted {predicted:>8.0f}  "
+              f"({100 * (predicted - actual) / actual:+5.1f}%)")
+
+
+def wikipedia_section() -> None:
+    print("\n=== Wikipedia page views, hourly slots (Figure 6) ===")
+    english, german = generate_wikipedia_pair(56, seed=20160701)
+    eval_start = 28 * 24
+    print(f"{'tau (h)':>7}  {'en MRE':>7}  {'de MRE':>7}")
+    rows = {}
+    for name, trace in (("en", english), ("de", german)):
+        spar = SPARPredictor(period=24, n_periods=7, n_recent=6,
+                             max_horizon=6).fit(trace.values[:eval_start])
+        rows[name] = {
+            tau: rolling_forecast(spar, trace, tau, eval_start=eval_start).mre_pct
+            for tau in (1, 2, 4, 6)
+        }
+    for tau in (1, 2, 4, 6):
+        print(f"{tau:>7}  {rows['en'][tau]:>6.1f}%  {rows['de'][tau]:>6.1f}%")
+    print("\nThe German edition is noisier, so SPAR's error is higher at "
+          "every horizon — exactly the gap Figure 6 shows.")
+
+
+def main() -> None:
+    b2w_section()
+    wikipedia_section()
+
+
+if __name__ == "__main__":
+    main()

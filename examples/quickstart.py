@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: plan a day of reconfigurations for a retail load.
+
+Generates a synthetic B2W-like day, pretends the SPAR forecast equals
+the (inflated) future, and asks the planner for the minimum-cost series
+of moves whose effective capacity always covers the load.  Prints the
+plan, the migration schedule of its largest move, and an ASCII view of
+demand vs capacity.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Planner, SystemParameters
+from repro.core import build_move_schedule
+from repro.core.capacity import effective_capacity
+from repro.workloads import generate_b2w_trace
+
+
+def main() -> None:
+    # 1. A day of load at 5-minute granularity, scaled so the peak needs
+    #    ~8 machines at the paper's Q = 285 txn/s.
+    trace = generate_b2w_trace(1, slot_seconds=300.0, seed=1).scaled(6.0)
+    load = trace.per_second()
+
+    # 2. The paper's system parameters (Section 8.1): Q, Q-hat, D.
+    params = SystemParameters(interval_seconds=300.0, partitions_per_node=6)
+    print(f"Q = {params.q:.0f} txn/s per machine, "
+          f"D = {params.d_seconds / 60:.0f} min, "
+          f"peak load = {load.max():.0f} txn/s")
+
+    # 3. Plan the whole day against a smooth, inflated forecast (the
+    #    online system re-plans every few minutes with SPAR forecasts;
+    #    predictions are smooth, so smooth the noisy truth the same way).
+    kernel = np.ones(5) / 5
+    forecast = np.convolve(load, kernel, mode="same") * 1.15
+    planner = Planner(params, max_machines=12)
+    initial = params.machines_for_load(forecast[0])
+    plan = planner.best_moves(forecast, initial_machines=initial)
+
+    print(f"\nOptimal plan: cost {plan.cost:.0f} machine-intervals, "
+          f"ends with {plan.final_machines} machines")
+    for move in plan.coalesced():
+        if not move.is_noop:
+            hours = move.start * 5 / 60
+            print(f"  {hours:5.1f} h  {move}")
+
+    # 4. The migration schedule the day's full night-to-peak growth
+    #    would use if done in one move (illustrating Table 1's rounds).
+    low = min(m.after for m in plan.moves)
+    high = max(m.after for m in plan.moves)
+    if high > low:
+        schedule = build_move_schedule(low, high, params.partitions_per_node)
+        print(f"\nMigration schedule for a single {low} -> {high} move "
+              f"({schedule.num_rounds} rounds, "
+              f"{schedule.total_seconds(params) / 60:.1f} min):")
+        print(schedule.as_table())
+
+    # 5. ASCII demand-vs-capacity chart (2-hour buckets).
+    print("\nhour  load(txn/s)  machines  capacity   demand/capacity")
+    capacity_series = np.empty(len(load))
+    capacity_series[0] = plan.moves[0].before * params.q
+    for move in plan.moves:
+        duration = move.end - move.start
+        for i in range(1, duration + 1):
+            t = move.start + i
+            if t < len(capacity_series):
+                capacity_series[t] = effective_capacity(
+                    move.before, move.after, i / duration, params
+                )
+    for start in range(0, len(load), 24):
+        block = slice(start, start + 24)
+        bar = "#" * int(30 * load[block].mean() / load.max())
+        print(f"{start * 5 / 60:4.0f}  {load[block].mean():11.0f}  "
+              f"{capacity_series[block].mean() / params.q:8.1f}  "
+              f"{capacity_series[block].mean():8.0f}   {bar}")
+
+    insufficient = int((load > capacity_series * params.q_max / params.q).sum())
+    print(f"\nIntervals with load above max effective capacity: {insufficient}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline with older
+setuptools (no wheel). All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

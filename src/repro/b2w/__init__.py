@@ -1,0 +1,36 @@
+"""The B2W retail benchmark (Section 7, Appendix C of the paper).
+
+A simplified cart / checkout / stock schema (Figure 14), all 19
+operations of Table 4, a session-based workload generator with
+random-uniform keys, and a trace-driven client.
+"""
+
+from repro.b2w.client import B2WClient, ReplayStats
+from repro.b2w.generator import (
+    B2WWorkloadConfig,
+    B2WWorkloadGenerator,
+    access_skew_report,
+)
+from repro.b2w.procedures import PROCEDURES, build_registry
+from repro.b2w.schema import (
+    CART,
+    CHECKOUT,
+    STOCK,
+    STOCK_TRANSACTION,
+    b2w_schema,
+)
+
+__all__ = [
+    "B2WClient",
+    "B2WWorkloadConfig",
+    "B2WWorkloadGenerator",
+    "CART",
+    "CHECKOUT",
+    "PROCEDURES",
+    "ReplayStats",
+    "STOCK",
+    "STOCK_TRANSACTION",
+    "access_skew_report",
+    "b2w_schema",
+    "build_registry",
+]

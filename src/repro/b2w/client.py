@@ -1,0 +1,115 @@
+"""Trace-driven benchmark client.
+
+Replays a :class:`~repro.workloads.trace.LoadTrace` against a cluster: in
+every slot it issues the slot's request count as benchmark transactions
+(generated session by session).  Used at small scale by tests and
+examples for functional fidelity; the large-scale performance experiments
+use the rate-based :class:`~repro.engine.simulator.EngineSimulator`,
+which models latency without executing three-million-row days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.b2w.generator import B2WWorkloadConfig, B2WWorkloadGenerator
+from repro.b2w.procedures import build_registry
+from repro.b2w.schema import b2w_schema
+from repro.engine.cluster import Cluster
+from repro.engine.executor import Executor
+from repro.engine.transaction import Transaction, TxnResult
+from repro.workloads.trace import LoadTrace
+
+
+@dataclass
+class ReplayStats:
+    """Aggregate results of a replay."""
+
+    issued: int = 0
+    committed: int = 0
+    aborted: int = 0
+    per_slot: List[int] = field(default_factory=list)
+
+    @property
+    def abort_rate(self) -> float:
+        return self.aborted / self.issued if self.issued else 0.0
+
+
+class B2WClient:
+    """A benchmark client bound to a cluster.
+
+    Args:
+        cluster: Target cluster (with the B2W schema).
+        workload: Workload generator configuration.
+        populate_stock: Create stock rows up front (needed by the
+            checkout flow).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        workload: Optional[B2WWorkloadConfig] = None,
+        populate_stock: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.generator = B2WWorkloadGenerator(workload)
+        self.executor = Executor(cluster, build_registry())
+        if populate_stock:
+            self.generator.populate_stock(self.executor)
+        self._pending: Iterator[Transaction] = iter(())
+
+    @classmethod
+    def fresh(
+        cls,
+        initial_nodes: int = 1,
+        partitions_per_node: int = 6,
+        workload: Optional[B2WWorkloadConfig] = None,
+        max_nodes: int = 10,
+    ) -> "B2WClient":
+        """Client plus a new cluster with the B2W schema."""
+        cluster = Cluster(
+            b2w_schema(),
+            initial_nodes=initial_nodes,
+            partitions_per_node=partitions_per_node,
+            max_nodes=max_nodes,
+        )
+        return cls(cluster, workload)
+
+    # ------------------------------------------------------------------
+    def _next_transaction(self) -> Transaction:
+        while True:
+            txn = next(self._pending, None)
+            if txn is not None:
+                return txn
+            self._pending = iter(self.generator.session())
+
+    def execute_one(self) -> TxnResult:
+        """Issue and execute the next transaction of the stream."""
+        return self.executor.execute(self._next_transaction())
+
+    def execute_many(self, count: int) -> ReplayStats:
+        stats = ReplayStats()
+        for _ in range(count):
+            result = self.execute_one()
+            stats.issued += 1
+            if result.committed:
+                stats.committed += 1
+            else:
+                stats.aborted += 1
+        return stats
+
+    def replay(self, trace: LoadTrace, scale: float = 1.0) -> ReplayStats:
+        """Replay a load trace, issuing ``scale * value`` txns per slot.
+
+        ``scale`` lets tests replay a day's shape at a tiny volume.
+        """
+        stats = ReplayStats()
+        for value in trace.values:
+            count = int(round(value * scale))
+            slot_stats = self.execute_many(count)
+            stats.issued += slot_stats.issued
+            stats.committed += slot_stats.committed
+            stats.aborted += slot_stats.aborted
+            stats.per_slot.append(count)
+        return stats

@@ -1,0 +1,317 @@
+"""The 19 B2W benchmark operations (Table 4 of the paper).
+
+Each operation is a single-partition stored procedure: it is routed by
+one partitioning key (cart id, checkout id, SKU, or stock-transaction id)
+and reads/writes only rows under that key.  The bodies implement the
+retail flow described in Appendix C: availability check -> add to cart ->
+reserve stock at checkout -> pay (or cancel).
+
+Procedures signal business-level failures (missing cart, out of stock)
+by raising :class:`~repro.errors.TransactionAborted`, which the executor
+converts into an ``ABORTED`` result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.b2w import schema as s
+from repro.engine.partition import Partition
+from repro.engine.transaction import Procedure, ProcedureRegistry
+from repro.errors import TransactionAborted
+
+Params = Dict[str, Any]
+
+
+# ----------------------------------------------------------------------
+# Cart operations
+# ----------------------------------------------------------------------
+def add_line_to_cart(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Add an item to the cart, creating the cart if needed."""
+    cart_id = params["key"]
+    sku = params["sku"]
+    quantity = int(params.get("quantity", 1))
+    price = float(params.get("price", 10.0))
+    cart = partition.get(s.CART, cart_id)
+    if cart is None:
+        cart = {
+            "cart_id": cart_id,
+            "customer_id": params.get("customer_id", ""),
+            "status": s.CART_STATUS_ACTIVE,
+            "lines": {},
+            "total": 0.0,
+        }
+    line = cart["lines"].get(sku, {"sku": sku, "quantity": 0, "price": price})
+    line["quantity"] += quantity
+    cart["lines"][sku] = line
+    cart["total"] += quantity * price
+    partition.put(s.CART, cart_id, cart)
+    return cart
+
+
+def delete_line_from_cart(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Remove an item from the cart."""
+    cart_id = params["key"]
+    sku = params["sku"]
+    cart = partition.get(s.CART, cart_id)
+    if cart is None:
+        raise TransactionAborted(f"cart {cart_id} does not exist")
+    line = cart["lines"].pop(sku, None)
+    if line is None:
+        raise TransactionAborted(f"cart {cart_id} has no line for sku {sku}")
+    cart["total"] -= line["quantity"] * line["price"]
+    partition.put(s.CART, cart_id, cart)
+    return cart
+
+
+def get_cart(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Retrieve the items currently in the cart."""
+    cart = partition.get(s.CART, params["key"])
+    if cart is None:
+        raise TransactionAborted(f"cart {params['key']} does not exist")
+    return cart
+
+
+def delete_cart(partition: Partition, params: Params) -> bool:
+    """Delete the shopping cart."""
+    if not partition.delete(s.CART, params["key"]):
+        raise TransactionAborted(f"cart {params['key']} does not exist")
+    return True
+
+
+def reserve_cart(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Mark the items in the cart as reserved (checkout step)."""
+    cart = partition.get(s.CART, params["key"])
+    if cart is None:
+        raise TransactionAborted(f"cart {params['key']} does not exist")
+    cart["status"] = s.CART_STATUS_RESERVED
+    partition.put(s.CART, params["key"], cart)
+    return cart
+
+
+# ----------------------------------------------------------------------
+# Stock operations
+# ----------------------------------------------------------------------
+def get_stock(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Retrieve the stock inventory row for a SKU."""
+    stock = partition.get(s.STOCK, params["key"])
+    if stock is None:
+        raise TransactionAborted(f"sku {params['key']} does not exist")
+    return stock
+
+
+def get_stock_quantity(partition: Partition, params: Params) -> int:
+    """Determine availability of an item."""
+    stock = partition.get(s.STOCK, params["key"])
+    if stock is None:
+        raise TransactionAborted(f"sku {params['key']} does not exist")
+    return int(stock["available"])
+
+
+def reserve_stock(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Move quantity from available to reserved; aborts when out of stock."""
+    sku = params["key"]
+    quantity = int(params.get("quantity", 1))
+    stock = partition.get(s.STOCK, sku)
+    if stock is None:
+        raise TransactionAborted(f"sku {sku} does not exist")
+    if stock["available"] < quantity:
+        raise TransactionAborted(
+            f"sku {sku}: requested {quantity}, only {stock['available']} available"
+        )
+    stock["available"] -= quantity
+    stock["reserved"] += quantity
+    partition.put(s.STOCK, sku, stock)
+    return stock
+
+
+def purchase_stock(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Move quantity from reserved to purchased."""
+    sku = params["key"]
+    quantity = int(params.get("quantity", 1))
+    stock = partition.get(s.STOCK, sku)
+    if stock is None:
+        raise TransactionAborted(f"sku {sku} does not exist")
+    if stock["reserved"] < quantity:
+        raise TransactionAborted(f"sku {sku}: {quantity} not reserved")
+    stock["reserved"] -= quantity
+    stock["purchased"] += quantity
+    partition.put(s.STOCK, sku, stock)
+    return stock
+
+
+def cancel_stock_reservation(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Return reserved quantity to availability."""
+    sku = params["key"]
+    quantity = int(params.get("quantity", 1))
+    stock = partition.get(s.STOCK, sku)
+    if stock is None:
+        raise TransactionAborted(f"sku {sku} does not exist")
+    if stock["reserved"] < quantity:
+        raise TransactionAborted(f"sku {sku}: {quantity} not reserved")
+    stock["reserved"] -= quantity
+    stock["available"] += quantity
+    partition.put(s.STOCK, sku, stock)
+    return stock
+
+
+# ----------------------------------------------------------------------
+# Stock-transaction operations
+# ----------------------------------------------------------------------
+def create_stock_transaction(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Record that an item in a cart has been reserved."""
+    txn_id = params["key"]
+    if partition.contains(s.STOCK_TRANSACTION, txn_id):
+        raise TransactionAborted(f"stock transaction {txn_id} already exists")
+    row = {
+        "transaction_id": txn_id,
+        "sku": params["sku"],
+        "cart_id": params.get("cart_id", ""),
+        "quantity": int(params.get("quantity", 1)),
+        "status": s.STOCK_TXN_RESERVED,
+    }
+    partition.put(s.STOCK_TRANSACTION, txn_id, row)
+    return row
+
+
+def get_stock_transaction(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Retrieve a stock transaction."""
+    row = partition.get(s.STOCK_TRANSACTION, params["key"])
+    if row is None:
+        raise TransactionAborted(f"stock transaction {params['key']} does not exist")
+    return row
+
+
+def update_stock_transaction(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Mark a stock transaction purchased or cancelled."""
+    status = params["status"]
+    if status not in (s.STOCK_TXN_PURCHASED, s.STOCK_TXN_CANCELLED):
+        raise TransactionAborted(f"invalid stock transaction status {status!r}")
+    row = partition.get(s.STOCK_TRANSACTION, params["key"])
+    if row is None:
+        raise TransactionAborted(f"stock transaction {params['key']} does not exist")
+    row["status"] = status
+    partition.put(s.STOCK_TRANSACTION, params["key"], row)
+    return row
+
+
+# ----------------------------------------------------------------------
+# Checkout operations
+# ----------------------------------------------------------------------
+def create_checkout(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Start the checkout process."""
+    checkout_id = params["key"]
+    if partition.contains(s.CHECKOUT, checkout_id):
+        raise TransactionAborted(f"checkout {checkout_id} already exists")
+    row = {
+        "checkout_id": checkout_id,
+        "cart_id": params.get("cart_id", checkout_id),
+        "status": s.CHECKOUT_STATUS_OPEN,
+        "lines": dict(params.get("lines", {})),
+        "payment": None,
+        "total": float(params.get("total", 0.0)),
+    }
+    partition.put(s.CHECKOUT, checkout_id, row)
+    return row
+
+
+def create_checkout_payment(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Attach payment information and mark the checkout paid."""
+    row = partition.get(s.CHECKOUT, params["key"])
+    if row is None:
+        raise TransactionAborted(f"checkout {params['key']} does not exist")
+    row["payment"] = {
+        "method": params.get("method", "card"),
+        "amount": float(params.get("amount", row["total"])),
+    }
+    row["status"] = s.CHECKOUT_STATUS_PAID
+    partition.put(s.CHECKOUT, params["key"], row)
+    return row
+
+
+def add_line_to_checkout(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Add an item to the checkout object."""
+    row = partition.get(s.CHECKOUT, params["key"])
+    if row is None:
+        raise TransactionAborted(f"checkout {params['key']} does not exist")
+    sku = params["sku"]
+    quantity = int(params.get("quantity", 1))
+    price = float(params.get("price", 10.0))
+    line = row["lines"].get(sku, {"sku": sku, "quantity": 0, "price": price})
+    line["quantity"] += quantity
+    row["lines"][sku] = line
+    row["total"] += quantity * price
+    partition.put(s.CHECKOUT, params["key"], row)
+    return row
+
+
+def delete_line_from_checkout(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Remove an item from the checkout object."""
+    row = partition.get(s.CHECKOUT, params["key"])
+    if row is None:
+        raise TransactionAborted(f"checkout {params['key']} does not exist")
+    line = row["lines"].pop(params["sku"], None)
+    if line is None:
+        raise TransactionAborted(
+            f"checkout {params['key']} has no line for sku {params['sku']}"
+        )
+    row["total"] -= line["quantity"] * line["price"]
+    partition.put(s.CHECKOUT, params["key"], row)
+    return row
+
+
+def get_checkout(partition: Partition, params: Params) -> Dict[str, Any]:
+    """Retrieve the checkout object."""
+    row = partition.get(s.CHECKOUT, params["key"])
+    if row is None:
+        raise TransactionAborted(f"checkout {params['key']} does not exist")
+    return row
+
+
+def delete_checkout(partition: Partition, params: Params) -> bool:
+    """Delete the checkout object."""
+    if not partition.delete(s.CHECKOUT, params["key"]):
+        raise TransactionAborted(f"checkout {params['key']} does not exist")
+    return True
+
+
+#: All Table 4 operations, by benchmark name.
+PROCEDURES = {
+    "AddLineToCart": Procedure("AddLineToCart", add_line_to_cart),
+    "DeleteLineFromCart": Procedure("DeleteLineFromCart", delete_line_from_cart),
+    "GetCart": Procedure("GetCart", get_cart, read_only=True),
+    "DeleteCart": Procedure("DeleteCart", delete_cart),
+    "GetStock": Procedure("GetStock", get_stock, read_only=True),
+    "GetStockQuantity": Procedure("GetStockQuantity", get_stock_quantity, read_only=True),
+    "ReserveStock": Procedure("ReserveStock", reserve_stock),
+    "PurchaseStock": Procedure("PurchaseStock", purchase_stock),
+    "CancelStockReservation": Procedure(
+        "CancelStockReservation", cancel_stock_reservation
+    ),
+    "CreateStockTransaction": Procedure(
+        "CreateStockTransaction", create_stock_transaction
+    ),
+    "ReserveCart": Procedure("ReserveCart", reserve_cart),
+    "GetStockTransaction": Procedure(
+        "GetStockTransaction", get_stock_transaction, read_only=True
+    ),
+    "UpdateStockTransaction": Procedure(
+        "UpdateStockTransaction", update_stock_transaction
+    ),
+    "CreateCheckout": Procedure("CreateCheckout", create_checkout),
+    "CreateCheckoutPayment": Procedure("CreateCheckoutPayment", create_checkout_payment),
+    "AddLineToCheckout": Procedure("AddLineToCheckout", add_line_to_checkout),
+    "DeleteLineFromCheckout": Procedure(
+        "DeleteLineFromCheckout", delete_line_from_checkout
+    ),
+    "GetCheckout": Procedure("GetCheckout", get_checkout, read_only=True),
+    "DeleteCheckout": Procedure("DeleteCheckout", delete_checkout),
+}
+
+
+def build_registry() -> ProcedureRegistry:
+    """A registry containing all 19 B2W operations."""
+    registry = ProcedureRegistry()
+    for procedure in PROCEDURES.values():
+        registry.register(procedure)
+    return registry

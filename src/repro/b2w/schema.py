@@ -1,0 +1,79 @@
+"""The B2W benchmark schema (Figure 14 of the paper, simplified).
+
+Three logical databases back B2W's store: shopping **cart**, **checkout**
+and **stock** inventory.  Carts hold line items; checkouts capture the
+cart at purchase time plus payment data; stock rows track available /
+reserved / purchased quantities per SKU, with stock *transactions*
+recording individual reservations.
+
+Rows are dictionaries; every table is partitioned by its own key (cart
+id, checkout id, SKU, or stock-transaction id), and every benchmark
+operation touches a single key — the paper's reason for comparing
+against E-Store rather than Clay.
+"""
+
+from __future__ import annotations
+
+from repro.engine.table import DatabaseSchema, TableSchema
+
+CART = "CART"
+CHECKOUT = "CHECKOUT"
+STOCK = "STOCK"
+STOCK_TRANSACTION = "STOCK_TRANSACTION"
+
+#: Cart status values.
+CART_STATUS_ACTIVE = "ACTIVE"
+CART_STATUS_RESERVED = "RESERVED"
+
+#: Checkout status values.
+CHECKOUT_STATUS_OPEN = "OPEN"
+CHECKOUT_STATUS_PAID = "PAID"
+
+#: Stock-transaction status values.
+STOCK_TXN_RESERVED = "RESERVED"
+STOCK_TXN_PURCHASED = "PURCHASED"
+STOCK_TXN_CANCELLED = "CANCELLED"
+
+
+def b2w_schema() -> DatabaseSchema:
+    """Build the benchmark's database schema.
+
+    Row-size estimates reflect that carts/checkouts (with line items and
+    payment blobs) are much heavier than stock counters; they drive the
+    migration-volume accounting (the paper's cart + checkout databases
+    total 1106 MB).
+    """
+    schema = DatabaseSchema()
+    schema.add(
+        TableSchema(
+            name=CART,
+            key_column="cart_id",
+            row_kb=4.0,
+            columns=("cart_id", "customer_id", "status", "lines", "total"),
+        )
+    )
+    schema.add(
+        TableSchema(
+            name=CHECKOUT,
+            key_column="checkout_id",
+            row_kb=6.0,
+            columns=("checkout_id", "cart_id", "status", "lines", "payment", "total"),
+        )
+    )
+    schema.add(
+        TableSchema(
+            name=STOCK,
+            key_column="sku",
+            row_kb=0.5,
+            columns=("sku", "available", "reserved", "purchased"),
+        )
+    )
+    schema.add(
+        TableSchema(
+            name=STOCK_TRANSACTION,
+            key_column="transaction_id",
+            row_kb=0.5,
+            columns=("transaction_id", "sku", "cart_id", "quantity", "status"),
+        )
+    )
+    return schema

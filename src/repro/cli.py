@@ -1,0 +1,81 @@
+"""Command-line interface for the reproduction experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig5
+    python -m repro.cli run fig9 --fast
+    python -m repro.cli run all --fast --save results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments import registry
+
+
+def _cmd_list() -> int:
+    for spec in registry.list_experiments():
+        print(f"{spec.experiment_id:<10} {spec.paper_reference:<18} {spec.title}")
+    return 0
+
+
+def _cmd_run(
+    experiment_ids: List[str], fast: bool, save_dir: Optional[str] = None
+) -> int:
+    if experiment_ids == ["all"]:
+        experiment_ids = [spec.experiment_id for spec in registry.list_experiments()]
+    out_dir: Optional[Path] = None
+    if save_dir is not None:
+        out_dir = Path(save_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    status = 0
+    for experiment_id in experiment_ids:
+        try:
+            spec = registry.get(experiment_id)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        started = time.time()
+        print(f"== {spec.paper_reference}: {spec.title} ==")
+        result = spec.runner(fast=fast)
+        report = result.format_report()
+        print(report)
+        print(f"-- completed in {time.time() - started:.1f}s\n")
+        if out_dir is not None:
+            path = out_dir / f"{experiment_id}.txt"
+            path.write_text(
+                f"{spec.paper_reference}: {spec.title}\n\n{report}\n"
+            )
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="P-Store reproduction experiments"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list all experiments")
+    run_parser = subparsers.add_parser("run", help="run experiments by id")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    run_parser.add_argument(
+        "--fast", action="store_true",
+        help="smaller workloads (same qualitative shapes)",
+    )
+    run_parser.add_argument(
+        "--save", metavar="DIR", default=None,
+        help="also write each report to DIR/<id>.txt",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args.ids, args.fast, args.save)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

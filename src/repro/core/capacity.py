@@ -1,0 +1,241 @@
+"""Migration and capacity model of P-Store (Section 4.4 of the paper).
+
+This module implements the closed-form expressions the planner uses to
+evaluate candidate moves:
+
+* ``max_parallel_transfers`` -- Equation 2, the maximum number of
+  sender/receiver partition pairs that can migrate concurrently;
+* ``move_time_seconds`` / ``move_time_intervals`` -- Equation 3, the time
+  ``T(B, A)`` for a reconfiguration from ``B`` to ``A`` machines;
+* ``average_machines_allocated`` -- Algorithm 4 (Appendix B), the average
+  number of machines allocated while a move is in flight;
+* ``move_cost`` -- Equation 4, ``C(B, A) = T(B, A) * avg-mach-alloc``;
+* ``capacity`` -- Equation 5, ``cap(N) = Q * N``;
+* ``effective_capacity`` -- Equation 7, the capacity of the cluster after
+  a fraction ``f`` of the data in a move has been migrated.
+
+Every move keeps data balanced: before a move each of ``B`` machines holds
+``1/B`` of the database, and afterwards each of ``A`` machines holds
+``1/A``.  Scale-out and scale-in are symmetric; what matters is the smaller
+and larger cluster size, not the direction.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import SystemParameters
+from repro.errors import ConfigurationError
+
+
+def _check_sizes(before: int, after: int) -> None:
+    if before < 1 or after < 1:
+        raise ConfigurationError(
+            f"cluster sizes must be >= 1, got before={before}, after={after}"
+        )
+
+
+def max_parallel_transfers(before: int, after: int, partitions_per_node: int = 1) -> int:
+    """Maximum number of concurrent data transfers during a move (Eq. 2).
+
+    To limit disruption, each partition exchanges data with at most one
+    other partition at a time, so parallelism is capped by the smaller of
+    the sender and receiver partition counts.
+
+    Args:
+        before: Machines before the move (``B``).
+        after: Machines after the move (``A``).
+        partitions_per_node: Partitions per machine (``P``).
+
+    Returns:
+        The maximum number of parallel partition-to-partition transfers;
+        0 when ``before == after`` (nothing moves).
+    """
+    _check_sizes(before, after)
+    if partitions_per_node < 1:
+        raise ConfigurationError("partitions_per_node must be >= 1")
+    if before == after:
+        return 0
+    if before < after:
+        return partitions_per_node * min(before, after - before)
+    return partitions_per_node * min(after, before - after)
+
+
+def fraction_of_database_moved(before: int, after: int) -> float:
+    """Fraction of the whole database that a ``before -> after`` move ships.
+
+    Scaling out from ``B`` to ``A`` moves ``1 - B/A`` of the data (each of
+    the ``A - B`` new machines receives ``1/A``); scale-in is symmetric.
+    """
+    _check_sizes(before, after)
+    if before == after:
+        return 0.0
+    small, large = min(before, after), max(before, after)
+    return 1.0 - small / large
+
+
+def move_time_fraction_of_d(
+    before: int, after: int, partitions_per_node: int = 1
+) -> float:
+    """Time for a move in units of ``D`` (Equation 3 without the D factor).
+
+    ``D`` is the time to move the entire database with a single thread;
+    a move ships ``fraction_of_database_moved`` of it using
+    ``max_parallel_transfers`` concurrent threads.
+    """
+    parallel = max_parallel_transfers(before, after, partitions_per_node)
+    if parallel == 0:
+        return 0.0
+    return fraction_of_database_moved(before, after) / parallel
+
+
+def move_time_seconds(before: int, after: int, params: SystemParameters) -> float:
+    """Wall-clock duration ``T(B, A)`` of a move, in seconds (Equation 3)."""
+    return params.d_seconds * move_time_fraction_of_d(
+        before, after, params.partitions_per_node
+    )
+
+
+def move_time_intervals(before: int, after: int, params: SystemParameters) -> int:
+    """Move duration in planner intervals, rounded up.
+
+    Returns 0 for the do-nothing move (``before == after``); the planner
+    clamps that to one interval, exactly as Algorithms 2 and 3 do.
+    """
+    if before == after:
+        return 0
+    seconds = move_time_seconds(before, after, params)
+    return max(1, int(math.ceil(seconds / params.interval_seconds)))
+
+
+def average_machines_allocated(before: int, after: int) -> float:
+    """Average machines allocated while a move is in flight (Algorithm 4).
+
+    Machines are allocated just in time (and deallocated as soon as they
+    are emptied, for scale-in), following the three scheduling cases of
+    Section 4.4.1:
+
+    1. ``s >= delta``: all machines change at once -> the larger count
+       is allocated for the whole move.
+    2. ``delta`` a multiple of ``s``: blocks of ``s`` machines are added
+       (removed) one block at a time.
+    3. Otherwise: the three-phase schedule.
+
+    Args:
+        before: Machines before the move.
+        after: Machines after the move.
+
+    Returns:
+        The time-averaged machine count during the move.  For the
+        do-nothing move this is simply ``before``.
+    """
+    _check_sizes(before, after)
+    if before == after:
+        return float(before)
+
+    larger = max(before, after)
+    smaller = min(before, after)
+    delta = larger - smaller
+    remainder = delta % smaller
+
+    # Case 1: all machines added or removed at once.
+    if smaller >= delta:
+        return float(larger)
+
+    # Case 2: delta is a perfect multiple of the smaller cluster.
+    if remainder == 0:
+        return (2 * smaller + larger) / 2.0
+
+    # Case 3: three phases (Algorithm 4 lines 8-18).
+    num_steps_phase1 = delta // smaller - 1
+    time_per_step_phase1 = smaller / delta
+    machines_phase1 = (smaller + larger - remainder) / 2.0
+    phase1 = num_steps_phase1 * time_per_step_phase1 * machines_phase1
+
+    time_phase2 = remainder / delta
+    machines_phase2 = larger - remainder
+    phase2 = time_phase2 * machines_phase2
+
+    time_phase3 = smaller / delta
+    machines_phase3 = larger
+    phase3 = time_phase3 * machines_phase3
+
+    return phase1 + phase2 + phase3
+
+
+def move_cost(before: int, after: int, params: SystemParameters) -> float:
+    """Cost ``C(B, A)`` of a move in machine-intervals (Equation 4).
+
+    The cost of a move is its duration (in planner intervals) multiplied by
+    the average number of machines allocated while it runs.  The do-nothing
+    move is accounted by the planner as one interval at ``before`` machines.
+    """
+    intervals = move_time_intervals(before, after, params)
+    if intervals == 0:
+        return float(before)
+    return intervals * average_machines_allocated(before, after)
+
+
+def capacity(machines: int, params: SystemParameters) -> float:
+    """Target capacity of an evenly-loaded cluster (Equation 5): ``Q * N``."""
+    if machines < 0:
+        raise ConfigurationError(f"machines must be >= 0, got {machines}")
+    return params.q * machines
+
+
+#: Package-level alias: ``repro.core`` re-exports the Equation 5 capacity
+#: under this name so it cannot shadow the ``repro.core.capacity`` module.
+cluster_capacity = capacity
+
+
+def effective_capacity(
+    before: int, after: int, fraction_moved: float, params: SystemParameters
+) -> float:
+    """Effective capacity after ``fraction_moved`` of a move's data shipped.
+
+    Equation 7 of the paper.  While a reconfiguration is in flight, data is
+    not evenly distributed; the node holding the largest fraction ``f_n``
+    of the database saturates first, so the system's capacity is
+    ``Q / max_n f_n``.
+
+    * Scale-out: capacity is limited by the original ``B`` senders, whose
+      share shrinks linearly from ``1/B`` to ``1/A``.
+    * Scale-in: capacity is limited by the ``A`` survivors, whose share
+      grows linearly from ``1/B`` to ``1/A``.
+
+    Args:
+        before: Machines before the move (``B``).
+        after: Machines after the move (``A``).
+        fraction_moved: Fraction ``f`` in [0, 1] of the *move's* data that
+            has been shipped so far.
+        params: Cluster parameters providing ``Q``.
+
+    Returns:
+        Effective capacity in txn/s.
+    """
+    _check_sizes(before, after)
+    if not 0.0 <= fraction_moved <= 1.0 + 1e-12:
+        raise ConfigurationError(
+            f"fraction_moved must be in [0, 1], got {fraction_moved}"
+        )
+    f = min(fraction_moved, 1.0)
+    if before == after:
+        return capacity(before, params)
+    inv_b = 1.0 / before
+    inv_a = 1.0 / after
+    if before < after:
+        largest_share = inv_b - f * (inv_b - inv_a)
+    else:
+        largest_share = inv_b + f * (inv_a - inv_b)
+    return params.q / largest_share
+
+
+def minimum_forecast_window_seconds(params: SystemParameters) -> float:
+    """Smallest safe forecasting window ``tau`` (Section 5, Discussion).
+
+    The forecast only needs to cover the longest possible pair of
+    back-to-back reconfigurations with parallel migration, ``2 * D / P``,
+    so a planned scale-in always leaves time to scale back out before any
+    predicted spike.
+    """
+    return 2.0 * params.d_seconds / params.partitions_per_node

@@ -1,0 +1,286 @@
+"""Online elasticity controllers for the simulated engine (Section 6).
+
+The **Predictive Controller** wires P-Store's pieces together: it
+monitors the aggregate load, calls the Predictor for a time series of
+future load, passes it to the Planner, and executes only the first move
+of the optimal plan through the migration subsystem (receding-horizon
+control).  Scale-ins require three consecutive agreeing prediction
+cycles; when no feasible plan exists the controller reacts with one of
+the two fallback options of Section 4.3.1 — keep migrating at rate ``R``
+or boost to ``R x 8`` (Figure 11 compares them).
+
+The **Reactive Controller** reproduces the E-Store baseline of
+Figure 9c: it only reconfigures after detecting that the load has
+exceeded the current allocation's target capacity — i.e. when the
+system is already degrading.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.params import SystemParameters
+from repro.core.policy import PredictivePolicy
+from repro.errors import ConfigurationError
+from repro.prediction.base import Predictor
+from repro.engine.simulator import EngineSimulator
+
+#: Reactive fallback policies for unpredicted spikes (Section 4.3.1).
+SPIKE_POLICY_NORMAL_RATE = "normal-rate"
+SPIKE_POLICY_BOOST = "boost"
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """One executed controller action, for observability.
+
+    Attributes:
+        sim_time: Simulation time (seconds) when the move was requested.
+        measured_rate: Load measurement driving the decision, txn/s.
+        machines_before: Machines allocated at decision time.
+        target: Machines the move reconfigures to.
+        kind: ``"planned"`` (DP first move), ``"fallback"`` (infeasible
+            plan, Section 4.3.1) or ``"warmup-reactive"``.
+        boost: Migration-rate multiplier used (1.0 or ``R x boost``).
+    """
+
+    sim_time: float
+    measured_rate: float
+    machines_before: int
+    target: int
+    kind: str
+    boost: float = 1.0
+
+    def __str__(self) -> str:
+        tag = "" if self.boost == 1.0 else f" @R x {self.boost:g}"
+        return (
+            f"t={self.sim_time:8.0f}s load={self.measured_rate:7.0f}/s "
+            f"{self.machines_before} -> {self.target} ({self.kind}{tag})"
+        )
+
+
+class PredictiveController:
+    """P-Store's online controller for the engine simulator.
+
+    The controller measures load at the trace's slot granularity but
+    *plans* at the coarser ``params.interval_seconds`` granularity, so the
+    forecast window can cover at least ``2 * D / P`` (the minimum safe
+    window of Section 5) without exploding the dynamic program.
+
+    Args:
+        params: System parameters; ``interval_seconds`` is the *planning*
+            interval and must be a multiple of the measurement slot.
+        predictor: Fitted load predictor working in per-planning-interval
+            counts.
+        training_history: Per-planning-interval counts preceding the run
+            (the model's warm history, e.g. four weeks of measurements).
+        measurement_slot_seconds: Slot length of the trace being replayed.
+        horizon: Forecast window in planning intervals; defaults to the
+            smallest window covering ``2 * D / P`` plus slack.
+        inflation: Prediction inflation (paper: 15%).
+        max_machines: Cluster-size cap (the testbed had 10 nodes).
+        spike_policy: ``"normal-rate"`` (default; keep migrating at R) or
+            ``"boost"`` (migrate at ``R * spike_boost``).
+        spike_boost: Rate multiplier for the boost policy (paper: 8).
+        scale_in_confirmations: Agreeing cycles before a scale-in.
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        predictor: Predictor,
+        training_history: Optional[Sequence[float]] = None,
+        *,
+        measurement_slot_seconds: Optional[float] = None,
+        horizon: Optional[int] = None,
+        inflation: float = 0.15,
+        max_machines: int = 10,
+        spike_policy: str = SPIKE_POLICY_NORMAL_RATE,
+        spike_boost: float = 8.0,
+        scale_in_confirmations: int = 3,
+    ) -> None:
+        if spike_policy not in (SPIKE_POLICY_NORMAL_RATE, SPIKE_POLICY_BOOST):
+            raise ConfigurationError(
+                f"unknown spike_policy {spike_policy!r}; use "
+                f"{SPIKE_POLICY_NORMAL_RATE!r} or {SPIKE_POLICY_BOOST!r}"
+            )
+        self.params = params
+        self.predictor = predictor
+        slot = measurement_slot_seconds or params.interval_seconds
+        ratio = params.interval_seconds / slot
+        if abs(ratio - round(ratio)) > 1e-9 or ratio < 1:
+            raise ConfigurationError(
+                "planning interval must be a positive multiple of the "
+                f"measurement slot ({params.interval_seconds}s vs {slot}s)"
+            )
+        self.slot_seconds = slot
+        self.slots_per_interval = int(round(ratio))
+        if horizon is None:
+            from repro.core.capacity import minimum_forecast_window_seconds
+
+            horizon = params.intervals(
+                1.25 * minimum_forecast_window_seconds(params)
+            )
+        if horizon < 1:
+            raise ConfigurationError("horizon must be >= 1")
+        self.horizon = horizon
+        self.inflation = inflation
+        self.max_machines = max_machines
+        self.spike_policy = spike_policy
+        self.spike_boost = spike_boost
+        self.policy = PredictivePolicy(params, max_machines, scale_in_confirmations)
+        #: Aggregated (planning-interval) load history.
+        self.history: List[float] = (
+            [] if training_history is None else list(map(float, training_history))
+        )
+        self._slot_buffer: List[float] = []
+        self.moves_requested = 0
+        self.boosted_moves = 0
+        #: Observability: one entry per executed action, for operators
+        #: and for the examples' move logs.
+        self.decision_log: List[ControllerDecision] = []
+
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        sim: EngineSimulator,
+        measured_rate: float,
+        target: int,
+        kind: str,
+        boost: float = 1.0,
+    ) -> None:
+        self.decision_log.append(
+            ControllerDecision(
+                sim_time=sim.now,
+                measured_rate=measured_rate,
+                machines_before=sim.machines_allocated,
+                target=target,
+                kind=kind,
+                boost=boost,
+            )
+        )
+
+    def on_slot(
+        self, sim: EngineSimulator, slot_index: int, measured_count: float
+    ) -> None:
+        """Accumulate a measurement slot; plan when an interval closes."""
+        self._slot_buffer.append(float(measured_count))
+        if len(self._slot_buffer) < self.slots_per_interval:
+            return
+        interval_count = sum(self._slot_buffer)
+        self._slot_buffer.clear()
+        self.history.append(interval_count)
+
+        if sim.migration_active:
+            return
+        interval_seconds = self.params.interval_seconds
+        measured_rate = interval_count / interval_seconds
+        current = sim.machines_allocated
+
+        if len(self.history) < self.predictor.min_history:
+            # Warm-up: fall back to purely reactive scale-out.
+            needed = max(
+                1, math.ceil(measured_rate * (1 + self.inflation) / self.params.q)
+            )
+            needed = min(needed, self.max_machines)
+            if needed > current:
+                self._record(sim, measured_rate, needed, "warmup-reactive")
+                sim.start_move(needed)
+                self.moves_requested += 1
+            return
+
+        forecast_counts = self.predictor.predict(
+            np.asarray(self.history), self.horizon
+        )
+        load = np.empty(self.horizon + 1)
+        load[0] = measured_rate
+        load[1:] = (forecast_counts / interval_seconds) * (1.0 + self.inflation)
+
+        decision = self.policy.decide(load, current)
+        if decision.target is None or decision.target == current:
+            return
+        boost = 1.0
+        if decision.fallback and self.spike_policy == SPIKE_POLICY_BOOST:
+            boost = self.spike_boost
+            self.boosted_moves += 1
+        kind = "fallback" if decision.fallback else "planned"
+        self._record(sim, measured_rate, decision.target, kind, boost)
+        sim.start_move(decision.target, boost=boost)
+        self.moves_requested += 1
+
+
+class ReactiveController:
+    """E-Store-style reactive controller for the engine simulator.
+
+    Scale-out triggers once the measured load exceeds the current
+    allocation's target capacity for ``detect_slots`` consecutive slots
+    (standing in for E-Store's monitoring window); scale-in requires a
+    long stretch of comfortably low load.
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        *,
+        max_machines: int = 10,
+        headroom: float = 0.0,
+        trigger_fraction: float = 1.0,
+        detect_slots: int = 2,
+        scale_in_slots: int = 30,
+        measurement_slot_seconds: Optional[float] = None,
+    ) -> None:
+        if detect_slots < 1 or scale_in_slots < 1:
+            raise ConfigurationError("detection windows must be >= 1 slot")
+        if trigger_fraction <= 0:
+            raise ConfigurationError("trigger_fraction must be positive")
+        self.params = params
+        self.max_machines = max_machines
+        self.headroom = headroom
+        self.trigger_fraction = trigger_fraction
+        self.detect_slots = detect_slots
+        self.scale_in_slots = scale_in_slots
+        self.slot_seconds = measurement_slot_seconds or params.interval_seconds
+        self._over = 0
+        self._under = 0
+        self.moves_requested = 0
+
+    def _needed(self, rate: float) -> int:
+        return max(
+            1,
+            min(
+                math.ceil(rate * (1.0 + self.headroom) / self.params.q),
+                self.max_machines,
+            ),
+        )
+
+    def on_slot(
+        self, sim: EngineSimulator, slot_index: int, measured_count: float
+    ) -> None:
+        if sim.migration_active:
+            return
+        rate = measured_count / self.slot_seconds
+        current = sim.machines_allocated
+        needed = self._needed(rate)
+
+        if rate > self.trigger_fraction * self.params.q * current:
+            self._over += 1
+            self._under = 0
+            if self._over >= self.detect_slots and needed > current:
+                self._over = 0
+                sim.start_move(needed)
+                self.moves_requested += 1
+            return
+        self._over = 0
+
+        if needed < current:
+            self._under += 1
+            if self._under >= self.scale_in_slots:
+                self._under = 0
+                sim.start_move(current - 1)
+                self.moves_requested += 1
+        else:
+            self._under = 0

@@ -1,0 +1,114 @@
+"""Bipartite edge coloring, used by the three-phase migration scheduler.
+
+By König's edge-coloring theorem, every bipartite (multi)graph with maximum
+degree ``d`` can be properly edge-colored with exactly ``d`` colors.  The
+migration scheduler (Section 4.4.1 of the paper) needs this to pack the
+final phase of a scale-out into the minimum number of rounds: each color
+class is a matching, i.e. a set of sender/receiver transfers that can run
+in the same round without any machine participating in two transfers.
+
+The algorithm is the classic alternating-path construction: insert edges
+one at a time; when the two endpoints have no common free color, swap the
+two candidate colors along the maximal alternating path starting at the
+right endpoint, which frees the left endpoint's color there.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+Edge = Tuple[Hashable, Hashable]
+
+
+def _first_free_color(used: Dict[int, int], num_colors: int) -> int:
+    for color in range(num_colors):
+        if color not in used:
+            return color
+    raise AssertionError("no free color; degree bound violated")
+
+
+def bipartite_edge_coloring(edges: Sequence[Edge]) -> List[int]:
+    """Properly edge-color a bipartite graph with max-degree colors.
+
+    Args:
+        edges: Sequence of ``(left, right)`` pairs.  The two vertex classes
+            live in separate namespaces: a value appearing on the left and
+            on the right denotes two distinct vertices.  Parallel edges are
+            allowed.
+
+    Returns:
+        A list of colors, one per input edge, in ``range(max_degree)``,
+        such that no two edges sharing an endpoint get the same color.
+    """
+    left_degree: Dict[Hashable, int] = defaultdict(int)
+    right_degree: Dict[Hashable, int] = defaultdict(int)
+    for left, right in edges:
+        left_degree[left] += 1
+        right_degree[right] += 1
+    degrees = list(left_degree.values()) + list(right_degree.values())
+    num_colors = max(degrees, default=0)
+
+    # at[vertex][color] = index of the edge with that color at that vertex.
+    at: Dict[Tuple[str, Hashable], Dict[int, int]] = defaultdict(dict)
+    color_of: List[int] = [-1] * len(edges)
+
+    def other_endpoint(edge_index: int, vertex: Tuple[str, Hashable]):
+        left, right = edges[edge_index]
+        left_v, right_v = ("L", left), ("R", right)
+        return right_v if vertex == left_v else left_v
+
+    for edge_index, (left, right) in enumerate(edges):
+        left_v, right_v = ("L", left), ("R", right)
+        color_left = _first_free_color(at[left_v], num_colors)
+        color_right = _first_free_color(at[right_v], num_colors)
+        if color_left != color_right:
+            # Free color_left at right_v: walk the maximal alternating
+            # (color_left, color_right)-path from right_v and swap colors.
+            # Bipartiteness guarantees the path never reaches left_v.
+            path: List[int] = []
+            vertex = right_v
+            want = color_left
+            while want in at[vertex]:
+                path_edge = at[vertex][want]
+                path.append(path_edge)
+                vertex = other_endpoint(path_edge, vertex)
+                want = color_right if want == color_left else color_left
+            for path_edge in path:
+                old = color_of[path_edge]
+                new = color_right if old == color_left else color_left
+                a, b = edges[path_edge]
+                del at[("L", a)][old]
+                del at[("R", b)][old]
+                color_of[path_edge] = new
+            for path_edge in path:
+                a, b = edges[path_edge]
+                new = color_of[path_edge]
+                at[("L", a)][new] = path_edge
+                at[("R", b)][new] = path_edge
+        color = color_left
+        color_of[edge_index] = color
+        at[left_v][color] = edge_index
+        at[right_v][color] = edge_index
+
+    return color_of
+
+
+def validate_edge_coloring(edges: Sequence[Edge], colors: Sequence[int]) -> None:
+    """Raise :class:`ConfigurationError` unless ``colors`` is proper.
+
+    A proper edge coloring assigns distinct colors to edges sharing a
+    left or a right endpoint.
+    """
+    if len(edges) != len(colors):
+        raise ConfigurationError("colors must align with edges")
+    seen = set()
+    for (left, right), color in zip(edges, colors):
+        for key in (("L", left, color), ("R", right, color)):
+            if key in seen:
+                raise ConfigurationError(
+                    f"improper coloring: color {color} repeated at {key[0]}:{key[1]}"
+                )
+            seen.add(key)

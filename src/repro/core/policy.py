@@ -1,0 +1,146 @@
+"""The move-execution policy shared by P-Store's controllers.
+
+Both the interval-level strategy (capacity simulation, Section 8.3) and
+the online Predictive Controller (engine runs, Section 8.2) make the same
+decision each cycle: given the inflated load forecast and the current
+machine count, run the planner and act on the *first* move only
+(receding-horizon control), with the scale-in confirmation heuristic and
+the reactive fallback of Section 4.3.1.  This module holds that logic in
+one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.params import SystemParameters
+from repro.core.planner import Planner
+from repro.errors import ConfigurationError, InfeasiblePlanError
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one planning cycle.
+
+    Attributes:
+        target: Machine count to reconfigure to now, or ``None`` to hold.
+        fallback: True when the planner found no feasible plan and the
+            target comes from the reactive fallback (the caller may want
+            to boost the migration rate; Figure 11 compares both options).
+        planned: True when the dynamic program actually ran (false on the
+            plateau fast path).
+    """
+
+    target: Optional[int]
+    fallback: bool = False
+    planned: bool = False
+
+
+class PredictivePolicy:
+    """Stateful decision-maker wrapping the DP planner.
+
+    Args:
+        params: System parameters (Q drives machine counts).
+        max_machines: Cluster-size cap.
+        scale_in_confirmations: Consecutive agreeing cycles required
+            before executing a scale-in (paper: 3).
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        max_machines: int,
+        scale_in_confirmations: int = 3,
+    ) -> None:
+        self.params = params
+        self.max_machines = max_machines
+        self.scale_in_confirmations = scale_in_confirmations
+        self.planner = Planner(params, max_machines=max_machines)
+        self._scale_in_votes = 0
+        self.plans_computed = 0
+        self.fallback_scale_outs = 0
+
+    def reset(self) -> None:
+        self._scale_in_votes = 0
+        self.plans_computed = 0
+        self.fallback_scale_outs = 0
+
+    def _clamp(self, machines: int) -> int:
+        return max(1, min(machines, self.max_machines))
+
+    def sanitize_forecast(self, load: np.ndarray) -> np.ndarray:
+        """Defend the planner against a misbehaving predictor.
+
+        Non-finite or negative forecast entries (a diverged model, a
+        degenerate fit) are replaced with the measured current load
+        (``load[0]``), which degrades the cycle to roughly reactive
+        behaviour instead of crashing or planning nonsense.  ``load[0]``
+        itself is a measurement and must be finite and non-negative.
+        """
+        current = float(load[0])
+        if not np.isfinite(current) or current < 0:
+            raise ConfigurationError(
+                f"measured load must be finite and non-negative, got {current}"
+            )
+        bad = ~np.isfinite(load) | (load < 0)
+        if bad.any():
+            load = load.copy()
+            load[bad] = current
+        return load
+
+    def decide(self, load: np.ndarray, current_machines: int) -> Decision:
+        """One planning cycle.
+
+        Args:
+            load: Predicted load per interval in txn/s, already inflated;
+                ``load[0]`` is the measured current load.  Non-finite or
+                negative predictions are sanitized (see
+                :meth:`sanitize_forecast`).
+            current_machines: Machines allocated now (no move in flight).
+
+        Returns:
+            The :class:`Decision` for this cycle.
+        """
+        load = self.sanitize_forecast(np.asarray(load, dtype=np.float64))
+        q = self.params.q
+        needed_max = max(1, math.ceil(float(load.max()) / q))
+        needed_min = max(1, math.ceil(float(load.min()) / q))
+        if needed_max == needed_min == current_machines:
+            # Every interval of the horizon needs exactly the current
+            # machine count; "hold" is provably optimal.
+            self._scale_in_votes = 0
+            return Decision(target=None)
+
+        self.plans_computed += 1
+        try:
+            plan = self.planner.best_moves(load, current_machines)
+        except InfeasiblePlanError:
+            # Unpredicted spike (Section 4.3.1): reactively scale out to
+            # the needed size.
+            self.fallback_scale_outs += 1
+            self._scale_in_votes = 0
+            target = self._clamp(needed_max)
+            if target == current_machines:
+                return Decision(target=None, fallback=True, planned=True)
+            return Decision(target=target, fallback=True, planned=True)
+
+        first = plan.first_real_move()
+        if first is None or first.start > 0:
+            # Hold, or the move is scheduled for later: re-plan next
+            # cycle with fresher predictions (receding horizon).
+            self._scale_in_votes = 0
+            return Decision(target=None, planned=True)
+
+        if first.after < current_machines:
+            self._scale_in_votes += 1
+            if self._scale_in_votes < self.scale_in_confirmations:
+                return Decision(target=None, planned=True)
+            self._scale_in_votes = 0
+            return Decision(target=self._clamp(first.after), planned=True)
+
+        self._scale_in_votes = 0
+        return Decision(target=self._clamp(first.after), planned=True)

@@ -1,0 +1,211 @@
+"""The shared-nothing cluster: nodes, partitions and key routing.
+
+Mirrors H-Store's layout (Section 2 of the paper): a cluster of nodes,
+each hosting ``P`` logical partitions; tables split horizontally by a
+partitioning key; keys hash to virtual buckets; a
+:class:`~repro.core.partition_plan.PartitionPlan` assigns buckets to
+nodes.  Within a node, a bucket maps deterministically to the local
+partition ``bucket % P``, so routing is a pure function of the key and
+the current plan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.partition_plan import DEFAULT_NUM_BUCKETS, PartitionPlan
+from repro.engine.hashing import Key
+from repro.engine.node import Node
+from repro.engine.partition import Partition
+from repro.engine.table import DatabaseSchema
+from repro.errors import EngineError
+
+
+class Cluster:
+    """A simulated H-Store-like cluster.
+
+    Args:
+        schema: Database schema shared by all partitions.
+        initial_nodes: Machines allocated at start.
+        partitions_per_node: Logical partitions per machine (``P``).
+        num_buckets: Virtual buckets the key space is split into.
+        max_nodes: Upper bound on machines that can ever be allocated.
+        partitioner: Key-to-bucket scheme (a
+            :class:`~repro.engine.partitioning.Partitioner`); defaults to
+            MurmurHash 2.0 hash partitioning, the paper's configuration.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        initial_nodes: int = 1,
+        partitions_per_node: int = 6,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+        max_nodes: int = 64,
+        partitioner: "Optional[object]" = None,
+    ) -> None:
+        if initial_nodes < 1:
+            raise EngineError("initial_nodes must be >= 1")
+        if initial_nodes > max_nodes:
+            raise EngineError("initial_nodes exceeds max_nodes")
+        if partitions_per_node < 1:
+            raise EngineError("partitions_per_node must be >= 1")
+        self.schema = schema
+        self.partitions_per_node = partitions_per_node
+        self.num_buckets = num_buckets
+        self.max_nodes = max_nodes
+        self.nodes: List[Node] = []
+        for node_id in range(max_nodes):
+            partitions = [
+                Partition(node_id * partitions_per_node + local, node_id, schema)
+                for local in range(partitions_per_node)
+            ]
+            self.nodes.append(
+                Node(node_id, partitions, active=node_id < initial_nodes)
+            )
+        if partitioner is None:
+            from repro.engine.partitioning import HashPartitioner
+
+            partitioner = HashPartitioner(num_buckets)
+        if getattr(partitioner, "num_buckets", num_buckets) != num_buckets:
+            raise EngineError(
+                "partitioner bucket count must match the cluster's num_buckets"
+            )
+        self.partitioner = partitioner
+        self.plan = PartitionPlan.balanced(initial_nodes, num_buckets)
+        self._bucket_counts = self._recount_buckets()
+
+    def _recount_buckets(self) -> "list[int]":
+        counts = [0] * self.max_nodes
+        for bucket in range(self.num_buckets):
+            counts[self.plan.node_of(bucket)] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def num_active_nodes(self) -> int:
+        return sum(1 for node in self.nodes if node.active)
+
+    def active_nodes(self) -> List[Node]:
+        return [node for node in self.nodes if node.active]
+
+    def set_active(self, node_id: int, active: bool) -> None:
+        if not 0 <= node_id < self.max_nodes:
+            raise EngineError(f"node {node_id} out of range")
+        self.nodes[node_id].active = active
+
+    def partitions(self, only_active: bool = True) -> List[Partition]:
+        out: List[Partition] = []
+        for node in self.nodes:
+            if node.active or not only_active:
+                out.extend(node.partitions)
+        return out
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def bucket_of(self, key: Key) -> int:
+        return self.partitioner.bucket_of(key)
+
+    def node_of_bucket(self, bucket: int) -> int:
+        return self.plan.node_of(bucket)
+
+    def partition_of_bucket(self, bucket: int) -> Partition:
+        node_id = self.plan.node_of(bucket)
+        node = self.nodes[node_id]
+        if not node.active:
+            raise EngineError(
+                f"bucket {bucket} routed to inactive node {node_id}"
+            )
+        return node.partitions[bucket % self.partitions_per_node]
+
+    def route(self, key: Key) -> Partition:
+        """The partition responsible for ``key`` under the current plan."""
+        return self.partition_of_bucket(self.bucket_of(key))
+
+    # ------------------------------------------------------------------
+    # Data placement and movement
+    # ------------------------------------------------------------------
+    def move_bucket(self, bucket: int, new_node: int) -> int:
+        """Physically relocate one bucket's rows to ``new_node``.
+
+        Returns the number of rows moved.  Used by the migration
+        subsystem as each bucket's final chunk lands; routing switches to
+        the new owner atomically with the data.
+        """
+        old_node = self.plan.node_of(bucket)
+        if old_node == new_node:
+            return 0
+        if not self.nodes[new_node].active:
+            raise EngineError(f"cannot move bucket to inactive node {new_node}")
+        local = bucket % self.partitions_per_node
+        source = self.nodes[old_node].partitions[local]
+        target = self.nodes[new_node].partitions[local]
+        moved = 0
+        for table in self.schema.names():
+            keys = [
+                key
+                for key in source.all_keys(table)
+                if self.bucket_of(key) == bucket
+            ]
+            rows = source.extract_rows(table, keys)
+            target.install_rows(table, rows)
+            moved += len(rows)
+        assignment = list(self.plan.as_tuple())
+        assignment[bucket] = new_node
+        self.plan = PartitionPlan(assignment, max(self.plan.num_nodes, new_node + 1))
+        self._bucket_counts[old_node] -= 1
+        self._bucket_counts[new_node] += 1
+        return moved
+
+    def compact_plan(self, num_nodes: int) -> None:
+        """Shrink the plan's node count after a completed scale-in.
+
+        All buckets must already live on nodes below ``num_nodes``.
+        """
+        assignment = self.plan.as_tuple()
+        stray = [b for b, n in enumerate(assignment) if n >= num_nodes]
+        if stray:
+            raise EngineError(
+                f"cannot compact to {num_nodes} nodes: buckets {stray[:5]} "
+                "still on departing nodes"
+            )
+        self.plan = PartitionPlan(assignment, num_nodes)
+
+    def data_fractions(self) -> Dict[int, float]:
+        """Fraction of buckets per node (``f_n`` of Equation 6)."""
+        return {
+            node: count / self.num_buckets
+            for node, count in enumerate(self._bucket_counts)
+            if count > 0
+        }
+
+    def node_weights(self) -> "list[float]":
+        """Bucket-count weight of every node slot (zeros for empty/idle).
+
+        The simulator routes offered load proportionally to these weights
+        (uniform-workload assumption of Section 4.2).
+        """
+        total = self.num_buckets
+        return [count / total for count in self._bucket_counts]
+
+    def total_rows(self) -> int:
+        return sum(node.row_count() for node in self.nodes)
+
+    def total_data_kb(self) -> float:
+        return sum(node.data_kb() for node in self.nodes)
+
+    # ------------------------------------------------------------------
+    # Statistics (Section 8.1 uniformity analysis)
+    # ------------------------------------------------------------------
+    def access_counts_per_partition(self) -> List[int]:
+        return [p.stats.accesses for p in self.partitions()]
+
+    def rows_per_partition(self) -> List[int]:
+        return [p.row_count() for p in self.partitions()]
+
+    def reset_stats(self) -> None:
+        for partition in self.partitions(only_active=False):
+            partition.stats.reset()

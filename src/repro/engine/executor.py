@@ -1,0 +1,66 @@
+"""Transaction executor: routes and runs stored procedures.
+
+Single-partition execution only, matching the H-Store fast path the
+paper's workloads exercise.  Aborts raised by procedure bodies (e.g.
+reserving out-of-stock items in the B2W benchmark) are converted into
+``ABORTED`` results rather than exceptions, as a DBMS client would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.engine.cluster import Cluster
+from repro.engine.transaction import (
+    ProcedureRegistry,
+    Transaction,
+    TxnResult,
+    TxnStatus,
+)
+from repro.errors import TransactionAborted
+
+
+@dataclass
+class ExecutorStats:
+    """Counters kept by the executor."""
+
+    executed: int = 0
+    committed: int = 0
+    aborted: int = 0
+    by_procedure: Dict[str, int] = field(default_factory=dict)
+
+
+class Executor:
+    """Executes transactions against a cluster."""
+
+    def __init__(self, cluster: Cluster, registry: ProcedureRegistry) -> None:
+        self.cluster = cluster
+        self.registry = registry
+        self.stats = ExecutorStats()
+
+    def execute(self, txn: Transaction) -> TxnResult:
+        """Route ``txn`` by its key and run the procedure body.
+
+        Returns a :class:`TxnResult`; procedure-level aborts become
+        ``ABORTED`` results, infrastructure errors still raise.
+        """
+        procedure = self.registry.get(txn.procedure)
+        partition = self.cluster.route(txn.key)
+        self.stats.executed += 1
+        self.stats.by_procedure[txn.procedure] = (
+            self.stats.by_procedure.get(txn.procedure, 0) + 1
+        )
+        try:
+            value = procedure.body(partition, dict(txn.params, key=txn.key))
+        except TransactionAborted as abort:
+            self.stats.aborted += 1
+            return TxnResult(
+                TxnStatus.ABORTED,
+                abort_reason=str(abort),
+                partition_id=partition.partition_id,
+            )
+        self.stats.committed += 1
+        return TxnResult(
+            TxnStatus.COMMITTED, value=value, partition_id=partition.partition_id
+        )

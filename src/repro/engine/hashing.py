@@ -1,0 +1,70 @@
+"""Key hashing for partition routing.
+
+The paper hashes partitioning keys with MurmurHash 2.0 (Section 8.1) and
+relies on the hash smoothing per-key skew into near-uniform per-partition
+load.  This module provides a faithful pure-Python MurmurHash2 (32-bit)
+plus helpers mapping keys to virtual buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+MASK32 = 0xFFFFFFFF
+_M = 0x5BD1E995
+_R = 24
+
+Key = Union[int, str, bytes]
+
+
+def murmur2(data: bytes, seed: int = 0x9747B28C) -> int:
+    """MurmurHash 2.0 (32-bit), matching the canonical C implementation."""
+    length = len(data)
+    h = (seed ^ length) & MASK32
+
+    offset = 0
+    while length >= 4:
+        k = int.from_bytes(data[offset : offset + 4], "little")
+        k = (k * _M) & MASK32
+        k ^= k >> _R
+        k = (k * _M) & MASK32
+        h = (h * _M) & MASK32
+        h ^= k
+        offset += 4
+        length -= 4
+
+    if length >= 3:
+        h ^= data[offset + 2] << 16
+    if length >= 2:
+        h ^= data[offset + 1] << 8
+    if length >= 1:
+        h ^= data[offset]
+        h = (h * _M) & MASK32
+
+    h ^= h >> 13
+    h = (h * _M) & MASK32
+    h ^= h >> 15
+    return h
+
+
+def key_bytes(key: Key) -> bytes:
+    """Canonical byte representation of a partitioning key."""
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, int):
+        return key.to_bytes(8, "little", signed=True)
+    raise TypeError(f"unsupported key type {type(key).__name__}")
+
+
+def hash_key(key: Key) -> int:
+    """32-bit hash of a partitioning key."""
+    return murmur2(key_bytes(key))
+
+
+def key_to_bucket(key: Key, num_buckets: int) -> int:
+    """Map a key to one of ``num_buckets`` virtual buckets."""
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be >= 1")
+    return hash_key(key) % num_buckets

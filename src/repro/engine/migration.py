@@ -1,0 +1,245 @@
+"""Squall-like chunked live migration (Sections 2, 6 and 8.1).
+
+Squall migrates data in small *chunks* while the database keeps serving
+transactions.  Each chunk briefly occupies the source and destination
+partitions (extraction, shipping, loading); small chunks (1000 kB in the
+paper) make this pause invisible, larger chunks cause tail-latency spikes
+(Figure 8).  The long-run migration pace is the rate ``R`` (244 kB/s per
+thread pair in the paper); when P-Store must react to an unpredicted
+spike it can *boost* the pace to ``R x 8`` at the price of more blocking
+(Figure 11).
+
+A :class:`Migration` executes a :class:`~repro.core.schedule.MoveSchedule`
+round by round against a :class:`~repro.engine.cluster.Cluster`:
+
+* machines are (de)allocated just in time, following the schedule;
+* all transfers of the current round run in parallel (``P`` partition
+  pairs per node pair);
+* when a round completes, the buckets assigned to its node pairs flip
+  ownership, which shifts routing weight onto the new owners — this is
+  how the *effective capacity* of Equation 7 emerges in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.partition_plan import plan_move
+from repro.core.schedule import MoveSchedule, build_move_schedule
+from repro.engine.cluster import Cluster
+from repro.errors import MigrationError
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """Tuning knobs of the migration subsystem.
+
+    Attributes:
+        chunk_kb: Migration chunk size (paper default: 1000 kB).
+        rate_kbps: Sustained migration rate ``R`` per thread pair
+            (paper: 244 kB/s, including chunk spacing).
+        extract_kbps: Processing bandwidth while a chunk blocks its
+            source/destination partition; ``chunk_kb / extract_kbps`` is
+            the per-chunk pause length.
+        boost: Rate multiplier for reactive catch-up (``R x 8``).
+    """
+
+    chunk_kb: float = 1000.0
+    rate_kbps: float = 244.0
+    extract_kbps: float = 25000.0
+    boost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.chunk_kb, self.rate_kbps, self.extract_kbps) <= 0:
+            raise MigrationError("chunk_kb, rate_kbps and extract_kbps must be > 0")
+        if self.boost < 1.0:
+            raise MigrationError("boost must be >= 1")
+
+    @property
+    def effective_rate_kbps(self) -> float:
+        return self.rate_kbps * self.boost
+
+    @property
+    def chunk_period_s(self) -> float:
+        """Seconds between chunk completions on one thread pair."""
+        return self.chunk_kb / self.effective_rate_kbps
+
+    @property
+    def chunk_block_s(self) -> float:
+        """Partition pause per chunk."""
+        return self.chunk_kb / self.extract_kbps
+
+    @property
+    def blocked_fraction(self) -> float:
+        """Long-run fraction of time a migrating partition is blocked."""
+        return min(self.chunk_block_s / self.chunk_period_s, 1.0)
+
+
+@dataclass
+class MigrationStep:
+    """Per-step effects of an in-flight migration on the cluster.
+
+    ``blocked_partitions`` maps global partition id to
+    ``(block_seconds, blocked_fraction)`` for this step.
+    """
+
+    active: bool
+    completed: bool
+    machines_allocated: int
+    blocked_partitions: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    fraction_completed: float = 0.0
+
+
+class Migration:
+    """One in-flight reconfiguration of a cluster.
+
+    Args:
+        cluster: The cluster being reconfigured.
+        target_nodes: Machine count after the move.
+        db_size_kb: Total database size (drives round durations; in a
+            full-fidelity run it can be ``cluster.total_data_kb()``).
+        config: Chunking and pacing parameters.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        target_nodes: int,
+        db_size_kb: float,
+        config: Optional[MigrationConfig] = None,
+    ) -> None:
+        before = cluster.num_active_nodes
+        if target_nodes < 1 or target_nodes > cluster.max_nodes:
+            raise MigrationError(
+                f"target_nodes {target_nodes} outside [1, {cluster.max_nodes}]"
+            )
+        if db_size_kb <= 0:
+            raise MigrationError("db_size_kb must be positive")
+        if target_nodes == before:
+            raise MigrationError("target equals current size; nothing to migrate")
+        self.cluster = cluster
+        self.before = before
+        self.after = target_nodes
+        self.db_size_kb = db_size_kb
+        self.config = config or MigrationConfig()
+        self.schedule: MoveSchedule = build_move_schedule(
+            before, target_nodes, cluster.partitions_per_node
+        )
+        # Bucket batches per (sender, receiver) node pair, computed once
+        # from the balanced partition plan.
+        _, transfers = plan_move(cluster.plan, target_nodes)
+        self._buckets: Dict[Tuple[int, int], Tuple[int, ...]] = {
+            (t.sender, t.receiver): t.buckets for t in transfers
+        }
+        self.current_round = 0
+        self._elapsed_in_round = 0.0
+        self._chunk_accumulator = 0.0
+        self.completed = self.schedule.num_rounds == 0
+        self._apply_allocation()
+
+    # ------------------------------------------------------------------
+    @property
+    def round_seconds(self) -> float:
+        """Duration of one round at the configured (possibly boosted) rate."""
+        pair_kb = self.db_size_kb * self.schedule.data_per_transfer()
+        per_thread_kb = pair_kb / self.cluster.partitions_per_node
+        return per_thread_kb / self.config.effective_rate_kbps
+
+    @property
+    def total_seconds(self) -> float:
+        return self.schedule.num_rounds * self.round_seconds
+
+    @property
+    def fraction_completed(self) -> float:
+        if self.completed:
+            return 1.0
+        done_rounds = self.current_round
+        partial = min(self._elapsed_in_round / max(self.round_seconds, 1e-12), 1.0)
+        return (done_rounds + partial) / self.schedule.num_rounds
+
+    # ------------------------------------------------------------------
+    def _apply_allocation(self) -> None:
+        """Activate/deactivate nodes per the current round's allocation."""
+        if self.completed:
+            allocated = self.after
+        else:
+            allocated = self.schedule.machines_allocated_at(self.current_round)
+        for node_id in range(self.cluster.max_nodes):
+            self.cluster.set_active(node_id, node_id < allocated)
+
+    def _active_partition_ids(self) -> Set[int]:
+        """Global partition ids participating in the current round."""
+        ids: Set[int] = set()
+        if self.completed:
+            return ids
+        p = self.cluster.partitions_per_node
+        for transfer in self.schedule.rounds[self.current_round].transfers:
+            for node in (transfer.sender, transfer.receiver):
+                for local in range(p):
+                    ids.add(node * p + local)
+        return ids
+
+    def _complete_round(self) -> None:
+        """Flip bucket ownership for the finished round's node pairs."""
+        rnd = self.schedule.rounds[self.current_round]
+        for transfer in rnd.transfers:
+            buckets = self._buckets.get((transfer.sender, transfer.receiver), ())
+            for bucket in buckets:
+                self.cluster.move_bucket(bucket, transfer.receiver)
+        self.current_round += 1
+        self._elapsed_in_round = 0.0
+        if self.current_round >= self.schedule.num_rounds:
+            self.completed = True
+            if self.after < self.before:
+                self.cluster.compact_plan(self.after)
+        self._apply_allocation()
+
+    # ------------------------------------------------------------------
+    def step(self, dt: float) -> MigrationStep:
+        """Advance the migration by ``dt`` seconds.
+
+        Returns the step's effects: which partitions were blocked (and
+        for how long), the machine allocation, and completion status.
+        Multiple rounds may complete within one step for coarse ``dt``.
+        """
+        if dt <= 0:
+            raise MigrationError("dt must be positive")
+        if self.completed:
+            return MigrationStep(False, True, self.after, {}, 1.0)
+
+        blocked: Dict[int, Tuple[float, float]] = {}
+        cfg = self.config
+        # Chunk pauses: every chunk_period seconds, each active partition
+        # pauses for chunk_block seconds.
+        self._chunk_accumulator += dt
+        chunks_this_step = int(self._chunk_accumulator / cfg.chunk_period_s)
+        self._chunk_accumulator -= chunks_this_step * cfg.chunk_period_s
+        block_total = min(chunks_this_step * cfg.chunk_block_s, dt)
+        single_block = min(cfg.chunk_block_s, dt) if chunks_this_step else 0.0
+        if block_total > 0:
+            for pid in self._active_partition_ids():
+                blocked[pid] = (single_block, block_total / dt)
+
+        remaining = dt
+        while remaining > 0 and not self.completed:
+            left_in_round = self.round_seconds - self._elapsed_in_round
+            if remaining >= left_in_round:
+                remaining -= left_in_round
+                self._complete_round()
+            else:
+                self._elapsed_in_round += remaining
+                remaining = 0.0
+
+        allocated = (
+            self.after
+            if self.completed
+            else self.schedule.machines_allocated_at(self.current_round)
+        )
+        return MigrationStep(
+            active=not self.completed,
+            completed=self.completed,
+            machines_allocated=allocated,
+            blocked_partitions=blocked,
+            fraction_completed=self.fraction_completed,
+        )

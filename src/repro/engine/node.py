@@ -1,0 +1,32 @@
+"""A node (server/machine) in the simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.engine.partition import Partition
+
+
+@dataclass
+class Node:
+    """One machine hosting a fixed number of logical partitions.
+
+    H-Store deployments in the paper run 6 partitions per node (one per
+    group of cores).  Nodes are allocated and deallocated by moves; a
+    deallocated node keeps its identity so re-allocation is cheap in the
+    simulator.
+    """
+
+    node_id: int
+    partitions: List[Partition] = field(default_factory=list)
+    active: bool = True
+
+    def row_count(self) -> int:
+        return sum(p.row_count() for p in self.partitions)
+
+    def data_kb(self) -> float:
+        return sum(p.data_kb() for p in self.partitions)
+
+    def total_accesses(self) -> int:
+        return sum(p.stats.accesses for p in self.partitions)

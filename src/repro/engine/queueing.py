@@ -1,0 +1,229 @@
+"""Queueing-theoretic latency model for the simulated engine.
+
+Each partition is a single-server queue: transactions arrive at the
+partition's routed share of the offered load and are served at the
+partition's service rate, reduced by whatever fraction of the step the
+partition spent doing migration work.  Two pieces:
+
+* a *fluid* backlog update — deterministic conservation of work, which
+  produces the throughput collapse and latency climb under overload that
+  Figures 7 and 9 show; and
+* a latency *distribution* per step — a shifted exponential whose shift
+  is the deterministic queueing delay (backlog drain + base service time
+  + migration blocking) and whose tail is the M/M/1 sojourn rate
+  ``mu - lambda``, from which the simulator extracts p50/p95/p99 of the
+  cluster-wide mixture.
+
+Everything is vectorized over partitions; the mixture quantile uses a
+bisection on the closed-form CDF, so the simulator is deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Floor on the exponential tail rate, as a fraction of the service rate.
+#: Under overload the sojourn distribution is dominated by the
+#: deterministic backlog delay; the residual tail stays finite.
+MIN_TAIL_FRACTION = 0.05
+
+
+def fluid_queue_step(
+    backlog: np.ndarray,
+    offered: np.ndarray,
+    service_rate: np.ndarray,
+    dt: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Advance the fluid queues by one step.
+
+    Args:
+        backlog: Outstanding work (transactions) per partition.
+        offered: Arrival rate per partition, txn/s.
+        service_rate: Effective service rate per partition, txn/s
+            (already discounted for migration blocking).
+        dt: Step length, seconds.
+
+    Returns:
+        ``(new_backlog, served)`` — served is in transactions (not a rate).
+    """
+    arrivals = offered * dt
+    service_capacity = service_rate * dt
+    served = np.minimum(backlog + arrivals, service_capacity)
+    new_backlog = backlog + arrivals - served
+    return new_backlog, served
+
+
+@dataclass
+class LatencyComponents:
+    """Per-partition shifted-exponential latency parameters for one step.
+
+    ``delay`` (seconds) is the deterministic part; ``tail_rate`` (1/s) the
+    exponential part; ``weight`` the partition's share of arrivals.
+    Partitions experiencing a migration chunk block contribute a second
+    component shifted by the block length (transactions arriving during
+    the block wait it out).
+    """
+
+    weights: np.ndarray
+    delays: np.ndarray
+    tail_rates: np.ndarray
+
+
+def latency_components(
+    backlog: np.ndarray,
+    offered: np.ndarray,
+    service_rate: np.ndarray,
+    *,
+    base_service_s: float,
+    block_seconds: Optional[np.ndarray] = None,
+    block_weight: Optional[np.ndarray] = None,
+) -> LatencyComponents:
+    """Build the latency mixture for one step.
+
+    Args:
+        backlog: Backlog *before* this step's arrivals.
+        offered: Arrival rate per partition, txn/s.
+        service_rate: Effective service rate per partition, txn/s.
+        base_service_s: Minimum service latency (the paper adds an
+            artificial per-transaction delay; Section 7).
+        block_seconds: Length of the largest migration block affecting
+            each partition this step (0 where none).
+        block_weight: Fraction of the step each partition spent blocked.
+
+    Returns:
+        Mixture components with weights summing to 1 (over partitions
+        with any arrivals).
+    """
+    mu = np.maximum(service_rate, 1e-9)
+    queue_delay = backlog / mu
+    delays = base_service_s + queue_delay
+    slack = mu - offered
+    tail_rates = np.maximum(slack, MIN_TAIL_FRACTION * mu)
+
+    weights = offered.astype(np.float64).copy()
+    total = weights.sum()
+    if total <= 0:
+        # No arrivals anywhere: degenerate mixture at the base service time.
+        weights = np.ones_like(weights) / max(len(weights), 1)
+    else:
+        weights = weights / total
+
+    if block_seconds is None or not np.any(block_seconds > 0):
+        return LatencyComponents(weights, delays, tail_rates)
+
+    if block_weight is None:
+        raise ConfigurationError("block_weight required when block_seconds given")
+    blocked = block_seconds > 0
+    frac = np.clip(block_weight[blocked], 0.0, 1.0)
+    reduced = weights.copy()
+    reduced[blocked] = reduced[blocked] * (1.0 - frac)
+    extra_weights = weights[blocked] * frac
+    all_weights = np.concatenate([reduced, extra_weights])
+    all_delays = np.concatenate([delays, delays[blocked] + block_seconds[blocked]])
+    all_rates = np.concatenate([tail_rates, tail_rates[blocked]])
+    return LatencyComponents(all_weights, all_delays, all_rates)
+
+
+def mixture_quantiles(
+    components: LatencyComponents, quantiles: Sequence[float]
+) -> np.ndarray:
+    """Quantiles of a mixture of shifted exponentials, via bisection.
+
+    The CDF is ``F(x) = sum_i w_i * (1 - exp(-r_i * (x - d_i)))`` for
+    ``x > d_i``.  Monotone, so 60 bisection iterations give ~1e-18
+    relative precision on the bracket.
+    """
+    w = components.weights
+    d = components.delays
+    r = components.tail_rates
+    if len(w) == 0:
+        return np.zeros(len(quantiles))
+    for q in quantiles:
+        if not 0 < q < 1:
+            raise ConfigurationError(f"quantile must be in (0, 1), got {q}")
+
+    # Merge identical components: partitions usually fall into a handful
+    # of classes (uniform, migration sender, migration receiver), so this
+    # keeps the bisection tiny.
+    keys = np.round(np.column_stack([d, r]), 9)
+    unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
+    if len(unique_keys) < len(w):
+        merged_w = np.zeros(len(unique_keys))
+        np.add.at(merged_w, inverse, w)
+        w, d, r = merged_w, unique_keys[:, 0], unique_keys[:, 1]
+
+    if len(w) == 1:
+        # Single shifted exponential: closed-form quantile.
+        return np.array([d[0] - math.log(1.0 - q) / r[0] for q in quantiles])
+
+    out = np.empty(len(quantiles))
+    # Upper bracket: every component's own q-quantile is a bound when all
+    # mass were in it; take the max over components at the highest q.
+    q_max = max(quantiles)
+    hi = float(np.max(d - np.log(max(1.0 - q_max, 1e-12)) / r)) + 1e-9
+    qs = np.asarray(quantiles, dtype=np.float64)
+    lo_b = np.zeros(len(qs))
+    hi_b = np.full(len(qs), hi)
+    for _ in range(40):
+        mid = 0.5 * (lo_b + hi_b)
+        gap = mid[:, None] - d[None, :]
+        mass = np.where(gap > 0, 1.0 - np.exp(-r[None, :] * np.maximum(gap, 0.0)), 0.0)
+        cdf = mass @ w
+        below = cdf < qs
+        lo_b = np.where(below, mid, lo_b)
+        hi_b = np.where(below, hi_b, mid)
+    out[:] = 0.5 * (lo_b + hi_b)
+    return out
+
+
+def mixture_mean(components: LatencyComponents) -> float:
+    """Mean of the latency mixture: ``sum_i w_i * (d_i + 1/r_i)``."""
+    w, d, r = components.weights, components.delays, components.tail_rates
+    if len(w) == 0:
+        return 0.0
+    return float(w @ (d + 1.0 / r))
+
+
+class PartitionQueue:
+    """Scalar convenience wrapper over the vectorized queue model.
+
+    Useful in unit tests and in single-partition experiments like the
+    Figure 7 saturation sweep.
+    """
+
+    def __init__(self, service_rate: float, base_service_s: float = 0.005) -> None:
+        if service_rate <= 0:
+            raise ConfigurationError("service_rate must be positive")
+        self.service_rate = service_rate
+        self.base_service_s = base_service_s
+        self.backlog = 0.0
+
+    def step(
+        self,
+        offered: float,
+        dt: float = 1.0,
+        available_fraction: float = 1.0,
+        block_seconds: float = 0.0,
+    ) -> Tuple[float, np.ndarray]:
+        """Advance one step; returns ``(served, [p50, p95, p99])`` seconds."""
+        mu = np.array([self.service_rate * available_fraction])
+        offered_arr = np.array([offered])
+        backlog_arr = np.array([self.backlog])
+        components = latency_components(
+            backlog_arr,
+            offered_arr,
+            mu,
+            base_service_s=self.base_service_s,
+            block_seconds=np.array([block_seconds]),
+            block_weight=np.array([block_seconds / dt if dt > 0 else 0.0]),
+        )
+        percentiles = mixture_quantiles(components, (0.50, 0.95, 0.99))
+        new_backlog, served = fluid_queue_step(backlog_arr, offered_arr, mu, dt)
+        self.backlog = float(new_backlog[0])
+        return float(served[0]), percentiles

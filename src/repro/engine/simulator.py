@@ -1,0 +1,356 @@
+"""Time-stepped engine simulator: load, latency and live reconfiguration.
+
+This is the substitute for the paper's 10-node H-Store testbed (see
+DESIGN.md).  It advances a :class:`~repro.engine.cluster.Cluster` through
+time in small steps (1 second by default, matching the paper's
+per-second latency accounting):
+
+* the offered aggregate load is routed to partitions proportionally to
+  the data they hold (the uniform-workload assumption), optionally
+  perturbed by transient skew events;
+* each partition is a fluid queue with a shifted-exponential latency
+  distribution (:mod:`repro.engine.queueing`);
+* an in-flight :class:`~repro.engine.migration.Migration` blocks the
+  participating partitions for chunk pauses and gradually shifts routing
+  weight to the new machines — reproducing the *effective capacity*
+  behaviour of Equation 7 and the latency interference that motivates
+  predictive provisioning.
+
+An :class:`ElasticityController` hooked into the run decides when to
+reconfigure; P-Store's Predictive Controller and the reactive baseline
+both implement this protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol
+
+import numpy as np
+
+from repro.engine.cluster import Cluster
+from repro.engine.migration import Migration, MigrationConfig
+from repro.engine.monitor import LoadMonitor
+from repro.engine.queueing import (
+    fluid_queue_step,
+    latency_components,
+    mixture_mean,
+    mixture_quantiles,
+)
+from repro.engine.table import DatabaseSchema
+from repro.errors import ConfigurationError, MigrationError
+from repro.workloads.trace import LoadTrace
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Static configuration of the simulated engine.
+
+    Defaults mirror the paper's testbed (Section 8): 6 partitions per
+    node, single-node saturation at 438 txn/s, a 1106 MB database, and a
+    500 ms latency SLA.
+    """
+
+    partitions_per_node: int = 6
+    saturation_rate_per_node: float = 438.0
+    base_service_ms: float = 25.0
+    db_size_kb: float = 1106.0 * 1024.0
+    num_buckets: int = 1024
+    max_nodes: int = 10
+    dt_seconds: float = 1.0
+    sla_ms: float = 500.0
+    #: Maximum per-partition backlog, in seconds of service.  Benchmark
+    #: clients are closed-loop: with a bounded number of outstanding
+    #: requests, sustained overload saturates latency instead of growing
+    #: the queue without bound.
+    max_queue_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.partitions_per_node < 1 or self.max_nodes < 1:
+            raise ConfigurationError("partitions_per_node and max_nodes must be >= 1")
+        if self.saturation_rate_per_node <= 0:
+            raise ConfigurationError("saturation_rate_per_node must be positive")
+        if self.dt_seconds <= 0:
+            raise ConfigurationError("dt_seconds must be positive")
+
+    @property
+    def partition_service_rate(self) -> float:
+        return self.saturation_rate_per_node / self.partitions_per_node
+
+
+@dataclass(frozen=True)
+class SkewEvent:
+    """Transient workload skew: one partition receives extra load.
+
+    Models the short hot spells the paper attributes its static-cluster
+    latency blips to ("transient workload skew", Section 8.2).
+    """
+
+    start_seconds: float
+    end_seconds: float
+    partition_index: int
+    factor: float = 3.0
+
+    def active(self, now: float) -> bool:
+        return self.start_seconds <= now < self.end_seconds
+
+
+class ElasticityController(Protocol):
+    """Decision hook driving reconfigurations during a run."""
+
+    def on_slot(self, sim: "EngineSimulator", slot_index: int, measured_load: float) -> None:
+        """Called after every completed measurement slot."""
+
+
+@dataclass
+class RunResult:
+    """Per-step records of a simulation run (arrays share one index)."""
+
+    dt_seconds: float
+    sla_ms: float
+    time: np.ndarray
+    offered: np.ndarray
+    served: np.ndarray
+    p50_ms: np.ndarray
+    p95_ms: np.ndarray
+    p99_ms: np.ndarray
+    mean_ms: np.ndarray
+    machines: np.ndarray
+    reconfiguring: np.ndarray
+
+    def sla_violations(self, percentile: str = "p99", threshold_ms: Optional[float] = None) -> int:
+        """Seconds during which the given percentile exceeded the SLA.
+
+        Matches the paper's Table 2 definition: "the total number of
+        seconds during the experiment in which the 50th, 95th, or 99th
+        percentile latency exceeds 500 ms".
+        """
+        threshold = self.sla_ms if threshold_ms is None else threshold_ms
+        series = {"p50": self.p50_ms, "p95": self.p95_ms, "p99": self.p99_ms}[percentile]
+        steps = int(np.sum(series > threshold))
+        return int(round(steps * self.dt_seconds))
+
+    def average_machines(self) -> float:
+        return float(self.machines.mean())
+
+    def total_cost(self) -> float:
+        """Machine-seconds over the run (the Equation 1 cost, continuous)."""
+        return float(self.machines.sum() * self.dt_seconds)
+
+    def top_percent_latencies(self, series: str = "p99", percent: float = 1.0) -> np.ndarray:
+        """The worst ``percent``% of per-step latencies (Figure 10)."""
+        values = {"p50": self.p50_ms, "p95": self.p95_ms, "p99": self.p99_ms}[series]
+        count = max(1, int(len(values) * percent / 100.0))
+        return np.sort(values)[-count:]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "violations_p50": self.sla_violations("p50"),
+            "violations_p95": self.sla_violations("p95"),
+            "violations_p99": self.sla_violations("p99"),
+            "avg_machines": round(self.average_machines(), 2),
+            "max_p99_ms": float(self.p99_ms.max()),
+        }
+
+
+class EngineSimulator:
+    """Drives a cluster through an offered-load trace.
+
+    Args:
+        config: Engine configuration.
+        initial_nodes: Machines active at time zero.
+        schema: Optional database schema (rate-based runs need none).
+        migration_config: Default chunking/pacing for reconfigurations.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        initial_nodes: int = 1,
+        schema: Optional[DatabaseSchema] = None,
+        migration_config: Optional[MigrationConfig] = None,
+    ) -> None:
+        self.config = config
+        self.cluster = Cluster(
+            schema or DatabaseSchema(),
+            initial_nodes=initial_nodes,
+            partitions_per_node=config.partitions_per_node,
+            num_buckets=config.num_buckets,
+            max_nodes=config.max_nodes,
+        )
+        self.migration_config = migration_config or MigrationConfig()
+        self.migration: Optional[Migration] = None
+        self.now = 0.0
+        total_partitions = config.max_nodes * config.partitions_per_node
+        self._backlog = np.zeros(total_partitions)
+        self._mu_full = np.full(total_partitions, config.partition_service_rate)
+        self.skew_events: List[SkewEvent] = []
+        self._moves_started = 0
+
+    # ------------------------------------------------------------------
+    # Reconfiguration control
+    # ------------------------------------------------------------------
+    @property
+    def migration_active(self) -> bool:
+        return self.migration is not None and not self.migration.completed
+
+    @property
+    def machines_allocated(self) -> int:
+        return self.cluster.num_active_nodes
+
+    def start_move(self, target_nodes: int, *, boost: float = 1.0) -> Migration:
+        """Begin a live reconfiguration to ``target_nodes`` machines.
+
+        Raises MigrationError if one is already in flight or the target
+        equals the current size.
+        """
+        if self.migration_active:
+            raise MigrationError("a reconfiguration is already in flight")
+        migration_config = self.migration_config
+        if boost != 1.0:
+            migration_config = dataclasses.replace(migration_config, boost=boost)
+        self.migration = Migration(
+            self.cluster,
+            target_nodes,
+            self.config.db_size_kb,
+            migration_config,
+        )
+        self._moves_started += 1
+        return self.migration
+
+    @property
+    def moves_started(self) -> int:
+        return self._moves_started
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def _partition_weights(self) -> np.ndarray:
+        """Arrival-weight per partition: node data share, split evenly
+        over the node's partitions, then skewed by active events."""
+        p = self.config.partitions_per_node
+        node_weights = np.asarray(self.cluster.node_weights())
+        weights = np.repeat(node_weights / p, p)
+        for event in self.skew_events:
+            if event.active(self.now) and weights[event.partition_index] > 0:
+                weights[event.partition_index] *= event.factor
+        total = weights.sum()
+        if total > 0:
+            weights = weights / total
+        return weights
+
+    def step(self, offered_rate: float) -> Dict[str, float]:
+        """Advance one step of ``dt_seconds`` at the given offered load.
+
+        Returns the step record (also appended to the run arrays when
+        called from :meth:`run`).
+        """
+        dt = self.config.dt_seconds
+        num_partitions = len(self._backlog)
+        block_seconds = np.zeros(num_partitions)
+        block_weight = np.zeros(num_partitions)
+        reconfiguring = False
+
+        if self.migration is not None and not self.migration.completed:
+            mig_step = self.migration.step(dt)
+            reconfiguring = mig_step.active or bool(mig_step.blocked_partitions)
+            for pid, (single, frac) in mig_step.blocked_partitions.items():
+                block_seconds[pid] = single
+                block_weight[pid] = frac
+            if mig_step.completed:
+                self.migration = None
+
+        weights = self._partition_weights()
+        offered = offered_rate * weights
+        mu_eff = self._mu_full * (1.0 - block_weight)
+
+        components = latency_components(
+            self._backlog,
+            offered,
+            mu_eff,
+            base_service_s=self.config.base_service_ms / 1000.0,
+            block_seconds=block_seconds,
+            block_weight=block_weight,
+        )
+        p50, p95, p99 = mixture_quantiles(components, (0.50, 0.95, 0.99))
+        mean = mixture_mean(components)
+
+        self._backlog, served = fluid_queue_step(self._backlog, offered, mu_eff, dt)
+        if self.config.max_queue_seconds > 0:
+            np.minimum(
+                self._backlog,
+                self._mu_full * self.config.max_queue_seconds,
+                out=self._backlog,
+            )
+        self.now += dt
+        return {
+            "time": self.now,
+            "offered": offered_rate,
+            "served": float(served.sum() / dt),
+            "p50_ms": p50 * 1000.0,
+            "p95_ms": p95 * 1000.0,
+            "p99_ms": p99 * 1000.0,
+            "mean_ms": mean * 1000.0,
+            "machines": float(self.machines_allocated),
+            "reconfiguring": float(reconfiguring),
+        }
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: LoadTrace,
+        controller: Optional[ElasticityController] = None,
+        monitor: Optional[LoadMonitor] = None,
+    ) -> RunResult:
+        """Replay a load trace, invoking the controller once per slot.
+
+        Args:
+            trace: Offered load (requests per slot).  Slot duration sets
+                the measurement/prediction granularity.
+            controller: Optional elasticity controller.
+            monitor: Optional pre-seeded load monitor (training history);
+                one matching ``trace.slot_seconds`` is created otherwise.
+
+        Returns:
+            Per-step :class:`RunResult` records.
+        """
+        dt = self.config.dt_seconds
+        steps_per_slot = trace.slot_seconds / dt
+        if abs(steps_per_slot - round(steps_per_slot)) > 1e-9:
+            raise ConfigurationError(
+                f"slot duration {trace.slot_seconds}s must be a multiple of "
+                f"dt {dt}s"
+            )
+        steps_per_slot = int(round(steps_per_slot))
+        monitor = monitor or LoadMonitor(trace.slot_seconds)
+
+        records: List[Dict[str, float]] = []
+        rates = trace.per_second()
+        for slot_index in range(len(trace)):
+            rate = float(rates[slot_index])
+            slot_served = 0.0
+            for _ in range(steps_per_slot):
+                record = self.step(rate)
+                records.append(record)
+                slot_served += record["served"] * dt
+            monitor.record(slot_served, trace.slot_seconds)
+            if controller is not None:
+                controller.on_slot(self, slot_index, slot_served)
+
+        def col(name: str) -> np.ndarray:
+            return np.array([r[name] for r in records])
+
+        return RunResult(
+            dt_seconds=dt,
+            sla_ms=self.config.sla_ms,
+            time=col("time"),
+            offered=col("offered"),
+            served=col("served"),
+            p50_ms=col("p50_ms"),
+            p95_ms=col("p95_ms"),
+            p99_ms=col("p99_ms"),
+            mean_ms=col("mean_ms"),
+            machines=col("machines"),
+            reconfiguring=col("reconfiguring").astype(bool),
+        )

@@ -1,0 +1,71 @@
+"""Tables and schemas for the simulated main-memory engine.
+
+H-Store splits every table horizontally by a partitioning key; rows live
+in the partition their key hashes to.  The engine stores rows as plain
+dictionaries; a :class:`TableSchema` names the table, its key column and
+an estimated row footprint (used by the migration model to translate rows
+into kilobytes moved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.errors import EngineError
+
+Row = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Static description of one table.
+
+    Attributes:
+        name: Table name (unique within a schema).
+        key_column: Column holding the partitioning key.
+        row_kb: Estimated size of one row in kilobytes, used for
+            migration-volume accounting.
+        columns: Optional documentation of the column names.
+    """
+
+    name: str
+    key_column: str
+    row_kb: float = 1.0
+    columns: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise EngineError("table name must be non-empty")
+        if self.row_kb <= 0:
+            raise EngineError("row_kb must be positive")
+
+
+@dataclass
+class DatabaseSchema:
+    """A set of tables sharing one partitioning-key space.
+
+    All repro benchmarks (like the paper's B2W benchmark) co-partition
+    their tables: rows of different tables with the same key live in the
+    same partition, so single-key transactions are single-partition.
+    """
+
+    tables: Dict[str, TableSchema] = field(default_factory=dict)
+
+    def add(self, schema: TableSchema) -> "DatabaseSchema":
+        if schema.name in self.tables:
+            raise EngineError(f"duplicate table {schema.name!r}")
+        self.tables[schema.name] = schema
+        return self
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def __getitem__(self, name: str) -> TableSchema:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise EngineError(f"unknown table {name!r}") from None
+
+    def names(self) -> Iterable[str]:
+        return self.tables.keys()

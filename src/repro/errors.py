@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when parameters or configuration values are invalid."""
+
+
+class InfeasiblePlanError(ReproError):
+    """Raised when the planner cannot find a feasible series of moves.
+
+    This corresponds to the ``return empty`` branch of Algorithm 1 in the
+    paper: the initial machine count is too low to scale out in time for
+    the predicted load.
+    """
+
+
+class PredictionError(ReproError):
+    """Raised when a predictor cannot be fit or queried."""
+
+
+class MigrationError(ReproError):
+    """Raised when a live migration cannot be scheduled or executed."""
+
+
+class EngineError(ReproError):
+    """Raised on invalid operations against the simulated OLTP engine."""
+
+
+class TransactionAborted(EngineError):
+    """Raised when a benchmark transaction aborts (e.g. out of stock)."""

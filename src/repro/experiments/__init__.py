@@ -1,0 +1,28 @@
+"""Reproduction experiments: one module per table/figure of the paper.
+
+Use :mod:`repro.experiments.registry` to enumerate and run them, or run
+``python -m repro.cli run <id>`` from the command line.
+"""
+
+__all__ = [
+    "ablations",
+    "common",
+    "ext_wikipedia_provisioning",
+    "fig1_load_trace",
+    "fig2_ideal_capacity",
+    "fig3_planner_goal",
+    "fig4_effective_capacity",
+    "fig5_spar_b2w",
+    "fig6_spar_wikipedia",
+    "fig7_saturation",
+    "fig8_chunk_size",
+    "fig9_elasticity",
+    "fig10_latency_cdfs",
+    "fig11_spike_reaction",
+    "fig12_cost_capacity",
+    "fig13_black_friday",
+    "registry",
+    "sec5_model_comparison",
+    "sec81_uniformity",
+    "table1_schedule",
+]

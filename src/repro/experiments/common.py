@@ -1,0 +1,50 @@
+"""Shared helpers for the experiment modules.
+
+Every experiment module exposes ``run(fast=False)`` returning a result
+dataclass with a ``format_report()`` method; ``fast=True`` shrinks the
+workload for test suites while preserving the qualitative shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render a fixed-width text table (benchmarks print these)."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """A paper-reported value next to our measured value."""
+
+    metric: str
+    paper: str
+    measured: str
+
+    def as_row(self) -> Tuple[str, str, str]:
+        return (self.metric, self.paper, self.measured)
+
+
+def comparison_table(comparisons: Sequence[PaperComparison], title: str) -> str:
+    return format_table(
+        ("metric", "paper", "measured"),
+        [c.as_row() for c in comparisons],
+        title=title,
+    )

@@ -1,0 +1,75 @@
+"""Figure 2: ideal capacity versus an integral step function of servers.
+
+The predictive-elasticity problem statement (Section 3): ideally the
+capacity curve mirrors the demand curve with a small buffer; in reality
+only whole servers can be allocated, so the capacity follows a step
+function that must stay above demand.  This experiment quantifies the
+gap for a sinusoidal demand curve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.params import SystemParameters
+from repro.experiments.common import PaperComparison, comparison_table
+
+
+@dataclass
+class Fig2Result:
+    q: float
+    demand: np.ndarray
+    ideal_capacity: np.ndarray
+    stepped_servers: np.ndarray
+    buffer_fraction: float
+    avg_ideal_servers: float
+    avg_stepped_servers: float
+
+    def format_report(self) -> str:
+        covered = bool(np.all(self.stepped_servers * self.q >= self.demand))
+        comparisons = [
+            PaperComparison(
+                "capacity always >= demand", "yes (by construction)", str(covered)
+            ),
+            PaperComparison(
+                "avg servers (ideal fractional)", "n/a (schematic)",
+                f"{self.avg_ideal_servers:.2f}",
+            ),
+            PaperComparison(
+                "avg servers (integral steps)", "n/a (schematic)",
+                f"{self.avg_stepped_servers:.2f}",
+            ),
+            PaperComparison(
+                "integrality overhead", "small",
+                f"{100.0 * (self.avg_stepped_servers / self.avg_ideal_servers - 1):.1f}%",
+            ),
+        ]
+        return comparison_table(
+            comparisons, "Figure 2 — ideal capacity vs allocated servers"
+        )
+
+
+def run(fast: bool = False, params: Optional[SystemParameters] = None) -> Fig2Result:
+    """Build the Figure 2 curves for one sinusoidal demand day."""
+    params = params or SystemParameters()
+    points = 288 if not fast else 48
+    t = np.linspace(0.0, 2.0 * math.pi, points, endpoint=False)
+    # Demand between 1x and 10x (the paper's retail swing).
+    peak = params.q * 9.0
+    demand = peak * (0.55 - 0.45 * np.cos(t))
+    buffer_fraction = 0.10
+    ideal = demand * (1.0 + buffer_fraction)
+    stepped = np.ceil(ideal / params.q).astype(float)
+    return Fig2Result(
+        q=params.q,
+        demand=demand,
+        ideal_capacity=ideal,
+        stepped_servers=stepped,
+        buffer_fraction=buffer_fraction,
+        avg_ideal_servers=float(np.mean(ideal / params.q)),
+        avg_stepped_servers=float(np.mean(stepped)),
+    )

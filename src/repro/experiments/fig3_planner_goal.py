@@ -1,0 +1,85 @@
+"""Figure 3: the goal of the predictive elasticity algorithm.
+
+The schematic shows a horizon of T = 9 intervals: the cluster starts at
+B = 2 machines and the predicted load requires 4 by the end; the planner
+must find a series of moves whose (effective) capacity always exceeds
+demand while cost is minimized — scale-outs as late as possible, but
+early enough to migrate without disruption.
+
+This experiment runs the actual planner on such an instance and checks
+the properties the figure illustrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+import repro.core.capacity as cap_model
+from repro.core.params import SystemParameters
+from repro.core.planner import MovePlan, Planner
+from repro.experiments.common import PaperComparison, comparison_table
+
+
+@dataclass
+class Fig3Result:
+    load: np.ndarray
+    plan: MovePlan
+    capacity_per_interval: np.ndarray
+    params: SystemParameters
+
+    @property
+    def final_machines(self) -> int:
+        return self.plan.final_machines
+
+    def capacity_always_exceeds_demand(self) -> bool:
+        return bool(np.all(self.capacity_per_interval + 1e-9 >= self.load))
+
+    def format_report(self) -> str:
+        moves = "; ".join(str(m) for m in self.plan.coalesced() if not m.is_noop)
+        comparisons = [
+            PaperComparison("initial machines", "2", str(self.plan.moves[0].before)),
+            PaperComparison("final machines", "4", str(self.final_machines)),
+            PaperComparison(
+                "capacity >= demand at all times", "yes",
+                str(self.capacity_always_exceeds_demand()),
+            ),
+            PaperComparison("plan cost (machine-intervals)", "minimized",
+                            f"{self.plan.cost:.1f}"),
+            PaperComparison("scale-out moves", "as late as feasible", moves or "none"),
+        ]
+        return comparison_table(comparisons, "Figure 3 — planner goal (T=9, 2 -> 4)")
+
+
+def effective_capacity_series(
+    plan: MovePlan, params: SystemParameters, horizon: int
+) -> np.ndarray:
+    """Per-interval effective capacity implied by a plan (Equation 7)."""
+    capacity = np.empty(horizon + 1)
+    capacity[0] = params.q * plan.moves[0].before if plan.moves else 0.0
+    for move in plan.moves:
+        duration = move.end - move.start
+        for i in range(1, duration + 1):
+            t = move.start + i
+            if t <= horizon:
+                capacity[t] = cap_model.effective_capacity(
+                    move.before, move.after, i / duration, params
+                )
+    return capacity
+
+
+def run(fast: bool = False, params: Optional[SystemParameters] = None) -> Fig3Result:
+    """Plan the Figure 3 instance: load ramps so 2 machines become 4."""
+    params = params or SystemParameters(interval_seconds=300.0, partitions_per_node=6)
+    q = params.q
+    # Load over T=9 intervals: starts within 2 machines, ends needing 4.
+    load = np.array(
+        [1.2 * q, 1.3 * q, 1.5 * q, 1.7 * q, 2.0 * q, 2.4 * q, 2.8 * q, 3.2 * q,
+         3.5 * q, 3.8 * q]
+    )
+    planner = Planner(params, max_machines=8)
+    plan = planner.best_moves(load, initial_machines=2)
+    capacity = effective_capacity_series(plan, params, horizon=len(load) - 1)
+    return Fig3Result(load=load, plan=plan, capacity_per_interval=capacity, params=params)

@@ -1,0 +1,106 @@
+"""Figure 4: machines allocated and effective capacity during migration.
+
+The paper's three cases (one partition per server, time in units of D):
+
+* (a) 3 -> 5:  all new machines at once; effective capacity close to the
+  allocation.
+* (b) 3 -> 9:  two just-in-time blocks of 3.
+* (c) 3 -> 14: the three-phase schedule; the effective capacity lags far
+  below the 14 allocated machines until the move completes.
+
+This experiment builds the actual schedules and emits, per round, the
+machines allocated and the effective capacity (in machine-equivalents,
+Equation 7), plus each move's duration in units of D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import repro.core.capacity as cap_model
+from repro.core.params import SystemParameters
+from repro.core.schedule import MoveSchedule, build_move_schedule
+from repro.experiments.common import format_table
+
+#: The paper's three cases (B, A).
+CASES: Tuple[Tuple[int, int], ...] = ((3, 5), (3, 9), (3, 14))
+
+
+@dataclass
+class MigrationProfile:
+    """Per-round allocation/effective-capacity profile of one move."""
+
+    before: int
+    after: int
+    schedule: MoveSchedule
+    time_in_d: List[float]
+    machines_allocated: List[int]
+    effective_machines: List[float]
+
+    @property
+    def duration_in_d(self) -> float:
+        return self.time_in_d[-1] if self.time_in_d else 0.0
+
+
+@dataclass
+class Fig4Result:
+    profiles: Dict[Tuple[int, int], MigrationProfile]
+
+    def format_report(self) -> str:
+        rows = []
+        for (before, after), profile in self.profiles.items():
+            rows.append(
+                (
+                    f"{before} -> {after}",
+                    profile.schedule.num_rounds,
+                    f"{profile.duration_in_d:.4f}",
+                    f"{profile.schedule.average_machines_allocated():.2f}",
+                    f"{min(profile.effective_machines):.2f}",
+                    f"{max(profile.machines_allocated)}",
+                )
+            )
+        return format_table(
+            ("move", "rounds", "time (D)", "avg alloc", "min eff-cap", "max alloc"),
+            rows,
+            title="Figure 4 — allocation vs effective capacity during migration",
+        )
+
+
+def migration_profile(
+    before: int, after: int, params: SystemParameters
+) -> MigrationProfile:
+    """Round-by-round profile of one move (P = 1 as in the figure)."""
+    schedule = build_move_schedule(before, after, partitions_per_node=1)
+    single_thread_d = params.d_seconds
+    times: List[float] = []
+    allocations: List[int] = []
+    effective: List[float] = []
+    for rnd in range(schedule.num_rounds):
+        fraction = schedule.fraction_completed_after(rnd)
+        times.append(
+            (rnd + 1)
+            * schedule.round_duration_seconds(params)
+            / single_thread_d
+        )
+        allocations.append(schedule.machines_allocated_at(rnd))
+        eff_cap = cap_model.effective_capacity(before, after, fraction, params)
+        effective.append(eff_cap / params.q)
+    return MigrationProfile(
+        before=before,
+        after=after,
+        schedule=schedule,
+        time_in_d=times,
+        machines_allocated=allocations,
+        effective_machines=effective,
+    )
+
+
+def run(fast: bool = False) -> Fig4Result:
+    """Profile the paper's three migration cases."""
+    params = SystemParameters(partitions_per_node=1)
+    profiles = {
+        (before, after): migration_profile(before, after, params)
+        for before, after in CASES
+    }
+    return Fig4Result(profiles=profiles)

@@ -1,0 +1,78 @@
+"""Figure 6: SPAR on the Wikipedia page-view loads (English and German).
+
+Hourly traces; 4 weeks of training (July 2016), evaluation on the weeks
+that follow (August 2016).  The paper reports that even for the less
+predictable German-language load the error stays under 10% up to two
+hours ahead and within ~13% at six hours; English is more predictable
+at every horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.common import PaperComparison, comparison_table, format_table
+from repro.prediction.rolling import rolling_forecast
+from repro.prediction.spar import SPARPredictor
+from repro.workloads.wikipedia import generate_wikipedia_trace
+
+PAPER_DE_MRE_2H_MAX_PCT = 10.0
+PAPER_DE_MRE_6H_MAX_PCT = 13.0
+
+DEFAULT_TAUS = (1, 2, 3, 4, 5, 6)
+HOURS_PER_DAY = 24
+
+
+@dataclass
+class Fig6Result:
+    taus: Tuple[int, ...]
+    mre_pct: Dict[str, Dict[int, float]]
+
+    def format_report(self) -> str:
+        en, de = self.mre_pct["en"], self.mre_pct["de"]
+        comparisons = [
+            PaperComparison(
+                "German MRE @ 2h", f"< {PAPER_DE_MRE_2H_MAX_PCT:.0f}%",
+                f"{de[min(2, max(self.taus))]:.1f}%",
+            ),
+            PaperComparison(
+                "German MRE @ 6h", f"~{PAPER_DE_MRE_6H_MAX_PCT:.0f}%",
+                f"{de[max(self.taus)]:.1f}%",
+            ),
+            PaperComparison(
+                "English more predictable than German", "yes",
+                str(all(en[t] <= de[t] for t in self.taus)),
+            ),
+        ]
+        rows = [
+            (tau, f"{en[tau]:.2f}", f"{de[tau]:.2f}") for tau in self.taus
+        ]
+        table = format_table(("tau (h)", "MRE % (en)", "MRE % (de)"), rows)
+        return (
+            comparison_table(comparisons, "Figure 6 — SPAR on Wikipedia page views")
+            + "\n\n"
+            + table
+        )
+
+
+def run(fast: bool = False, seed: int = 20160701) -> Fig6Result:
+    """Train SPAR per language and score it over the evaluation weeks."""
+    train_days = 14 if fast else 28
+    eval_days = 7 if fast else 28
+    taus = DEFAULT_TAUS[:3] if fast else DEFAULT_TAUS
+
+    mre: Dict[str, Dict[int, float]] = {}
+    for language in ("en", "de"):
+        trace = generate_wikipedia_trace(language, train_days + eval_days, seed=seed)
+        train = trace.values[: train_days * HOURS_PER_DAY]
+        predictor = SPARPredictor(
+            period=HOURS_PER_DAY, n_periods=7, n_recent=6, max_horizon=max(taus)
+        )
+        predictor.fit(train)
+        eval_start = train_days * HOURS_PER_DAY
+        mre[language] = {
+            tau: rolling_forecast(predictor, trace, tau, eval_start=eval_start).mre_pct
+            for tau in taus
+        }
+    return Fig6Result(taus=tuple(taus), mre_pct=mre)

@@ -1,0 +1,96 @@
+"""Registry of all reproduction experiments.
+
+Maps every table/figure of the paper to the module that regenerates it,
+so the CLI, the benchmarks and EXPERIMENTS.md all share one index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablations,
+    ext_wikipedia_provisioning,
+    fig1_load_trace,
+    fig2_ideal_capacity,
+    fig3_planner_goal,
+    fig4_effective_capacity,
+    fig5_spar_b2w,
+    fig6_spar_wikipedia,
+    fig7_saturation,
+    fig8_chunk_size,
+    fig9_elasticity,
+    fig10_latency_cdfs,
+    fig11_spike_reaction,
+    fig12_cost_capacity,
+    fig13_black_friday,
+    sec5_model_comparison,
+    sec81_uniformity,
+    table1_schedule,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible table or figure."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    runner: Callable[..., object]  # run(fast=False) -> result with format_report()
+
+
+REGISTRY: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec("fig1", "B2W load over three days", "Figure 1",
+                       fig1_load_trace.run),
+        ExperimentSpec("fig2", "Ideal capacity vs allocated servers", "Figure 2",
+                       fig2_ideal_capacity.run),
+        ExperimentSpec("fig3", "Planner goal (T=9, 2 -> 4 machines)", "Figure 3",
+                       fig3_planner_goal.run),
+        ExperimentSpec("fig4", "Effective capacity during migration", "Figure 4",
+                       fig4_effective_capacity.run),
+        ExperimentSpec("table1", "Migration schedule 3 -> 14", "Table 1",
+                       table1_schedule.run),
+        ExperimentSpec("fig5", "SPAR predictions for B2W", "Figure 5",
+                       fig5_spar_b2w.run),
+        ExperimentSpec("fig6", "SPAR predictions for Wikipedia", "Figure 6",
+                       fig6_spar_wikipedia.run),
+        ExperimentSpec("sec5", "SPAR vs ARMA vs AR", "Section 5 (text)",
+                       sec5_model_comparison.run),
+        ExperimentSpec("fig7", "Single-machine saturation", "Figure 7",
+                       fig7_saturation.run),
+        ExperimentSpec("fig8", "Migration chunk-size sweep", "Figure 8",
+                       fig8_chunk_size.run),
+        ExperimentSpec("sec81", "Partition uniformity", "Section 8.1 (text)",
+                       sec81_uniformity.run),
+        ExperimentSpec("fig9", "Comparison of elasticity approaches",
+                       "Figure 9 + Table 2", fig9_elasticity.run),
+        ExperimentSpec("fig10", "Top-1% latency CDFs", "Figure 10",
+                       fig10_latency_cdfs.run),
+        ExperimentSpec("fig11", "Unexpected-spike reaction (R vs R x 8)",
+                       "Figure 11", fig11_spike_reaction.run),
+        ExperimentSpec("fig12", "Cost vs insufficient capacity (4.5 months)",
+                       "Figure 12", fig12_cost_capacity.run),
+        ExperimentSpec("fig13", "Black Friday windows", "Figure 13",
+                       fig13_black_friday.run),
+        ExperimentSpec("ablations", "Design-choice ablations", "(this repo)",
+                       ablations.run),
+        ExperimentSpec("ext-wiki", "P-Store on Wikipedia-like workloads",
+                       "(this repo)", ext_wikipedia_provisioning.run),
+    )
+}
+
+
+def list_experiments() -> List[ExperimentSpec]:
+    return list(REGISTRY.values())
+
+
+def get(experiment_id: str) -> ExperimentSpec:
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None

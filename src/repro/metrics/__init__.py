@@ -1,0 +1,22 @@
+"""Latency, SLA and distribution metrics."""
+
+from repro.metrics.cdf import EmpiricalCDF, empirical_cdf, top_percent_cdf
+from repro.metrics.percentiles import P2QuantileEstimator, empirical_percentile
+from repro.metrics.sla import (
+    DEFAULT_SLA_MS,
+    SLAReport,
+    sla_report,
+    violation_seconds,
+)
+
+__all__ = [
+    "DEFAULT_SLA_MS",
+    "EmpiricalCDF",
+    "P2QuantileEstimator",
+    "SLAReport",
+    "empirical_cdf",
+    "empirical_percentile",
+    "sla_report",
+    "top_percent_cdf",
+    "violation_seconds",
+]

@@ -1,0 +1,68 @@
+"""SLA-violation accounting (Table 2's metric).
+
+The paper counts, per elasticity approach, "the total number of seconds
+during the experiment in which the 50th, 95th, or 99th percentile latency
+exceeds 500 ms, since that is the maximum delay that is unnoticeable by
+users".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: The paper's SLA threshold in milliseconds.
+DEFAULT_SLA_MS = 500.0
+
+
+def violation_seconds(
+    latency_ms: Sequence[float],
+    threshold_ms: float = DEFAULT_SLA_MS,
+    dt_seconds: float = 1.0,
+) -> int:
+    """Seconds during which the latency series exceeded the threshold."""
+    if dt_seconds <= 0:
+        raise ConfigurationError("dt_seconds must be positive")
+    arr = np.asarray(latency_ms, dtype=np.float64)
+    return int(round(float(np.sum(arr > threshold_ms)) * dt_seconds))
+
+
+@dataclass(frozen=True)
+class SLAReport:
+    """Violations per percentile plus the resource bill (one Table 2 row)."""
+
+    name: str
+    violations_p50: int
+    violations_p95: int
+    violations_p99: int
+    average_machines: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.name:<28} {self.violations_p50:>6} {self.violations_p95:>6} "
+            f"{self.violations_p99:>6} {self.average_machines:>8.2f}"
+        )
+
+
+def sla_report(
+    name: str,
+    p50_ms: Sequence[float],
+    p95_ms: Sequence[float],
+    p99_ms: Sequence[float],
+    machines: Sequence[float],
+    *,
+    threshold_ms: float = DEFAULT_SLA_MS,
+    dt_seconds: float = 1.0,
+) -> SLAReport:
+    """Build one Table 2 row from per-step series."""
+    return SLAReport(
+        name=name,
+        violations_p50=violation_seconds(p50_ms, threshold_ms, dt_seconds),
+        violations_p95=violation_seconds(p95_ms, threshold_ms, dt_seconds),
+        violations_p99=violation_seconds(p99_ms, threshold_ms, dt_seconds),
+        average_machines=float(np.mean(np.asarray(machines, dtype=np.float64))),
+    )

@@ -1,0 +1,44 @@
+"""Load time-series prediction (Section 5 of the paper).
+
+SPAR is P-Store's default model; AR and ARMA are the paper's comparators;
+persistence and seasonal-naive are standard baselines; the oracle feeds
+the planner perfect predictions (the Figure 12 upper bound).
+"""
+
+from repro.prediction.ar import ARPredictor, fit_ar_coefficients
+from repro.prediction.arma import ARMAPredictor
+from repro.prediction.base import InflatedPredictor, Predictor, as_series
+from repro.prediction.metrics import (
+    bias,
+    mape,
+    mean_relative_error,
+    mean_relative_error_pct,
+    rmse,
+)
+from repro.prediction.naive import PersistencePredictor, SeasonalNaivePredictor
+from repro.prediction.online import OnlinePredictor
+from repro.prediction.oracle import OraclePredictor
+from repro.prediction.rolling import RollingForecast, mre_by_horizon, rolling_forecast
+from repro.prediction.spar import SPARPredictor
+
+__all__ = [
+    "ARMAPredictor",
+    "ARPredictor",
+    "InflatedPredictor",
+    "OnlinePredictor",
+    "OraclePredictor",
+    "PersistencePredictor",
+    "Predictor",
+    "RollingForecast",
+    "SPARPredictor",
+    "SeasonalNaivePredictor",
+    "as_series",
+    "bias",
+    "fit_ar_coefficients",
+    "mape",
+    "mean_relative_error",
+    "mean_relative_error_pct",
+    "mre_by_horizon",
+    "rmse",
+    "rolling_forecast",
+]

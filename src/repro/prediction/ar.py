@@ -1,0 +1,79 @@
+"""Plain auto-regressive (AR) predictor, a comparator from Section 5.
+
+The paper reports that at a 60-minute horizon on the B2W load, SPAR
+achieves 10.4% mean relative error versus 12.5% for a simple AR model.
+This AR implementation fits ``y[t] = c + sum_i phi_i y[t - i]`` by least
+squares and forecasts recursively (each step feeds the previous forecast
+back in as input).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import Predictor, SeriesLike, as_series
+
+
+def fit_ar_coefficients(
+    series: np.ndarray, order: int, ridge: float = 1e-8
+) -> "tuple[float, np.ndarray]":
+    """Least-squares fit of an AR(order) model with intercept.
+
+    Returns ``(intercept, phi)`` where ``phi[i]`` multiplies ``y[t-i-1]``.
+    """
+    if order < 1:
+        raise PredictionError("AR order must be >= 1")
+    if len(series) <= order + 1:
+        raise PredictionError(
+            f"series of length {len(series)} too short for AR({order})"
+        )
+    targets = series[order:]
+    columns = [np.ones(len(targets))]
+    columns += [series[order - i : len(series) - i] for i in range(1, order + 1)]
+    design = np.column_stack(columns)
+    gram = design.T @ design
+    gram[np.diag_indices_from(gram)] += ridge * len(design)
+    coef = np.linalg.solve(gram, design.T @ targets)
+    return float(coef[0]), coef[1:]
+
+
+class ARPredictor(Predictor):
+    """Recursive auto-regressive forecaster.
+
+    Args:
+        order: Number of lags ``p``.  For minute-resolution retail data a
+            long lag window (e.g. 120) is needed to track the diurnal ramp.
+    """
+
+    def __init__(self, order: int = 120, ridge: float = 1e-8) -> None:
+        if order < 1:
+            raise PredictionError("order must be >= 1")
+        self.order = order
+        self.ridge = ridge
+        self.intercept = 0.0
+        self.phi = np.zeros(order)
+        self._fitted = False
+        self.min_history = order
+
+    def fit(self, training: SeriesLike) -> "ARPredictor":
+        series = as_series(training)
+        self.intercept, self.phi = fit_ar_coefficients(series, self.order, self.ridge)
+        self._fitted = True
+        return self
+
+    def predict(self, history: SeriesLike, horizon: int) -> np.ndarray:
+        history_arr = as_series(history)
+        self._check_predict_args(history_arr, horizon)
+        if not self._fitted:
+            raise PredictionError("ARPredictor.predict called before fit")
+        # Recursive multi-step forecast on a rolling lag buffer.
+        window = history_arr[-self.order :].copy()
+        out = np.empty(horizon)
+        for step in range(horizon):
+            value = self.intercept + float(self.phi @ window[::-1])
+            value = max(value, 0.0)
+            out[step] = value
+            window = np.roll(window, -1)
+            window[-1] = value
+        return out

@@ -1,0 +1,120 @@
+"""ARMA predictor via the Hannan-Rissanen two-stage procedure.
+
+The second comparator from Section 5 (12.2% MRE at tau = 60 on B2W versus
+SPAR's 10.4%).  ARMA(p, q) models
+
+    y[t] = c + sum_{i=1..p} phi_i y[t-i] + sum_{j=1..q} theta_j e[t-j] + e[t]
+
+Full maximum-likelihood ARMA fitting is unnecessary here; the classical
+Hannan-Rissanen approximation works well for these long, well-behaved
+series:
+
+1. fit a long AR model and compute its residuals ``e``;
+2. regress ``y[t]`` on ``p`` lags of ``y`` and ``q`` lags of ``e``.
+
+Forecasting is recursive with future innovations set to zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.ar import fit_ar_coefficients
+from repro.prediction.base import Predictor, SeriesLike, as_series
+
+
+class ARMAPredictor(Predictor):
+    """ARMA(p, q) forecaster fitted with Hannan-Rissanen least squares.
+
+    Args:
+        ar_order: Number of auto-regressive lags ``p``.
+        ma_order: Number of moving-average lags ``q``.
+        long_ar_order: Order of the stage-1 AR used to estimate residuals;
+            defaults to ``max(20, 2 * (p + q))``.
+    """
+
+    def __init__(
+        self,
+        ar_order: int = 120,
+        ma_order: int = 10,
+        long_ar_order: int = 0,
+        ridge: float = 1e-8,
+    ) -> None:
+        if ar_order < 1 or ma_order < 0:
+            raise PredictionError("need ar_order >= 1 and ma_order >= 0")
+        self.ar_order = ar_order
+        self.ma_order = ma_order
+        self.long_ar_order = long_ar_order or max(20, 2 * (ar_order + ma_order))
+        self.ridge = ridge
+        self.intercept = 0.0
+        self.phi = np.zeros(ar_order)
+        self.theta = np.zeros(ma_order)
+        self._long_intercept = 0.0
+        self._long_phi = np.zeros(self.long_ar_order)
+        self._fitted = False
+        self.min_history = max(self.long_ar_order + ma_order, ar_order) + 1
+
+    # ------------------------------------------------------------------
+    def _long_ar_residuals(self, series: np.ndarray) -> np.ndarray:
+        """Residuals of the stage-1 long AR; zeros where undefined."""
+        order = self.long_ar_order
+        residuals = np.zeros(len(series))
+        if len(series) <= order:
+            return residuals
+        idx = np.arange(order, len(series))
+        prediction = np.full(len(idx), self._long_intercept)
+        for i in range(1, order + 1):
+            prediction += self._long_phi[i - 1] * series[idx - i]
+        residuals[order:] = series[order:] - prediction
+        return residuals
+
+    def fit(self, training: SeriesLike) -> "ARMAPredictor":
+        series = as_series(training)
+        self._long_intercept, self._long_phi = fit_ar_coefficients(
+            series, self.long_ar_order, self.ridge
+        )
+        residuals = self._long_ar_residuals(series)
+
+        p, q = self.ar_order, self.ma_order
+        start = max(p, self.long_ar_order + q)
+        if len(series) <= start + 1:
+            raise PredictionError("training series too short for ARMA fit")
+        targets = series[start:]
+        columns = [np.ones(len(targets))]
+        columns += [series[start - i : len(series) - i] for i in range(1, p + 1)]
+        columns += [residuals[start - j : len(series) - j] for j in range(1, q + 1)]
+        design = np.column_stack(columns)
+        gram = design.T @ design
+        gram[np.diag_indices_from(gram)] += self.ridge * len(design)
+        coef = np.linalg.solve(gram, design.T @ targets)
+        self.intercept = float(coef[0])
+        self.phi = coef[1 : 1 + p]
+        self.theta = coef[1 + p :]
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, history: SeriesLike, horizon: int) -> np.ndarray:
+        history_arr = as_series(history)
+        self._check_predict_args(history_arr, horizon)
+        if not self._fitted:
+            raise PredictionError("ARMAPredictor.predict called before fit")
+        residuals = self._long_ar_residuals(history_arr)
+
+        p, q = self.ar_order, self.ma_order
+        y_window = history_arr[-p:].copy()
+        e_window = residuals[-q:].copy() if q else np.empty(0)
+        out = np.empty(horizon)
+        for step in range(horizon):
+            value = self.intercept + float(self.phi @ y_window[::-1])
+            if q:
+                value += float(self.theta @ e_window[::-1])
+            value = max(value, 0.0)
+            out[step] = value
+            y_window = np.roll(y_window, -1)
+            y_window[-1] = value
+            if q:
+                e_window = np.roll(e_window, -1)
+                e_window[-1] = 0.0  # future innovations are zero in expectation
+        return out

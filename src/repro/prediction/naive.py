@@ -1,0 +1,52 @@
+"""Naive forecasting baselines: persistence and seasonal-naive.
+
+Not in the paper's comparison, but standard reference points every
+forecasting evaluation should include — SPAR must beat both to justify
+its complexity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import Predictor, SeriesLike, as_series
+
+
+class PersistencePredictor(Predictor):
+    """Predicts that load stays at its last observed value."""
+
+    def fit(self, training: SeriesLike) -> "PersistencePredictor":
+        return self
+
+    def predict(self, history: SeriesLike, horizon: int) -> np.ndarray:
+        history_arr = as_series(history)
+        self._check_predict_args(history_arr, horizon)
+        return np.full(horizon, float(history_arr[-1]))
+
+
+class SeasonalNaivePredictor(Predictor):
+    """Predicts the value observed exactly one period ago.
+
+    ``y_hat(t + tau) = y(t + tau - T)`` — the strongest trivial baseline
+    for strongly diurnal loads like B2W's.
+    """
+
+    def __init__(self, period: int = 1440) -> None:
+        if period < 1:
+            raise PredictionError("period must be >= 1")
+        self.period = period
+        self.min_history = period
+        self.max_horizon = period
+
+    def fit(self, training: SeriesLike) -> "SeasonalNaivePredictor":
+        return self
+
+    def predict(self, history: SeriesLike, horizon: int) -> np.ndarray:
+        history_arr = as_series(history)
+        self._check_predict_args(history_arr, horizon)
+        now = len(history_arr) - 1
+        out = np.empty(horizon)
+        for tau in range(1, horizon + 1):
+            out[tau - 1] = history_arr[now + tau - self.period]
+        return out

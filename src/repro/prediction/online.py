@@ -1,0 +1,123 @@
+"""Online (active) learning for load predictors (Section 6 of the paper).
+
+"P-Store has an active learning system.  If training data exists,
+parameters a_k and b_j can be learned offline.  Otherwise, P-Store
+constantly monitors the system over time and can actively learn the
+parameter values. ... In our experiments, we found that updating these
+parameters once per week is usually sufficient."
+
+:class:`OnlinePredictor` wraps any refittable predictor with exactly that
+behaviour: it accumulates the observed history, fits as soon as enough
+data exists (cold start), and refits on a fixed cadence (weekly by
+default) using everything observed so far.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import Predictor, SeriesLike, as_series
+
+
+class OnlinePredictor(Predictor):
+    """Wraps a predictor with accumulate-fit-refit lifecycle management.
+
+    Args:
+        inner: The underlying model (e.g. a :class:`SPARPredictor`).  It
+            is (re)fitted in place.
+        refit_every: Refit cadence in slots (paper: one week — 10,080
+            one-minute slots).
+        min_training: Smallest history that allows the first fit;
+            defaults to the inner model's ``min_history``.
+
+    The wrapper is *fallback-aware*: before the first fit succeeds,
+    :meth:`predict` raises ``PredictionError`` just like an unfitted
+    model, and callers (the controllers already do) degrade to reactive
+    behaviour.
+    """
+
+    def __init__(
+        self,
+        inner: Predictor,
+        refit_every: int = 10080,
+        min_training: Optional[int] = None,
+    ) -> None:
+        if refit_every < 1:
+            raise PredictionError("refit_every must be >= 1")
+        self.inner = inner
+        self.refit_every = refit_every
+        self.min_training = min_training or inner.min_training_length
+        self._history: list = []
+        self._slots_since_fit = 0
+        self._fitted = False
+        self.refits = 0
+        self.max_horizon = inner.max_horizon
+
+    # ------------------------------------------------------------------
+    @property
+    def min_history(self) -> int:  # type: ignore[override]
+        return self.inner.min_history
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def observe(self, value: float) -> bool:
+        """Record one measured slot; fit/refit when due.
+
+        Returns True when a (re)fit happened on this observation.
+        """
+        self._history.append(float(value))
+        self._slots_since_fit += 1
+        due = (
+            not self._fitted and len(self._history) >= self.min_training
+        ) or (self._fitted and self._slots_since_fit >= self.refit_every)
+        if due:
+            self._refit()
+            return True
+        return False
+
+    def observe_many(self, values: SeriesLike) -> int:
+        """Record a batch of slots; returns the number of refits."""
+        refits = 0
+        for value in as_series(values):
+            if self.observe(float(value)):
+                refits += 1
+        return refits
+
+    def _refit(self) -> None:
+        self.inner.fit(np.asarray(self._history))
+        self._fitted = True
+        self._slots_since_fit = 0
+        self.refits += 1
+
+    # ------------------------------------------------------------------
+    def fit(self, training: SeriesLike) -> "OnlinePredictor":
+        """Offline bootstrap: seed the history and fit immediately."""
+        series = as_series(training)
+        self._history = list(map(float, series))
+        self._refit()
+        return self
+
+    def predict(self, history: SeriesLike, horizon: int) -> np.ndarray:
+        """Forecast with the most recently fitted parameters.
+
+        ``history`` follows the standard convention (series from slot 0);
+        pass :meth:`observed` for the wrapper's own accumulated view.
+        """
+        if not self._fitted:
+            raise PredictionError(
+                "OnlinePredictor has not accumulated enough history to fit "
+                f"({len(self._history)}/{self.min_training} slots)"
+            )
+        return self.inner.predict(history, horizon)
+
+    def predict_from_observed(self, horizon: int) -> np.ndarray:
+        """Forecast from the wrapper's accumulated history."""
+        return self.predict(np.asarray(self._history), horizon)
+
+    def observed(self) -> np.ndarray:
+        return np.asarray(self._history)

@@ -1,0 +1,44 @@
+"""Oracle predictor: perfect knowledge of the future load.
+
+"P-Store Oracle" in Figure 12 shows the upper bound of P-Store's
+performance — the planner fed perfect predictions.  (Even the oracle has
+a non-zero insufficient-capacity rate because predictions are at the
+granularity of whole slots while the instantaneous load can spike within
+a slot.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.base import Predictor, SeriesLike, as_series
+
+
+class OraclePredictor(Predictor):
+    """Returns the true future values of a known trace.
+
+    The observed ``history`` passed to :meth:`predict` must be a prefix of
+    the truth trace (the convention used by all repro predictors: history
+    starts at slot 0), so ``len(history)`` identifies "now".
+    """
+
+    def __init__(self, truth: SeriesLike) -> None:
+        self.truth = as_series(truth)
+        self.min_history = 1
+
+    def fit(self, training: SeriesLike) -> "OraclePredictor":
+        return self
+
+    def predict(self, history: SeriesLike, horizon: int) -> np.ndarray:
+        history_arr = as_series(history)
+        self._check_predict_args(history_arr, horizon)
+        now = len(history_arr) - 1
+        end = now + 1 + horizon
+        if end > len(self.truth):
+            # Beyond the end of the known future: hold the last value.
+            known = self.truth[now + 1 :]
+            if len(known) == 0:
+                return np.full(horizon, float(self.truth[-1]))
+            pad = np.full(horizon - len(known), float(self.truth[-1]))
+            return np.concatenate([known, pad])
+        return self.truth[now + 1 : end].copy()

@@ -1,0 +1,159 @@
+"""Sparse Periodic Auto-Regression (SPAR), the paper's default predictor.
+
+SPAR (Equation 8) models the load ``tau`` slots ahead as a combination of
+(a) the load at the same time of day over the previous ``n`` periods and
+(b) the offset of the recent past from its expected value:
+
+    y(t + tau) = sum_{k=1..n} a_k * y(t + tau - k*T)
+               + sum_{j=1..m} b_j * dy(t - j)
+
+where ``T`` is the period (1440 one-minute slots per day for B2W, 24
+hourly slots for Wikipedia) and
+
+    dy(t - j) = y(t - j) - (1/n) * sum_{k=1..n} y(t - j - k*T)
+
+is the deviation of the recent load from the average load at that time of
+day.  The coefficients ``a_k`` and ``b_j`` are fit with linear least
+squares on a training window (the paper uses 4 weeks, n = 7, m = 30).
+
+Because the feature vector depends on the forecast distance ``tau``, we
+fit one coefficient vector per horizon step up to ``max_horizon`` (direct
+multi-horizon forecasting); all of them share the same training pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import Predictor, SeriesLike, as_series
+
+
+class SPARPredictor(Predictor):
+    """Sparse Periodic Auto-Regression predictor (Equation 8).
+
+    Args:
+        period: Slots per seasonal period ``T`` (1440 for 1-minute slots).
+        n_periods: Number of previous periods ``n`` (paper: 7 — one week
+            of daily periods).
+        n_recent: Number of recent offset terms ``m`` (paper: 30 minutes).
+        max_horizon: Largest forecast distance to fit coefficients for.
+        ridge: Tiny L2 regularizer for numerical stability.
+    """
+
+    def __init__(
+        self,
+        period: int = 1440,
+        n_periods: int = 7,
+        n_recent: int = 30,
+        max_horizon: int = 60,
+        ridge: float = 1e-6,
+    ) -> None:
+        if period < 2:
+            raise PredictionError("period must be >= 2")
+        if n_periods < 1 or n_recent < 0:
+            raise PredictionError("n_periods must be >= 1 and n_recent >= 0")
+        if not 1 <= max_horizon <= period:
+            raise PredictionError("max_horizon must be in [1, period]")
+        self.period = period
+        self.n_periods = n_periods
+        self.n_recent = n_recent
+        self.max_horizon = max_horizon
+        self.ridge = ridge
+        self._coef: Dict[int, np.ndarray] = {}
+        self.min_history = n_periods * period + n_recent + 1
+
+    @property
+    def min_training_length(self) -> int:
+        """Enough history for the largest horizon's design plus a margin
+        of regression rows (the fit is least squares, not one equation)."""
+        first_target = self.n_periods * self.period + self.max_horizon + self.n_recent
+        return first_target + max(32, 2 * (self.n_periods + self.n_recent))
+
+    # ------------------------------------------------------------------
+    def _deviations(self, series: np.ndarray) -> np.ndarray:
+        """dy[i] = y[i] - mean_k y[i - k*T]; NaN where undefined."""
+        n, t_period = self.n_periods, self.period
+        dy = np.full(len(series), np.nan)
+        start = n * t_period
+        if len(series) <= start:
+            return dy
+        idx = np.arange(start, len(series))
+        periodic = np.zeros(len(idx))
+        for k in range(1, n + 1):
+            periodic += series[idx - k * t_period]
+        dy[start:] = series[start:] - periodic / n
+        return dy
+
+    def _design(
+        self, series: np.ndarray, dy: np.ndarray, tau: int
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Design matrix, targets and target indices for horizon ``tau``."""
+        n, m, t_period = self.n_periods, self.n_recent, self.period
+        first_u = n * t_period + tau + m
+        if first_u >= len(series):
+            raise PredictionError(
+                f"training series too short for horizon {tau}: need more than "
+                f"{first_u} slots, got {len(series)}"
+            )
+        u = np.arange(first_u, len(series))
+        columns = [series[u - k * t_period] for k in range(1, n + 1)]
+        columns += [dy[u - tau - j] for j in range(1, m + 1)]
+        design = np.column_stack(columns) if columns else np.empty((len(u), 0))
+        return design, series[u], u
+
+    def fit(self, training: SeriesLike) -> "SPARPredictor":
+        series = as_series(training)
+        dy = self._deviations(series)
+        self._coef.clear()
+        for tau in range(1, self.max_horizon + 1):
+            design, target, _ = self._design(series, dy, tau)
+            gram = design.T @ design
+            gram[np.diag_indices_from(gram)] += self.ridge * len(design)
+            self._coef[tau] = np.linalg.solve(gram, design.T @ target)
+        return self
+
+    # ------------------------------------------------------------------
+    def _features(self, history: np.ndarray, dy: np.ndarray, tau: int) -> np.ndarray:
+        n, m, t_period = self.n_periods, self.n_recent, self.period
+        now = len(history) - 1
+        u = now + tau
+        periodic = [history[u - k * t_period] for k in range(1, n + 1)]
+        recent = [dy[now - j] for j in range(1, m + 1)]
+        return np.array(periodic + recent)
+
+    def predict(self, history: SeriesLike, horizon: int) -> np.ndarray:
+        history_arr = as_series(history)
+        self._check_predict_args(history_arr, horizon)
+        if not self._coef:
+            raise PredictionError("SPARPredictor.predict called before fit")
+        dy = self._deviations(history_arr)
+        out = np.empty(horizon)
+        for tau in range(1, horizon + 1):
+            features = self._features(history_arr, dy, tau)
+            out[tau - 1] = float(features @ self._coef[tau])
+        return np.maximum(out, 0.0)
+
+    # ------------------------------------------------------------------
+    def batch_predict(self, series: SeriesLike, tau: int) -> "tuple[np.ndarray, np.ndarray]":
+        """Vectorized rolling forecast over a full evaluation series.
+
+        For every slot ``u`` where the model has enough history, compute
+        the forecast of ``y[u]`` that would have been made ``tau`` slots
+        earlier.  Returns ``(target_indices, predictions)``.  Used by the
+        Figure 5/6 experiments, where per-slot Python loops would be slow.
+        """
+        if tau not in self._coef:
+            raise PredictionError(f"model not fitted for horizon {tau}")
+        arr = as_series(series)
+        dy = self._deviations(arr)
+        design, _, u = self._design(arr, dy, tau)
+        return u, np.maximum(design @ self._coef[tau], 0.0)
+
+    def coefficients(self, tau: int) -> np.ndarray:
+        """Fitted ``[a_1..a_n, b_1..b_m]`` for horizon ``tau``."""
+        if tau not in self._coef:
+            raise PredictionError(f"model not fitted for horizon {tau}")
+        return self._coef[tau].copy()

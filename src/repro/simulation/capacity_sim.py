@@ -1,0 +1,233 @@
+"""Interval-granularity capacity simulation (Section 8.3 of the paper).
+
+Running the full benchmark over months is impractical ("at least 7.2
+hours per experiment"), so the paper compares allocation strategies by
+*simulation*: walk the load trace interval by interval, let each strategy
+request reconfigurations, account machine cost (Equation 1) and check the
+load against the cluster's **effective capacity** — which, while a move
+is in flight, is below the allocated machine count (Equation 7).
+
+Outputs per run: total cost, the percentage of time with insufficient
+capacity, and the full allocation / effective-capacity series (the data
+behind Figures 12 and 13).
+
+Conventions:
+
+* "Insufficient capacity" means the interval's load exceeds the
+  *maximum* effective throughput (Q-hat based); strategies plan against
+  the *target* throughput Q, so the gap between Q and Q-hat is the
+  buffer the paper's Q-sweep trades against cost.
+* Machines allocated during a move follow the just-in-time schedule of
+  Section 4.4.1, so a move's accounted cost equals
+  ``T(B,A) * avg-mach-alloc(B,A)`` (Equation 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+import repro.core.capacity as cap_model
+from repro.core.params import SystemParameters
+from repro.core.schedule import MoveSchedule, build_move_schedule
+from repro.errors import ConfigurationError
+from repro.strategies.base import AllocationStrategy, SimState
+from repro.workloads.trace import LoadTrace
+
+
+@dataclass
+class _InFlightMove:
+    """A reconfiguration occupying intervals ``(start, start+duration]``."""
+
+    before: int
+    after: int
+    start: int
+    duration: int
+    schedule: MoveSchedule
+
+    def end(self) -> int:
+        return self.start + self.duration
+
+    def fraction_at(self, interval: int) -> float:
+        """Fraction of the move's data shipped by the end of ``interval``."""
+        return min(max(interval - self.start, 0) / self.duration, 1.0)
+
+    def machines_allocated_through(self, progress_end: float) -> int:
+        """Machines allocated in the schedule round active at
+        ``progress_end`` (fraction of the move completed)."""
+        if self.schedule.num_rounds == 0:
+            return self.after
+        round_index = int(math.ceil(progress_end * self.schedule.num_rounds)) - 1
+        round_index = max(0, min(round_index, self.schedule.num_rounds - 1))
+        return self.schedule.machines_allocated_at(round_index)
+
+
+@dataclass
+class CapacitySimResult:
+    """Complete record of one strategy's run over a trace."""
+
+    strategy_name: str
+    trace_name: str
+    slot_seconds: float
+    load_rate: np.ndarray
+    peak_load_rate: np.ndarray
+    allocated: np.ndarray
+    effective_machines: np.ndarray
+    target_machines: np.ndarray
+    reconfiguring: np.ndarray
+    q: float
+    q_max: float
+    moves: int
+
+    @property
+    def cost(self) -> float:
+        """Total machine-intervals (Equation 1)."""
+        return float(self.allocated.sum())
+
+    @property
+    def max_effective_capacity(self) -> np.ndarray:
+        """Q-hat capacity of the effective machine count, txn/s."""
+        return self.effective_machines * self.q_max
+
+    @property
+    def target_capacity(self) -> np.ndarray:
+        """Q capacity of the effective machine count, txn/s."""
+        return self.effective_machines * self.q
+
+    def insufficient_mask(self) -> np.ndarray:
+        """Intervals whose *instantaneous peak* load exceeded the maximum
+        effective capacity — the Figure 12 y-axis."""
+        return self.peak_load_rate > self.max_effective_capacity + 1e-9
+
+    @property
+    def pct_time_insufficient(self) -> float:
+        return 100.0 * float(self.insufficient_mask().mean())
+
+    def normalized_cost(self, reference_cost: float) -> float:
+        if reference_cost <= 0:
+            raise ConfigurationError("reference_cost must be positive")
+        return self.cost / reference_cost
+
+    def average_machines(self) -> float:
+        return float(self.allocated.mean())
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cost": round(self.cost, 1),
+            "avg_machines": round(self.average_machines(), 3),
+            "pct_time_insufficient": round(self.pct_time_insufficient, 4),
+            "moves": self.moves,
+        }
+
+
+class CapacitySimulator:
+    """Runs allocation strategies over long load traces.
+
+    Args:
+        params: System parameters; ``interval_seconds`` must equal the
+            trace's slot length.
+        max_machines: Cluster-size cap for every strategy.
+    """
+
+    def __init__(self, params: SystemParameters, max_machines: int = 20) -> None:
+        if max_machines < 1:
+            raise ConfigurationError("max_machines must be >= 1")
+        self.params = params
+        self.max_machines = max_machines
+
+    def run(self, trace: LoadTrace, strategy: AllocationStrategy) -> CapacitySimResult:
+        """Simulate ``strategy`` over ``trace``.
+
+        Returns the per-interval record.  The strategy's ``reset`` is
+        called first, receiving the trace (predictive strategies use it
+        for training-window precomputation only).
+        """
+        params = self.params
+        if abs(trace.slot_seconds - params.interval_seconds) > 1e-9:
+            raise ConfigurationError(
+                f"trace slots ({trace.slot_seconds}s) must match planner "
+                f"intervals ({params.interval_seconds}s)"
+            )
+        n = len(trace)
+        rates = trace.per_second()
+        strategy.reset(params, self.max_machines, trace)
+
+        machines = strategy.initial_machines(float(rates[0]))
+        machines = max(1, min(machines, self.max_machines))
+        move: Optional[_InFlightMove] = None
+        moves_executed = 0
+
+        allocated = np.empty(n)
+        effective = np.empty(n)
+        target = np.empty(n)
+        reconfiguring = np.zeros(n, dtype=bool)
+
+        for t in range(n):
+            if move is not None and t > move.end() - 1:
+                machines = move.after
+                move = None
+
+            if move is None:
+                state = SimState(
+                    interval=t,
+                    machines=machines,
+                    load_rate=float(rates[t]),
+                    history_rates=rates,
+                    slot_seconds=trace.slot_seconds,
+                )
+                wanted = strategy.decide(state)
+                if wanted is not None and wanted != machines and wanted >= 1:
+                    wanted = min(wanted, self.max_machines)
+                    if wanted != machines:
+                        duration = cap_model.move_time_intervals(
+                            machines, wanted, params
+                        )
+                        move = _InFlightMove(
+                            before=machines,
+                            after=wanted,
+                            start=t,
+                            duration=duration,
+                            schedule=build_move_schedule(
+                                machines, wanted, params.partitions_per_node
+                            ),
+                        )
+                        moves_executed += 1
+
+            if move is not None and t >= move.start:
+                fraction = move.fraction_at(t + 1)
+                effective[t] = 1.0 / _largest_share(move.before, move.after, fraction)
+                allocated[t] = move.machines_allocated_through(fraction)
+                target[t] = move.after
+                reconfiguring[t] = True
+            else:
+                effective[t] = machines
+                allocated[t] = machines
+                target[t] = machines
+
+        return CapacitySimResult(
+            strategy_name=strategy.name,
+            trace_name=trace.name,
+            slot_seconds=trace.slot_seconds,
+            load_rate=rates.copy(),
+            peak_load_rate=trace.peak_per_second(),
+            allocated=allocated,
+            effective_machines=effective,
+            target_machines=target,
+            reconfiguring=reconfiguring,
+            q=params.q,
+            q_max=params.q_max,
+            moves=moves_executed,
+        )
+
+
+def _largest_share(before: int, after: int, fraction: float) -> float:
+    """Largest per-node data fraction during a move (Equation 7's core)."""
+    inv_b, inv_a = 1.0 / before, 1.0 / after
+    if before < after:
+        return inv_b - fraction * (inv_b - inv_a)
+    if before > after:
+        return inv_b + fraction * (inv_a - inv_b)
+    return inv_b

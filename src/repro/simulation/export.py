@@ -1,0 +1,81 @@
+"""CSV export for simulation results.
+
+Lets downstream users regenerate the paper's plots with their own
+tooling: every per-step / per-interval series a figure needs is written
+as plain CSV with a self-describing header.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.engine.simulator import RunResult
+from repro.simulation.capacity_sim import CapacitySimResult
+
+PathLike = Union[str, Path]
+
+
+def export_run_result(result: RunResult, path: PathLike) -> Path:
+    """Write an engine run's per-step records (the Figure 9 series).
+
+    Columns: time_s, offered_txn_s, served_txn_s, p50_ms, p95_ms, p99_ms,
+    mean_ms, machines, reconfiguring.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["time_s", "offered_txn_s", "served_txn_s", "p50_ms", "p95_ms",
+             "p99_ms", "mean_ms", "machines", "reconfiguring"]
+        )
+        for i in range(len(result.time)):
+            writer.writerow(
+                [
+                    f"{result.time[i]:.3f}",
+                    f"{result.offered[i]:.3f}",
+                    f"{result.served[i]:.3f}",
+                    f"{result.p50_ms[i]:.3f}",
+                    f"{result.p95_ms[i]:.3f}",
+                    f"{result.p99_ms[i]:.3f}",
+                    f"{result.mean_ms[i]:.3f}",
+                    int(result.machines[i]),
+                    int(result.reconfiguring[i]),
+                ]
+            )
+    return path
+
+
+def export_capacity_result(result: CapacitySimResult, path: PathLike) -> Path:
+    """Write a capacity simulation's per-interval records (Figure 12/13).
+
+    Columns: interval, load_txn_s, peak_load_txn_s, allocated_machines,
+    effective_machines, target_machines, max_effective_capacity_txn_s,
+    reconfiguring, insufficient.
+    """
+    path = Path(path)
+    insufficient = result.insufficient_mask()
+    max_cap = result.max_effective_capacity
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["interval", "load_txn_s", "peak_load_txn_s", "allocated_machines",
+             "effective_machines", "target_machines",
+             "max_effective_capacity_txn_s", "reconfiguring", "insufficient"]
+        )
+        for i in range(len(result.load_rate)):
+            writer.writerow(
+                [
+                    i,
+                    f"{result.load_rate[i]:.3f}",
+                    f"{result.peak_load_rate[i]:.3f}",
+                    f"{result.allocated[i]:.3f}",
+                    f"{result.effective_machines[i]:.4f}",
+                    int(result.target_machines[i]),
+                    f"{max_cap[i]:.3f}",
+                    int(result.reconfiguring[i]),
+                    int(insufficient[i]),
+                ]
+            )
+    return path

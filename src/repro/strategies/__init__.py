@@ -1,0 +1,23 @@
+"""Allocation strategies compared in the paper's evaluation.
+
+Static, Simple (day/night), Reactive (E-Store-style) and P-Store
+(predictive, SPAR or oracle) — the five curves of Figure 12.
+"""
+
+from repro.strategies.base import AllocationStrategy, SimState
+from repro.strategies.manual import ManualOverrideStrategy, ProvisioningWindow
+from repro.strategies.predictive import PStoreStrategy
+from repro.strategies.reactive import ReactiveStrategy
+from repro.strategies.simple import SimpleStrategy
+from repro.strategies.static import StaticStrategy
+
+__all__ = [
+    "AllocationStrategy",
+    "ManualOverrideStrategy",
+    "PStoreStrategy",
+    "ProvisioningWindow",
+    "ReactiveStrategy",
+    "SimState",
+    "SimpleStrategy",
+    "StaticStrategy",
+]

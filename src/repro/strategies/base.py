@@ -1,0 +1,71 @@
+"""Allocation-strategy interface for the capacity simulator.
+
+A strategy decides, at every interval where no reconfiguration is in
+flight, how many machines the cluster should have.  The capacity
+simulator (:mod:`repro.simulation.capacity_sim`) charges the cost of the
+moves the strategy requests and checks the load against the *effective*
+capacity while they run — the Section 8.3 methodology behind Figures 12
+and 13.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.params import SystemParameters
+from repro.workloads.trace import LoadTrace
+
+
+@dataclass
+class SimState:
+    """What a strategy may look at when deciding.
+
+    Attributes:
+        interval: Current interval index ``t``.
+        machines: Machines the cluster currently targets (no move in
+            flight when ``decide`` is called).
+        load_rate: Measured load of the current interval, txn/s.
+        history_rates: Measured load of intervals ``0..t`` (txn/s view);
+            strategies must not peek past ``t`` (the oracle predictor is
+            the only sanctioned exception, by design).
+        slot_seconds: Interval length.
+    """
+
+    interval: int
+    machines: int
+    load_rate: float
+    history_rates: np.ndarray
+    slot_seconds: float
+
+
+class AllocationStrategy(ABC):
+    """Decides target machine counts over time."""
+
+    name: str = "strategy"
+
+    def reset(
+        self,
+        params: SystemParameters,
+        max_machines: int,
+        trace: Optional[LoadTrace] = None,
+    ) -> None:
+        """Prepare for a run.  ``trace`` is provided so predictive
+        strategies can pre-train / precompute; non-oracle strategies must
+        only use it in ways equivalent to online observation."""
+        self.params = params
+        self.max_machines = max_machines
+
+    def initial_machines(self, first_load_rate: float) -> int:
+        """Machines allocated at t = 0 (default: enough for the load)."""
+        return min(self.params.machines_for_load(first_load_rate), self.max_machines)
+
+    @abstractmethod
+    def decide(self, state: SimState) -> Optional[int]:
+        """Target machine count, or ``None`` to keep the current size."""
+
+    def clamp(self, machines: int) -> int:
+        return max(1, min(machines, self.max_machines))

@@ -1,0 +1,110 @@
+"""Manual provisioning overlays (the third leg of the composite vision).
+
+Section 1 of the paper envisions elastic provisioning as a composite of
+(i) predictive provisioning, (ii) reactive provisioning for unpredictable
+spikes, and (iii) **manual provisioning "for rare one-off, but expected,
+load spikes (e.g. special promotions)"** — noting that the evaluation
+shows it is "not strictly necessary, but may still be used as an extra
+precaution for rare, important events" like Black Friday.
+
+:class:`ManualOverrideStrategy` implements that overlay: it wraps any
+base strategy and enforces operator-scheduled machine-count floors over
+calendar windows, deferring to the base strategy everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.strategies.base import AllocationStrategy, SimState
+from repro.workloads.trace import SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class ProvisioningWindow:
+    """An operator-scheduled capacity floor.
+
+    Attributes:
+        start_day: First day (inclusive, fractional days allowed) of the
+            window, measured from the start of the simulated trace.
+        end_day: End of the window (exclusive).
+        min_machines: Machines the cluster must not drop below while the
+            window is active.
+        label: Operator-facing note (e.g. "Black Friday").
+    """
+
+    start_day: float
+    end_day: float
+    min_machines: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end_day <= self.start_day:
+            raise ConfigurationError("end_day must be after start_day")
+        if self.min_machines < 1:
+            raise ConfigurationError("min_machines must be >= 1")
+
+    def active(self, day: float) -> bool:
+        return self.start_day <= day < self.end_day
+
+
+class ManualOverrideStrategy(AllocationStrategy):
+    """A base strategy plus operator-scheduled capacity floors.
+
+    Inside an active window the effective target is
+    ``max(base_decision, min_machines)``; approaching windows are
+    pre-provisioned one move ahead so the floor is in place when the
+    window opens (the whole point of manual provisioning is being early).
+
+    Args:
+        base: The strategy to wrap (typically P-Store).
+        windows: Scheduled floors, e.g. Black Friday.
+        lead_days: How far ahead of a window to start enforcing its
+            floor (default 0.05 day ≈ 72 minutes, comfortably more than
+            any single move).
+    """
+
+    def __init__(
+        self,
+        base: AllocationStrategy,
+        windows: Sequence[ProvisioningWindow],
+        lead_days: float = 0.05,
+    ) -> None:
+        if lead_days < 0:
+            raise ConfigurationError("lead_days must be >= 0")
+        self.base = base
+        self.windows: List[ProvisioningWindow] = list(windows)
+        self.lead_days = lead_days
+        self.name = f"{getattr(base, 'name', 'base')}+manual"
+        self.overrides_applied = 0
+
+    # ------------------------------------------------------------------
+    def reset(self, params, max_machines, trace=None) -> None:
+        super().reset(params, max_machines, trace)
+        self.base.reset(params, max_machines, trace)
+        self.overrides_applied = 0
+
+    def initial_machines(self, first_load_rate: float) -> int:
+        floor = self._floor_at(0.0)
+        return self.clamp(max(self.base.initial_machines(first_load_rate), floor))
+
+    def _floor_at(self, day: float) -> int:
+        floor = 0
+        for window in self.windows:
+            if window.active(day) or window.active(day + self.lead_days):
+                floor = max(floor, window.min_machines)
+        return floor
+
+    def decide(self, state: SimState) -> Optional[int]:
+        day = state.interval * state.slot_seconds / SECONDS_PER_DAY
+        floor = self._floor_at(day)
+        base_target = self.base.decide(state)
+
+        effective = base_target if base_target is not None else state.machines
+        if floor and effective < floor:
+            self.overrides_applied += 1
+            target = self.clamp(floor)
+            return target if target != state.machines else None
+        return base_target

@@ -1,0 +1,61 @@
+"""The "Simple" day/night strategy of Figure 12/13.
+
+Scale out every morning, scale in every night, to fixed machine counts.
+It looks workable on a regular week (Figure 13 left) but breaks down as
+soon as the load deviates from the pattern — Black Friday crushes it
+(Figure 13 right), and buying safety by raising the day count "vastly
+increases the cost".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.strategies.base import AllocationStrategy, SimState
+from repro.workloads.trace import SECONDS_PER_DAY
+
+
+class SimpleStrategy(AllocationStrategy):
+    """Fixed day/night machine counts switched at fixed hours.
+
+    Args:
+        day_machines: Machines between ``morning_hour`` and ``night_hour``.
+        night_machines: Machines otherwise.
+        morning_hour: Hour of day to scale out (default 07:00 — ahead of
+            the daily ramp).
+        night_hour: Hour of day to scale in (default 23:00).
+    """
+
+    def __init__(
+        self,
+        day_machines: int,
+        night_machines: int,
+        morning_hour: float = 7.0,
+        night_hour: float = 23.0,
+    ) -> None:
+        if day_machines < night_machines:
+            raise ConfigurationError("day_machines must be >= night_machines")
+        if night_machines < 1:
+            raise ConfigurationError("night_machines must be >= 1")
+        if not 0 <= morning_hour < night_hour <= 24:
+            raise ConfigurationError("need 0 <= morning_hour < night_hour <= 24")
+        self.day_machines = day_machines
+        self.night_machines = night_machines
+        self.morning_hour = morning_hour
+        self.night_hour = night_hour
+        self.name = f"simple-{day_machines}/{night_machines}"
+
+    def _target(self, state: SimState) -> int:
+        seconds_into_day = (state.interval * state.slot_seconds) % SECONDS_PER_DAY
+        hour = seconds_into_day / 3600.0
+        if self.morning_hour <= hour < self.night_hour:
+            return self.day_machines
+        return self.night_machines
+
+    def initial_machines(self, first_load_rate: float) -> int:
+        return min(self.night_machines, self.max_machines)
+
+    def decide(self, state: SimState) -> Optional[int]:
+        target = self.clamp(self._target(state))
+        return target if target != state.machines else None

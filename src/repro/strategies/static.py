@@ -1,0 +1,29 @@
+"""Static allocation: a fixed cluster size, never reconfigured.
+
+The paper's baseline (Figures 9a/9b): provisioning for peak load wastes
+machines at night; provisioning below peak violates the SLA daily.  Both
+are inflexible against load surges like Black Friday (Figure 13).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.strategies.base import AllocationStrategy, SimState
+
+
+class StaticStrategy(AllocationStrategy):
+    """Always run exactly ``machines`` servers."""
+
+    def __init__(self, machines: int) -> None:
+        if machines < 1:
+            raise ConfigurationError("machines must be >= 1")
+        self.machines = machines
+        self.name = f"static-{machines}"
+
+    def initial_machines(self, first_load_rate: float) -> int:
+        return min(self.machines, self.max_machines)
+
+    def decide(self, state: SimState) -> Optional[int]:
+        return None

@@ -1,0 +1,32 @@
+"""Workload traces and synthetic generators.
+
+Substitutes for the paper's proprietary B2W logs and the Wikipedia
+page-view dumps; see DESIGN.md for the substitution rationale.
+"""
+
+from repro.workloads.b2w import (
+    B2W_PEAK_PER_MINUTE,
+    B2W_PEAK_TO_TROUGH,
+    B2WTraceConfig,
+    generate_b2w_long_trace,
+    generate_b2w_trace,
+    generate_training_and_test,
+)
+from repro.workloads.spikes import FlashCrowd, inject_flash_crowd
+from repro.workloads.trace import LoadTrace, concat
+from repro.workloads.wikipedia import generate_wikipedia_pair, generate_wikipedia_trace
+
+__all__ = [
+    "B2W_PEAK_PER_MINUTE",
+    "B2W_PEAK_TO_TROUGH",
+    "B2WTraceConfig",
+    "FlashCrowd",
+    "LoadTrace",
+    "concat",
+    "generate_b2w_long_trace",
+    "generate_b2w_trace",
+    "generate_training_and_test",
+    "generate_wikipedia_pair",
+    "generate_wikipedia_trace",
+    "inject_flash_crowd",
+]

@@ -1,0 +1,82 @@
+"""Unexpected load-spike injection (Section 8.2, Figure 11).
+
+P-Store's predictive algorithm assumes the future resembles the learned
+patterns.  Figure 11 evaluates what happens when it does not: a large
+*unexpected* spike (a flash crowd during a day in September 2016) forces
+the planner into one of its two reactive fallbacks.  This module injects
+such spikes into otherwise-regular traces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.trace import LoadTrace
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """An unexpected surge: a fast ramp to ``magnitude`` times the base
+    load, a plateau, then a slower decay.
+
+    Attributes:
+        start_seconds: Offset of the ramp start from the trace beginning.
+        ramp_seconds: Duration of the up-ramp (flash crowds rise fast).
+        plateau_seconds: Time spent at full magnitude.
+        decay_seconds: Duration of the decay back to baseline.
+        magnitude: Peak multiplier over the underlying load.
+    """
+
+    start_seconds: float
+    ramp_seconds: float = 600.0
+    plateau_seconds: float = 1800.0
+    decay_seconds: float = 3600.0
+    magnitude: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.magnitude <= 1.0:
+            raise ConfigurationError("magnitude must exceed 1.0")
+        for field_name in ("ramp_seconds", "plateau_seconds", "decay_seconds"):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"{field_name} must be >= 0")
+
+
+def inject_flash_crowd(trace: LoadTrace, spike: FlashCrowd) -> LoadTrace:
+    """Return a copy of ``trace`` with the flash crowd multiplied in."""
+    slot = trace.slot_seconds
+    n = len(trace)
+    start = int(spike.start_seconds / slot)
+    ramp = max(1, int(spike.ramp_seconds / slot))
+    plateau = int(spike.plateau_seconds / slot)
+    decay = max(1, int(spike.decay_seconds / slot))
+    if start < 0 or start >= n:
+        raise ConfigurationError("spike start outside trace")
+
+    multiplier = np.ones(n)
+    extra = spike.magnitude - 1.0
+    for i in range(ramp):
+        idx = start + i
+        if idx >= n:
+            break
+        # Smooth half-cosine ramp.
+        multiplier[idx] = 1.0 + extra * 0.5 * (1 - math.cos(math.pi * (i + 1) / ramp))
+    for i in range(plateau):
+        idx = start + ramp + i
+        if idx >= n:
+            break
+        multiplier[idx] = spike.magnitude
+    for i in range(decay):
+        idx = start + ramp + plateau + i
+        if idx >= n:
+            break
+        multiplier[idx] = 1.0 + extra * 0.5 * (1 + math.cos(math.pi * (i + 1) / decay))
+
+    values = trace.values * multiplier
+    peaks = (
+        trace.peak_values * multiplier if trace.peak_values is not None else None
+    )
+    return LoadTrace(values, slot, f"{trace.name}+spike", trace.start_slot, peaks)

@@ -1,0 +1,133 @@
+"""Synthetic Wikipedia page-view traces (substitute for the public dumps).
+
+Section 5 of the paper validates SPAR on the hourly page-view statistics of
+the English- and German-language Wikipedias (July/August 2016).  The raw
+dumps are not available offline, so we synthesize hourly traces with the
+properties Figure 6 exhibits:
+
+* English Wikipedia: ~2-10 million requests/hour, strongly periodic,
+  highly predictable (MRE a few percent at short horizons);
+* German Wikipedia: ~0.4-2.5 million requests/hour, a sharper diurnal
+  swing concentrated in European waking hours, *less* predictable —
+  noisier day-to-day with occasional event-driven bumps — so its MRE is
+  visibly worse than English at every forecast horizon, reaching ~13% at
+  6 hours.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.trace import SECONDS_PER_HOUR, LoadTrace
+
+HOURS_PER_DAY = 24
+
+
+def _diurnal(hours: np.ndarray, peak_hour: float, sharpness: float) -> np.ndarray:
+    shape = np.exp(sharpness * np.cos(2.0 * math.pi * (hours - peak_hour) / 24.0))
+    shape = shape - shape.min()
+    return shape / shape.max()
+
+
+def generate_wikipedia_trace(
+    language: str = "en",
+    num_days: int = 56,
+    *,
+    seed: int = 20160701,
+) -> LoadTrace:
+    """Generate an hourly Wikipedia-like page-view trace.
+
+    Args:
+        language: ``"en"`` (high volume, very predictable) or ``"de"``
+            (lower volume, less predictable).
+        num_days: Days of hourly data (the paper uses 4 weeks of training
+            plus the following weeks for evaluation).
+        seed: RNG seed.
+
+    Returns:
+        A :class:`LoadTrace` with 3600-second slots.
+    """
+    language = language.lower()
+    if language == "en":
+        base_peak = 9.5e6
+        trough_frac = 0.32
+        peak_hour = 16.0
+        sharpness = 1.1
+        noise_sigma = 0.035
+        noise_rho = 0.80
+        day_sigma = 0.04
+        event_probability = 0.02
+        weekend_factor = 0.93
+    elif language == "de":
+        base_peak = 2.3e6
+        trough_frac = 0.17
+        peak_hour = 19.0
+        sharpness = 1.6
+        noise_sigma = 0.068
+        noise_rho = 0.88
+        day_sigma = 0.09
+        event_probability = 0.08
+        weekend_factor = 0.85
+    else:
+        raise ConfigurationError(f"unknown language {language!r}; use 'en' or 'de'")
+
+    # Stable per-language seed offset (str hash is process-randomized).
+    language_offset = sum(language.encode("utf-8"))
+    rng = np.random.default_rng(seed + language_offset)
+    total_hours = num_days * HOURS_PER_DAY
+    hours = np.arange(total_hours) % HOURS_PER_DAY
+    shape = _diurnal(hours.astype(float), peak_hour, sharpness)
+    trough = base_peak * trough_frac
+    base = trough + (base_peak - trough) * shape
+
+    day_index = np.arange(total_hours) // HOURS_PER_DAY
+    weekday = (day_index + 4) % 7  # July 1 2016 was a Friday
+    weekly = np.where(weekday >= 5, weekend_factor, 1.0)
+    base = base * weekly
+
+    # Day-to-day level wander.
+    levels = np.empty(num_days)
+    level = 0.0
+    for day in range(num_days):
+        level = 0.8 * level + rng.normal(0.0, day_sigma)
+        levels[day] = math.exp(level)
+    base = base * levels[day_index]
+
+    # Event-driven bumps (news spikes) — more frequent for "de" to make it
+    # less predictable, matching Figure 6's accuracy gap.
+    boost = np.ones(total_hours)
+    for day in range(num_days):
+        if rng.random() < event_probability:
+            start = day * HOURS_PER_DAY + int(rng.uniform(8, 20))
+            length = int(rng.uniform(2, 8))
+            factor = rng.uniform(1.2, 1.6)
+            end = min(start + length, total_hours)
+            ramp = np.linspace(1.0, 0.2, end - start)
+            boost[start:end] *= 1.0 + (factor - 1.0) * ramp
+
+    # Persistent hourly noise (AR-1 in log space): the persistence makes
+    # longer forecast horizons genuinely harder, producing the rising MRE
+    # curves of Figure 6b.
+    noise = np.empty(total_hours)
+    state = 0.0
+    innovations = rng.normal(0.0, noise_sigma, total_hours)
+    scale = math.sqrt(1.0 - noise_rho**2)
+    for i in range(total_hours):
+        state = noise_rho * state + scale * innovations[i]
+        noise[i] = state
+    values = base * boost * np.exp(noise)
+    values = np.maximum(values, 0.0)
+    return LoadTrace(values, SECONDS_PER_HOUR, f"wikipedia-{language}")
+
+
+def generate_wikipedia_pair(
+    num_days: int = 56, *, seed: int = 20160701
+) -> Tuple[LoadTrace, LoadTrace]:
+    """English and German traces over the same window (Figure 6)."""
+    english = generate_wikipedia_trace("en", num_days, seed=seed)
+    german = generate_wikipedia_trace("de", num_days, seed=seed)
+    return english, german

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import SystemParameters
+
+
+@pytest.fixture
+def params() -> SystemParameters:
+    """Paper-default parameters with 5-minute planner intervals."""
+    return SystemParameters(interval_seconds=300.0, partitions_per_node=6)
+
+
+@pytest.fixture
+def single_partition_params() -> SystemParameters:
+    """One partition per node (the Figure 4 / Table 1 setting)."""
+    return SystemParameters(interval_seconds=300.0, partitions_per_node=1)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

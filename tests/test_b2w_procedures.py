@@ -1,0 +1,220 @@
+"""Tests for all 19 B2W benchmark operations (Table 4)."""
+
+import pytest
+
+from repro.b2w import schema as s
+from repro.b2w.procedures import PROCEDURES, build_registry
+from repro.b2w.schema import b2w_schema
+from repro.engine.cluster import Cluster
+from repro.engine.executor import Executor
+from repro.engine.transaction import Transaction, TxnStatus
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def executor() -> Executor:
+    cluster = Cluster(b2w_schema(), initial_nodes=2, partitions_per_node=3,
+                      num_buckets=64, max_nodes=4)
+    return Executor(cluster, build_registry())
+
+
+def seed_stock(executor: Executor, sku: str = "sku-1", available: int = 10) -> None:
+    partition = executor.cluster.route(sku)
+    partition.put(
+        s.STOCK, sku, {"sku": sku, "available": available, "reserved": 0, "purchased": 0}
+    )
+
+
+def run(executor, procedure, key, **params):
+    return executor.execute(Transaction(procedure, key, params))
+
+
+class TestRegistry:
+    def test_all_nineteen_operations_registered(self):
+        registry = build_registry()
+        assert len(registry.names()) == 19
+        for name in (
+            "AddLineToCart", "DeleteLineFromCart", "GetCart", "DeleteCart",
+            "GetStock", "GetStockQuantity", "ReserveStock", "PurchaseStock",
+            "CancelStockReservation", "CreateStockTransaction", "ReserveCart",
+            "GetStockTransaction", "UpdateStockTransaction", "CreateCheckout",
+            "CreateCheckoutPayment", "AddLineToCheckout", "DeleteLineFromCheckout",
+            "GetCheckout", "DeleteCheckout",
+        ):
+            assert name in registry
+
+    def test_duplicate_registration_rejected(self):
+        registry = build_registry()
+        with pytest.raises(EngineError):
+            registry.register(PROCEDURES["GetCart"])
+
+    def test_unknown_procedure_rejected(self, executor):
+        with pytest.raises(EngineError):
+            run(executor, "NoSuchProcedure", "k")
+
+
+class TestCartFlow:
+    def test_add_line_creates_cart(self, executor):
+        result = run(executor, "AddLineToCart", "cart-1", sku="sku-1", price=5.0)
+        assert result.committed
+        assert result.value["lines"]["sku-1"]["quantity"] == 1
+        assert result.value["total"] == pytest.approx(5.0)
+
+    def test_add_line_accumulates(self, executor):
+        run(executor, "AddLineToCart", "cart-1", sku="sku-1", price=5.0)
+        result = run(executor, "AddLineToCart", "cart-1", sku="sku-1", price=5.0,
+                     quantity=2)
+        assert result.value["lines"]["sku-1"]["quantity"] == 3
+        assert result.value["total"] == pytest.approx(15.0)
+
+    def test_get_cart(self, executor):
+        run(executor, "AddLineToCart", "cart-1", sku="sku-1")
+        result = run(executor, "GetCart", "cart-1")
+        assert result.committed
+        assert result.value["cart_id"] == "cart-1"
+
+    def test_get_missing_cart_aborts(self, executor):
+        result = run(executor, "GetCart", "nope")
+        assert result.status is TxnStatus.ABORTED
+        assert "does not exist" in result.abort_reason
+
+    def test_delete_line(self, executor):
+        run(executor, "AddLineToCart", "cart-1", sku="sku-1", price=4.0)
+        run(executor, "AddLineToCart", "cart-1", sku="sku-2", price=6.0)
+        result = run(executor, "DeleteLineFromCart", "cart-1", sku="sku-1")
+        assert result.committed
+        assert "sku-1" not in result.value["lines"]
+        assert result.value["total"] == pytest.approx(6.0)
+
+    def test_delete_missing_line_aborts(self, executor):
+        run(executor, "AddLineToCart", "cart-1", sku="sku-1")
+        result = run(executor, "DeleteLineFromCart", "cart-1", sku="zzz")
+        assert result.status is TxnStatus.ABORTED
+
+    def test_delete_cart(self, executor):
+        run(executor, "AddLineToCart", "cart-1", sku="sku-1")
+        assert run(executor, "DeleteCart", "cart-1").committed
+        assert run(executor, "DeleteCart", "cart-1").status is TxnStatus.ABORTED
+
+    def test_reserve_cart(self, executor):
+        run(executor, "AddLineToCart", "cart-1", sku="sku-1")
+        result = run(executor, "ReserveCart", "cart-1")
+        assert result.value["status"] == s.CART_STATUS_RESERVED
+
+
+class TestStockFlow:
+    def test_get_stock_and_quantity(self, executor):
+        seed_stock(executor, available=7)
+        assert run(executor, "GetStock", "sku-1").value["available"] == 7
+        assert run(executor, "GetStockQuantity", "sku-1").value == 7
+
+    def test_missing_sku_aborts(self, executor):
+        for op in ("GetStock", "GetStockQuantity", "ReserveStock",
+                   "PurchaseStock", "CancelStockReservation"):
+            assert run(executor, op, "missing").status is TxnStatus.ABORTED
+
+    def test_reserve_then_purchase(self, executor):
+        seed_stock(executor, available=5)
+        reserved = run(executor, "ReserveStock", "sku-1", quantity=2)
+        assert reserved.value == {
+            "sku": "sku-1", "available": 3, "reserved": 2, "purchased": 0
+        }
+        bought = run(executor, "PurchaseStock", "sku-1", quantity=2)
+        assert bought.value["purchased"] == 2
+        assert bought.value["reserved"] == 0
+
+    def test_reserve_out_of_stock_aborts(self, executor):
+        seed_stock(executor, available=1)
+        result = run(executor, "ReserveStock", "sku-1", quantity=2)
+        assert result.status is TxnStatus.ABORTED
+        assert "available" in result.abort_reason
+
+    def test_purchase_without_reservation_aborts(self, executor):
+        seed_stock(executor)
+        assert run(executor, "PurchaseStock", "sku-1").status is TxnStatus.ABORTED
+
+    def test_cancel_reservation_restores(self, executor):
+        seed_stock(executor, available=4)
+        run(executor, "ReserveStock", "sku-1", quantity=3)
+        result = run(executor, "CancelStockReservation", "sku-1", quantity=3)
+        assert result.value["available"] == 4
+        assert result.value["reserved"] == 0
+
+    def test_cancel_without_reservation_aborts(self, executor):
+        seed_stock(executor)
+        result = run(executor, "CancelStockReservation", "sku-1")
+        assert result.status is TxnStatus.ABORTED
+
+
+class TestStockTransactions:
+    def test_create_get_update(self, executor):
+        created = run(executor, "CreateStockTransaction", "stxn-1",
+                      sku="sku-1", cart_id="cart-1")
+        assert created.value["status"] == s.STOCK_TXN_RESERVED
+        fetched = run(executor, "GetStockTransaction", "stxn-1")
+        assert fetched.value["sku"] == "sku-1"
+        updated = run(executor, "UpdateStockTransaction", "stxn-1",
+                      status=s.STOCK_TXN_PURCHASED)
+        assert updated.value["status"] == s.STOCK_TXN_PURCHASED
+
+    def test_duplicate_create_aborts(self, executor):
+        run(executor, "CreateStockTransaction", "stxn-1", sku="sku-1")
+        result = run(executor, "CreateStockTransaction", "stxn-1", sku="sku-1")
+        assert result.status is TxnStatus.ABORTED
+
+    def test_update_invalid_status_aborts(self, executor):
+        run(executor, "CreateStockTransaction", "stxn-1", sku="sku-1")
+        result = run(executor, "UpdateStockTransaction", "stxn-1", status="BOGUS")
+        assert result.status is TxnStatus.ABORTED
+
+    def test_get_missing_aborts(self, executor):
+        assert run(executor, "GetStockTransaction", "zzz").status is TxnStatus.ABORTED
+
+
+class TestCheckoutFlow:
+    def test_full_checkout(self, executor):
+        run(executor, "CreateCheckout", "cart-1", cart_id="cart-1")
+        run(executor, "AddLineToCheckout", "cart-1", sku="sku-1", price=9.0)
+        fetched = run(executor, "GetCheckout", "cart-1")
+        assert fetched.value["total"] == pytest.approx(9.0)
+        paid = run(executor, "CreateCheckoutPayment", "cart-1", method="pix")
+        assert paid.value["status"] == s.CHECKOUT_STATUS_PAID
+        assert paid.value["payment"]["method"] == "pix"
+
+    def test_duplicate_checkout_aborts(self, executor):
+        run(executor, "CreateCheckout", "cart-1")
+        assert run(executor, "CreateCheckout", "cart-1").status is TxnStatus.ABORTED
+
+    def test_delete_line_from_checkout(self, executor):
+        run(executor, "CreateCheckout", "cart-1")
+        run(executor, "AddLineToCheckout", "cart-1", sku="sku-1", price=3.0)
+        result = run(executor, "DeleteLineFromCheckout", "cart-1", sku="sku-1")
+        assert result.value["total"] == pytest.approx(0.0)
+        missing = run(executor, "DeleteLineFromCheckout", "cart-1", sku="sku-1")
+        assert missing.status is TxnStatus.ABORTED
+
+    def test_delete_checkout(self, executor):
+        run(executor, "CreateCheckout", "cart-1")
+        assert run(executor, "DeleteCheckout", "cart-1").committed
+        assert run(executor, "DeleteCheckout", "cart-1").status is TxnStatus.ABORTED
+
+    def test_operations_on_missing_checkout_abort(self, executor):
+        for op in ("GetCheckout", "CreateCheckoutPayment", "AddLineToCheckout"):
+            assert run(executor, op, "zzz", sku="s").status is TxnStatus.ABORTED
+
+
+class TestExecutorStats:
+    def test_stats_counted(self, executor):
+        seed_stock(executor)
+        run(executor, "GetStock", "sku-1")
+        run(executor, "GetStock", "missing")
+        assert executor.stats.executed == 2
+        assert executor.stats.committed == 1
+        assert executor.stats.aborted == 1
+        assert executor.stats.by_procedure["GetStock"] == 2
+
+    def test_single_partition_execution(self, executor):
+        seed_stock(executor)
+        result = run(executor, "GetStock", "sku-1")
+        expected = executor.cluster.route("sku-1").partition_id
+        assert result.partition_id == expected

@@ -1,0 +1,193 @@
+"""Tests for the migration/capacity model (Equations 2-7, Algorithm 4)."""
+
+import math
+
+import pytest
+
+import repro.core.capacity as cap
+from repro.core.params import SystemParameters
+from repro.errors import ConfigurationError
+
+
+class TestMaxParallelTransfers:
+    """Equation 2."""
+
+    def test_noop_move(self):
+        assert cap.max_parallel_transfers(4, 4) == 0
+
+    def test_scale_out_limited_by_new_machines(self):
+        # B=3, A=5: min(3, 2) = 2.
+        assert cap.max_parallel_transfers(3, 5) == 2
+
+    def test_scale_out_limited_by_senders(self):
+        # B=3, A=14: min(3, 11) = 3.
+        assert cap.max_parallel_transfers(3, 14) == 3
+
+    def test_scale_in_symmetric(self):
+        assert cap.max_parallel_transfers(14, 3) == cap.max_parallel_transfers(3, 14)
+        assert cap.max_parallel_transfers(5, 3) == 2
+
+    def test_partitions_multiply(self):
+        assert cap.max_parallel_transfers(3, 14, partitions_per_node=6) == 18
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            cap.max_parallel_transfers(0, 3)
+        with pytest.raises(ConfigurationError):
+            cap.max_parallel_transfers(3, 5, partitions_per_node=0)
+
+
+class TestFractionMoved:
+    def test_noop(self):
+        assert cap.fraction_of_database_moved(5, 5) == 0.0
+
+    def test_scale_out(self):
+        assert cap.fraction_of_database_moved(3, 14) == pytest.approx(1 - 3 / 14)
+        assert cap.fraction_of_database_moved(1, 2) == pytest.approx(0.5)
+
+    def test_symmetric(self):
+        assert cap.fraction_of_database_moved(14, 3) == cap.fraction_of_database_moved(3, 14)
+
+
+class TestMoveTime:
+    """Equation 3."""
+
+    def test_noop_is_zero(self, params):
+        assert cap.move_time_seconds(4, 4, params) == 0.0
+        assert cap.move_time_intervals(4, 4, params) == 0
+
+    def test_scale_out_formula(self, single_partition_params):
+        p = single_partition_params
+        # T(3, 14) = D / 3 * (1 - 3/14).
+        expected = p.d_seconds / 3 * (1 - 3 / 14)
+        assert cap.move_time_seconds(3, 14, p) == pytest.approx(expected)
+
+    def test_partitions_divide_time(self):
+        p1 = SystemParameters(partitions_per_node=1)
+        p6 = SystemParameters(partitions_per_node=6)
+        assert cap.move_time_seconds(3, 14, p6) == pytest.approx(
+            cap.move_time_seconds(3, 14, p1) / 6
+        )
+
+    def test_scale_in_symmetric(self, params):
+        assert cap.move_time_seconds(14, 3, params) == pytest.approx(
+            cap.move_time_seconds(3, 14, params)
+        )
+
+    def test_intervals_round_up_and_floor_at_one(self, params):
+        # Even a tiny move occupies at least one planner interval.
+        assert cap.move_time_intervals(9, 10, params) >= 1
+        seconds = cap.move_time_seconds(3, 14, params)
+        assert cap.move_time_intervals(3, 14, params) == math.ceil(
+            seconds / params.interval_seconds
+        )
+
+
+class TestAverageMachinesAllocated:
+    """Algorithm 4 (Appendix B)."""
+
+    def test_noop(self):
+        assert cap.average_machines_allocated(4, 4) == 4.0
+
+    def test_case1_all_at_once(self):
+        # s >= delta: full allocation for the whole move.
+        assert cap.average_machines_allocated(3, 5) == 5.0
+        assert cap.average_machines_allocated(4, 8) == 8.0  # delta == s boundary
+
+    def test_case2_multiple_blocks(self):
+        # 3 -> 9: delta = 6 = 2 blocks; avg = (2*3 + 9) / 2 = 7.5.
+        assert cap.average_machines_allocated(3, 9) == pytest.approx(7.5)
+
+    def test_case3_three_phases_paper_example(self):
+        # 3 -> 14 from the paper: phases give 111/11.
+        assert cap.average_machines_allocated(3, 14) == pytest.approx(111 / 11)
+
+    def test_symmetric_in_direction(self):
+        for before, after in ((3, 14), (2, 7), (4, 9), (5, 6)):
+            assert cap.average_machines_allocated(before, after) == pytest.approx(
+                cap.average_machines_allocated(after, before)
+            )
+
+    def test_bounded_by_cluster_sizes(self):
+        for before in range(1, 12):
+            for after in range(1, 12):
+                avg = cap.average_machines_allocated(before, after)
+                assert min(before, after) <= avg <= max(before, after)
+
+
+class TestMoveCost:
+    """Equation 4."""
+
+    def test_noop_costs_one_interval(self, params):
+        assert cap.move_cost(4, 4, params) == 4.0
+
+    def test_cost_is_time_times_average(self, params):
+        intervals = cap.move_time_intervals(3, 14, params)
+        assert cap.move_cost(3, 14, params) == pytest.approx(
+            intervals * cap.average_machines_allocated(3, 14)
+        )
+
+
+class TestCapacity:
+    """Equations 5 and 7."""
+
+    def test_cap_linear(self, params):
+        assert cap.capacity(0, params) == 0.0
+        assert cap.capacity(3, params) == pytest.approx(3 * params.q)
+        with pytest.raises(ConfigurationError):
+            cap.capacity(-1, params)
+
+    def test_effective_capacity_noop(self, params):
+        assert cap.effective_capacity(4, 4, 0.5, params) == pytest.approx(
+            cap.capacity(4, params)
+        )
+
+    def test_effective_capacity_endpoints_scale_out(self, params):
+        start = cap.effective_capacity(3, 14, 0.0, params)
+        end = cap.effective_capacity(3, 14, 1.0, params)
+        assert start == pytest.approx(cap.capacity(3, params))
+        assert end == pytest.approx(cap.capacity(14, params))
+
+    def test_effective_capacity_endpoints_scale_in(self, params):
+        start = cap.effective_capacity(14, 3, 0.0, params)
+        end = cap.effective_capacity(14, 3, 1.0, params)
+        assert start == pytest.approx(cap.capacity(14, params))
+        assert end == pytest.approx(cap.capacity(3, params))
+
+    def test_effective_capacity_is_not_linear(self, params):
+        # Halfway through 3 -> 14, capacity is well below (3+14)/2 machines.
+        mid = cap.effective_capacity(3, 14, 0.5, params)
+        linear = cap.capacity(3, params) + 0.5 * (
+            cap.capacity(14, params) - cap.capacity(3, params)
+        )
+        assert mid < linear
+
+    def test_effective_capacity_monotone_in_fraction(self, params):
+        previous = 0.0
+        for i in range(11):
+            value = cap.effective_capacity(2, 10, i / 10, params)
+            assert value >= previous
+            previous = value
+        previous = math.inf
+        for i in range(11):
+            value = cap.effective_capacity(10, 2, i / 10, params)
+            assert value <= previous
+            previous = value
+
+    def test_effective_capacity_formula_example(self, params):
+        # Scale-out 2 -> 4 at f = 0.5: each sender has 1/2 - 0.5*(1/2-1/4)
+        # = 3/8 of the data -> effective machines = 8/3.
+        value = cap.effective_capacity(2, 4, 0.5, params)
+        assert value == pytest.approx(params.q * 8 / 3)
+
+    def test_rejects_bad_fraction(self, params):
+        with pytest.raises(ConfigurationError):
+            cap.effective_capacity(2, 4, -0.1, params)
+        with pytest.raises(ConfigurationError):
+            cap.effective_capacity(2, 4, 1.5, params)
+
+
+class TestForecastWindow:
+    def test_minimum_window_is_2d_over_p(self, params):
+        expected = 2 * params.d_seconds / params.partitions_per_node
+        assert cap.minimum_forecast_window_seconds(params) == pytest.approx(expected)

@@ -1,0 +1,82 @@
+"""Property-based tests for the capacity/migration model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.capacity as cap
+from repro.core.params import SystemParameters
+
+PARAMS = SystemParameters(interval_seconds=300.0, partitions_per_node=6)
+
+sizes = st.integers(min_value=1, max_value=40)
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(before=sizes, after=sizes)
+@settings(max_examples=200, deadline=None)
+def test_direction_symmetry(before, after):
+    """Scale-in mirrors scale-out in every quantity."""
+    assert cap.max_parallel_transfers(before, after) == cap.max_parallel_transfers(
+        after, before
+    )
+    assert cap.fraction_of_database_moved(before, after) == pytest.approx(
+        cap.fraction_of_database_moved(after, before)
+    )
+    assert cap.move_time_seconds(before, after, PARAMS) == pytest.approx(
+        cap.move_time_seconds(after, before, PARAMS)
+    )
+    assert cap.average_machines_allocated(before, after) == pytest.approx(
+        cap.average_machines_allocated(after, before)
+    )
+
+
+@given(before=sizes, after=sizes)
+@settings(max_examples=200, deadline=None)
+def test_bounds(before, after):
+    smaller, larger = min(before, after), max(before, after)
+    assert 0.0 <= cap.fraction_of_database_moved(before, after) < 1.0
+    avg = cap.average_machines_allocated(before, after)
+    assert smaller <= avg <= larger
+    if before != after:
+        assert cap.move_time_seconds(before, after, PARAMS) > 0
+        assert cap.move_time_intervals(before, after, PARAMS) >= 1
+        assert cap.move_cost(before, after, PARAMS) > 0
+
+
+@given(before=sizes, after=sizes, f=fractions)
+@settings(max_examples=200, deadline=None)
+def test_effective_capacity_between_endpoints(before, after, f):
+    value = cap.effective_capacity(before, after, f, PARAMS)
+    lo = min(cap.capacity(before, PARAMS), cap.capacity(after, PARAMS))
+    hi = max(cap.capacity(before, PARAMS), cap.capacity(after, PARAMS))
+    assert lo - 1e-9 <= value <= hi + 1e-9
+
+
+@given(before=sizes, after=sizes)
+@settings(max_examples=100, deadline=None)
+def test_effective_capacity_below_allocated(before, after):
+    """Mid-move, effective capacity never exceeds either endpoint's full
+    capacity — the under-provisioning danger Figure 4 illustrates."""
+    for i in range(1, 10):
+        f = i / 10
+        value = cap.effective_capacity(before, after, f, PARAMS)
+        assert value <= cap.capacity(max(before, after), PARAMS) + 1e-9
+
+
+@given(before=sizes, after=sizes)
+@settings(max_examples=100, deadline=None)
+def test_more_partitions_never_slower(before, after):
+    p1 = SystemParameters(partitions_per_node=1)
+    p4 = SystemParameters(partitions_per_node=4)
+    assert cap.move_time_seconds(before, after, p4) <= cap.move_time_seconds(
+        before, after, p1
+    ) + 1e-9
+
+
+@given(base=st.integers(1, 20), growth=st.integers(1, 20))
+@settings(max_examples=100, deadline=None)
+def test_bigger_moves_move_more_data(base, growth):
+    small = cap.fraction_of_database_moved(base, base + growth)
+    bigger = cap.fraction_of_database_moved(base, base + growth + 1)
+    assert bigger > small

@@ -1,0 +1,155 @@
+"""Tests for the long-horizon capacity simulator (Section 8.3)."""
+
+import numpy as np
+import pytest
+
+import repro.core.capacity as cap
+from repro.core.params import SystemParameters
+from repro.errors import ConfigurationError
+from repro.simulation.capacity_sim import CapacitySimulator
+from repro.strategies import ReactiveStrategy, StaticStrategy
+from repro.strategies.base import AllocationStrategy, SimState
+from repro.workloads.trace import LoadTrace
+
+PARAMS = SystemParameters(interval_seconds=300.0, partitions_per_node=6)
+
+
+class OneShotStrategy(AllocationStrategy):
+    """Requests a single move at a fixed interval (test helper)."""
+
+    name = "one-shot"
+
+    def __init__(self, at_interval: int, target: int, initial: int) -> None:
+        self.at_interval = at_interval
+        self.target = target
+        self.initial = initial
+
+    def initial_machines(self, first_load_rate: float) -> int:
+        return self.initial
+
+    def decide(self, state: SimState):
+        if state.interval == self.at_interval:
+            return self.target
+        return None
+
+
+def flat(machine_multiples: float, intervals: int) -> LoadTrace:
+    rate = machine_multiples * PARAMS.q
+    return LoadTrace(np.full(intervals, rate * 300.0), slot_seconds=300.0)
+
+
+class TestStaticRuns:
+    def test_cost_is_machines_times_intervals(self):
+        sim = CapacitySimulator(PARAMS, max_machines=10)
+        result = sim.run(flat(1.0, 50), StaticStrategy(4))
+        assert result.cost == pytest.approx(200.0)
+        assert result.moves == 0
+        assert result.pct_time_insufficient == 0.0
+
+    def test_undersized_static_violates(self):
+        sim = CapacitySimulator(PARAMS, max_machines=10)
+        result = sim.run(flat(3.0, 50), StaticStrategy(2))
+        # Violations are against Q_hat capacity: 3 Q > 2 Q_hat.
+        assert result.pct_time_insufficient == pytest.approx(100.0)
+
+    def test_buffer_zone_not_a_violation(self):
+        # Load above Q*N but below Q_hat*N: degraded target, not an SLA
+        # breach (this is the paper's Q vs Q_hat buffer).
+        sim = CapacitySimulator(PARAMS, max_machines=10)
+        result = sim.run(flat(2.2, 20), StaticStrategy(2))
+        assert result.pct_time_insufficient == 0.0
+
+
+class TestMoveAccounting:
+    def test_move_cost_matches_equation4(self):
+        sim = CapacitySimulator(PARAMS, max_machines=20)
+        intervals = 40
+        strategy = OneShotStrategy(at_interval=5, target=14, initial=3)
+        result = sim.run(flat(1.0, intervals), strategy)
+        duration = cap.move_time_intervals(3, 14, PARAMS)
+        expected = (
+            5 * 3  # before the move
+            + cap.move_cost(3, 14, PARAMS)  # during (Equation 4)
+            + (intervals - 5 - duration) * 14  # after
+        )
+        assert result.cost == pytest.approx(expected, rel=0.02)
+        assert result.moves == 1
+
+    def test_effective_capacity_during_move(self):
+        sim = CapacitySimulator(PARAMS, max_machines=20)
+        strategy = OneShotStrategy(at_interval=2, target=14, initial=3)
+        result = sim.run(flat(1.0, 30), strategy)
+        duration = cap.move_time_intervals(3, 14, PARAMS)
+        for i in range(1, duration + 1):
+            expected = cap.effective_capacity(3, 14, i / duration, PARAMS)
+            measured = result.effective_machines[2 + i - 1] * PARAMS.q
+            assert measured == pytest.approx(expected, rel=1e-6)
+        # After the move, full capacity.
+        assert result.effective_machines[2 + duration] == 14
+
+    def test_reconfiguring_flag(self):
+        sim = CapacitySimulator(PARAMS, max_machines=10)
+        strategy = OneShotStrategy(at_interval=3, target=6, initial=3)
+        result = sim.run(flat(1.0, 20), strategy)
+        assert result.reconfiguring[3]
+        assert not result.reconfiguring[0]
+        assert not result.reconfiguring[-1]
+
+
+class TestViolationSemantics:
+    def test_peak_values_drive_violations(self):
+        values = np.full(20, 1.0 * PARAMS.q * 300.0)
+        peaks = values.copy()
+        peaks[10] = 2.5 * PARAMS.q * 300.0  # burst beyond 1 machine's Q_hat
+        trace = LoadTrace(values, slot_seconds=300.0, peak_values=peaks)
+        sim = CapacitySimulator(PARAMS, max_machines=10)
+        result = sim.run(trace, StaticStrategy(1))
+        assert result.insufficient_mask().sum() == 1
+        assert result.pct_time_insufficient == pytest.approx(5.0)
+
+    def test_summary_fields(self):
+        sim = CapacitySimulator(PARAMS, max_machines=10)
+        result = sim.run(flat(1.0, 10), StaticStrategy(2))
+        summary = result.summary()
+        assert {"cost", "avg_machines", "pct_time_insufficient", "moves"} <= set(summary)
+
+    def test_normalized_cost(self):
+        sim = CapacitySimulator(PARAMS, max_machines=10)
+        result = sim.run(flat(1.0, 10), StaticStrategy(2))
+        assert result.normalized_cost(result.cost) == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            result.normalized_cost(0.0)
+
+
+class TestGuards:
+    def test_slot_mismatch_rejected(self):
+        sim = CapacitySimulator(PARAMS, max_machines=10)
+        trace = LoadTrace(np.ones(10), slot_seconds=60.0)
+        with pytest.raises(ConfigurationError):
+            sim.run(trace, StaticStrategy(2))
+
+    def test_rejects_bad_max_machines(self):
+        with pytest.raises(ConfigurationError):
+            CapacitySimulator(PARAMS, max_machines=0)
+
+    def test_targets_clamped_to_max(self):
+        sim = CapacitySimulator(PARAMS, max_machines=5)
+        strategy = OneShotStrategy(at_interval=2, target=50, initial=2)
+        result = sim.run(flat(1.0, 20), strategy)
+        assert result.allocated.max() <= 5
+
+
+class TestReactiveIntegration:
+    def test_reactive_follows_a_square_wave(self):
+        rate = np.concatenate([
+            np.full(30, 1.5), np.full(30, 4.5), np.full(60, 1.5)
+        ]) * PARAMS.q
+        trace = LoadTrace(rate * 300.0, slot_seconds=300.0)
+        sim = CapacitySimulator(PARAMS, max_machines=10)
+        result = sim.run(trace, ReactiveStrategy(detect_intervals=1,
+                                                 scale_in_intervals=5))
+        # Scaled out for the high phase...
+        assert result.target_machines[35:55].max() >= 5
+        # ...and back down eventually.
+        assert result.target_machines[-1] <= 3
+        assert result.moves >= 2

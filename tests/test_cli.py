@@ -1,0 +1,58 @@
+"""Tests for the experiment CLI and shared report helpers."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.common import PaperComparison, comparison_table, format_table
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "Table 2" in out
+        assert "ablations" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "completed in" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "fig2", "table1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "Table 1" in out
+
+    def test_save_writes_reports(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main(["run", "table1", "--save", str(out_dir)]) == 0
+        capsys.readouterr()
+        saved = out_dir / "table1.txt"
+        assert saved.exists()
+        assert "Table 1" in saved.read_text()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bbb"), [(1, 2), (33, 44)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_comparison_table(self):
+        text = comparison_table(
+            [PaperComparison("metric", "10", "11")], "Title"
+        )
+        assert "Title" in text
+        assert "metric" in text and "10" in text and "11" in text

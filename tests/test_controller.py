@@ -1,0 +1,182 @@
+"""Tests for the online Predictive and Reactive controllers (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import (
+    PredictiveController,
+    ReactiveController,
+    SPIKE_POLICY_BOOST,
+)
+from repro.core.params import SystemParameters
+from repro.engine.simulator import EngineConfig, EngineSimulator
+from repro.errors import ConfigurationError
+from repro.prediction.oracle import OraclePredictor
+from repro.workloads.trace import LoadTrace
+
+SLOT = 6.0
+PLAN = 60.0
+
+
+def plan_params() -> SystemParameters:
+    return SystemParameters(interval_seconds=PLAN, partitions_per_node=6)
+
+
+def ramp_trace(minutes: int, start_rate: float, end_rate: float) -> LoadTrace:
+    slots = int(minutes * 60 / SLOT)
+    rates = np.linspace(start_rate, end_rate, slots)
+    return LoadTrace(rates * SLOT, slot_seconds=SLOT)
+
+
+class TestPredictiveController:
+    def test_scales_ahead_of_oracle_ramp(self):
+        params = plan_params()
+        trace = ramp_trace(90, 200.0, 1800.0)
+        plan_counts = trace.resample(PLAN).values
+        controller = PredictiveController(
+            params,
+            OraclePredictor(plan_counts),
+            training_history=plan_counts[:1],
+            measurement_slot_seconds=SLOT,
+            horizon=20,
+            max_machines=10,
+        )
+        sim = EngineSimulator(EngineConfig(max_nodes=10), initial_nodes=1)
+        result = sim.run(trace, controller=controller)
+        assert controller.moves_requested >= 3
+        assert sim.machines_allocated >= 7
+        # Predictive scaling keeps latency clean throughout the ramp.
+        assert result.sla_violations("p99") == 0
+        # Every executed move is recorded in the decision log.
+        assert len(controller.decision_log) == controller.moves_requested
+        assert all(d.target > d.machines_before for d in controller.decision_log)
+        assert "planned" in str(controller.decision_log[-1]) or (
+            "warmup" in str(controller.decision_log[-1])
+        )
+
+    def test_scales_in_with_confirmations(self):
+        params = plan_params()
+        trace = ramp_trace(120, 1500.0, 150.0)
+        plan_counts = trace.resample(PLAN).values
+        controller = PredictiveController(
+            params,
+            OraclePredictor(plan_counts),
+            training_history=plan_counts[:1],
+            measurement_slot_seconds=SLOT,
+            horizon=20,
+            max_machines=10,
+            scale_in_confirmations=3,
+        )
+        sim = EngineSimulator(EngineConfig(max_nodes=10), initial_nodes=6)
+        sim.run(trace, controller=controller)
+        assert sim.machines_allocated <= 2
+
+    def test_plans_at_interval_granularity(self):
+        params = plan_params()
+        trace = ramp_trace(10, 200.0, 200.0)
+        plan_counts = trace.resample(PLAN).values
+        controller = PredictiveController(
+            params,
+            OraclePredictor(plan_counts),
+            training_history=plan_counts[:1],
+            measurement_slot_seconds=SLOT,
+            horizon=5,
+            max_machines=4,
+        )
+        assert controller.slots_per_interval == 10
+        sim = EngineSimulator(EngineConfig(max_nodes=4), initial_nodes=1)
+        sim.run(trace, controller=controller)
+        # 10 minutes -> 10 closed planning intervals.
+        assert len(controller.history) == 1 + 10
+
+    def test_default_horizon_covers_2d_over_p(self):
+        params = plan_params()
+        controller = PredictiveController(
+            params, OraclePredictor(np.ones(10)), measurement_slot_seconds=SLOT
+        )
+        minimum = 2 * params.d_seconds / params.partitions_per_node
+        assert controller.horizon * PLAN >= minimum
+
+    def test_rejects_misaligned_slots(self):
+        params = plan_params()
+        with pytest.raises(ConfigurationError):
+            PredictiveController(
+                params, OraclePredictor(np.ones(4)), measurement_slot_seconds=7.0
+            )
+
+    def test_rejects_unknown_spike_policy(self):
+        with pytest.raises(ConfigurationError):
+            PredictiveController(
+                plan_params(), OraclePredictor(np.ones(4)), spike_policy="warp"
+            )
+
+    def test_boost_used_on_fallback(self):
+        params = plan_params()
+        # Constant low load, then a cliff the oracle *does* see but that
+        # is infeasible to out-scale: predictive policy falls back.
+        slots = int(30 * 60 / SLOT)
+        rates = np.concatenate([
+            np.full(slots // 2, 150.0), np.full(slots - slots // 2, 2500.0)
+        ])
+        trace = LoadTrace(rates * SLOT, slot_seconds=SLOT)
+        plan_counts = trace.resample(PLAN).values
+        controller = PredictiveController(
+            params,
+            OraclePredictor(plan_counts),
+            training_history=plan_counts[:1],
+            measurement_slot_seconds=SLOT,
+            horizon=10,
+            max_machines=10,
+            spike_policy=SPIKE_POLICY_BOOST,
+        )
+        sim = EngineSimulator(EngineConfig(max_nodes=10), initial_nodes=1)
+        sim.run(trace, controller=controller)
+        assert controller.boosted_moves >= 1
+
+
+class TestReactiveController:
+    def test_waits_for_detection_window(self):
+        params = plan_params()
+        controller = ReactiveController(
+            params, max_machines=10, detect_slots=5, measurement_slot_seconds=SLOT
+        )
+        sim = EngineSimulator(EngineConfig(max_nodes=10), initial_nodes=1)
+        overload = LoadTrace(np.full(20, 500.0 * SLOT), slot_seconds=SLOT)
+        for slot_index in range(4):
+            controller.on_slot(sim, slot_index, 500.0 * SLOT)
+        assert controller.moves_requested == 0
+        controller.on_slot(sim, 4, 500.0 * SLOT)
+        assert controller.moves_requested == 1
+        assert sim.migration_active
+
+    def test_no_reaction_below_trigger(self):
+        params = plan_params()
+        controller = ReactiveController(
+            params, max_machines=10, detect_slots=1, measurement_slot_seconds=SLOT
+        )
+        sim = EngineSimulator(EngineConfig(max_nodes=10), initial_nodes=2)
+        for slot_index in range(10):
+            controller.on_slot(sim, slot_index, 400.0 * SLOT)  # < 2 * Q
+        assert controller.moves_requested == 0
+
+    def test_scale_in_after_sustained_low_load(self):
+        params = plan_params()
+        controller = ReactiveController(
+            params, max_machines=10, scale_in_slots=5, measurement_slot_seconds=SLOT
+        )
+        config = EngineConfig(max_nodes=10)
+        sim = EngineSimulator(config, initial_nodes=4)
+        slot_index = 0
+        while controller.moves_requested == 0 and slot_index < 50:
+            if sim.migration_active:
+                sim.migration.step(1e6)
+                sim.migration = None
+            controller.on_slot(sim, slot_index, 100.0 * SLOT)
+            slot_index += 1
+        assert controller.moves_requested == 1
+
+    def test_rejects_invalid_windows(self):
+        with pytest.raises(ConfigurationError):
+            ReactiveController(plan_params(), detect_slots=0)
+        with pytest.raises(ConfigurationError):
+            ReactiveController(plan_params(), trigger_fraction=0.0)

@@ -1,0 +1,78 @@
+"""Tests for bipartite edge coloring (the phase-3 scheduler's engine)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.edge_coloring import bipartite_edge_coloring, validate_edge_coloring
+from repro.errors import ConfigurationError
+
+
+def max_degree(edges):
+    left, right = {}, {}
+    for u, v in edges:
+        left[u] = left.get(u, 0) + 1
+        right[v] = right.get(v, 0) + 1
+    return max(list(left.values()) + list(right.values()), default=0)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert bipartite_edge_coloring([]) == []
+
+    def test_single_edge(self):
+        assert bipartite_edge_coloring([(0, 0)]) == [0]
+
+    def test_star_needs_degree_colors(self):
+        edges = [(0, v) for v in range(5)]
+        colors = bipartite_edge_coloring(edges)
+        assert sorted(colors) == [0, 1, 2, 3, 4]
+
+    def test_complete_bipartite(self):
+        edges = [(u, v) for u in range(4) for v in range(4)]
+        colors = bipartite_edge_coloring(edges)
+        validate_edge_coloring(edges, colors)
+        assert max(colors) + 1 == 4
+
+    def test_parallel_edges(self):
+        edges = [(0, 0), (0, 0), (0, 0)]
+        colors = bipartite_edge_coloring(edges)
+        assert sorted(colors) == [0, 1, 2]
+
+    def test_left_right_namespaces_distinct(self):
+        # The same label on both sides denotes different vertices.
+        edges = [("x", "x"), ("x", "y"), ("y", "x")]
+        colors = bipartite_edge_coloring(edges)
+        validate_edge_coloring(edges, colors)
+        assert max(colors) + 1 == 2
+
+
+class TestValidator:
+    def test_detects_conflicts(self):
+        edges = [(0, 0), (0, 1)]
+        with pytest.raises(ConfigurationError):
+            validate_edge_coloring(edges, [0, 0])
+
+    def test_detects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            validate_edge_coloring([(0, 0)], [])
+
+
+@st.composite
+def bipartite_graphs(draw):
+    num_left = draw(st.integers(1, 8))
+    num_right = draw(st.integers(1, 8))
+    possible = [(u, v) for u in range(num_left) for v in range(num_right)]
+    return draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=40)
+    )
+
+
+class TestProperties:
+    @given(bipartite_graphs())
+    @settings(max_examples=150, deadline=None)
+    def test_coloring_is_proper_and_optimal(self, edges):
+        colors = bipartite_edge_coloring(edges)
+        validate_edge_coloring(edges, colors)
+        # König: a bipartite multigraph is max-degree edge-chromatic.
+        assert max(colors) + 1 <= max_degree(edges)

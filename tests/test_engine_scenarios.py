@@ -1,0 +1,112 @@
+"""Behavioural scenario tests for the engine simulator.
+
+Each scenario pins a physical behaviour the Figure 7-11 experiments rely
+on: latency knees, migration interference, routing shifts, and the
+interaction between overload and reconfiguration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.migration import MigrationConfig
+from repro.engine.simulator import EngineConfig, EngineSimulator
+from repro.workloads.trace import LoadTrace
+
+
+def flat(rate, seconds, slot=6.0):
+    return LoadTrace(np.full(int(seconds / slot), rate * slot), slot_seconds=slot)
+
+
+class TestLatencyKnee:
+    def test_latency_superlinear_in_utilization(self):
+        """Doubling utilization from 40% to 80% more than doubles the
+        queueing part of p99 (the Figure 7 knee)."""
+        config = EngineConfig(max_nodes=1)
+        base_ms = config.base_service_ms
+
+        def steady_p99(rate):
+            sim = EngineSimulator(config, initial_nodes=1)
+            return sim.run(flat(rate, 60)).p99_ms[-1] - base_ms
+
+        low = steady_p99(0.4 * 438)
+        high = steady_p99(0.8 * 438)
+        assert high > 2.5 * low
+
+    def test_throughput_ceiling_is_saturation(self):
+        config = EngineConfig(max_nodes=1)
+        sim = EngineSimulator(config, initial_nodes=1)
+        result = sim.run(flat(2000.0, 60))
+        assert result.served.max() <= 438.0 + 1e-6
+
+
+class TestMigrationInterference:
+    def test_mid_move_capacity_dips_below_target(self):
+        """During a big scale-out at high load, latency rises while the
+        new machines hold little data (the Equation 7 effect), then
+        recovers once the move completes."""
+        config = EngineConfig(max_nodes=9)
+        sim = EngineSimulator(config, initial_nodes=3)
+        migration = sim.start_move(9)
+        rate = 3 * 340.0  # near the 3 senders' saturation
+        duration = int(migration.total_seconds) + 60
+        result = sim.run(flat(rate, duration))
+        during = result.p99_ms[: int(migration.total_seconds) - 10]
+        after = result.p99_ms[-30:]
+        assert during.max() > 2 * after.mean()
+        assert after.mean() < 500.0
+
+    def test_boosted_move_finishes_first(self):
+        config = EngineConfig(max_nodes=4)
+        slow_sim = EngineSimulator(config, initial_nodes=2)
+        slow = slow_sim.start_move(4)
+        fast_sim = EngineSimulator(config, initial_nodes=2)
+        fast = fast_sim.start_move(4, boost=8.0)
+        assert fast.total_seconds == pytest.approx(slow.total_seconds / 8)
+
+    def test_big_chunks_spike_p99_but_not_p50(self):
+        config = EngineConfig(max_nodes=2)
+        sim = EngineSimulator(
+            config, initial_nodes=1,
+            migration_config=MigrationConfig(chunk_kb=8000.0),
+        )
+        sim.start_move(2)
+        result = sim.run(flat(300.0, 120))
+        assert result.p99_ms.max() > 400.0
+        assert np.median(result.p50_ms) < 200.0
+
+
+class TestRoutingShift:
+    def test_load_follows_data(self):
+        """As buckets land on new machines, the source sheds load: its
+        backlog stops growing even though the total rate is constant."""
+        config = EngineConfig(max_nodes=2)
+        sim = EngineSimulator(config, initial_nodes=1)
+        migration = sim.start_move(2)
+        # 500 txn/s: overloads one node (438) but not two.
+        result = sim.run(flat(500.0, int(migration.total_seconds) + 120))
+        # Eventually the cluster keeps up and latency stabilizes.
+        assert result.served[-1] == pytest.approx(500.0, rel=0.02)
+        assert result.p99_ms[-1] < result.p99_ms.max()
+
+    def test_weights_match_bucket_ownership(self):
+        config = EngineConfig(max_nodes=4)
+        sim = EngineSimulator(config, initial_nodes=4)
+        weights = np.asarray(sim.cluster.node_weights())
+        assert weights[:4].sum() == pytest.approx(1.0)
+        assert np.allclose(weights[:4], 0.25, atol=0.01)
+
+
+class TestQueueCap:
+    def test_backlog_capped_under_sustained_overload(self):
+        config = EngineConfig(max_nodes=1, max_queue_seconds=10.0)
+        sim = EngineSimulator(config, initial_nodes=1)
+        result = sim.run(flat(2000.0, 300))
+        # Latency saturates near the cap instead of growing forever.
+        assert result.p50_ms[-1] < 15_000.0
+        assert result.p50_ms[-1] == pytest.approx(result.p50_ms[-30], rel=0.2)
+
+    def test_uncapped_queue_grows(self):
+        config = EngineConfig(max_nodes=1, max_queue_seconds=0.0)
+        sim = EngineSimulator(config, initial_nodes=1)
+        result = sim.run(flat(2000.0, 120))
+        assert result.p50_ms[-1] > result.p50_ms[60] * 1.5

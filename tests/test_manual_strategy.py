@@ -1,0 +1,120 @@
+"""Tests for the manual-provisioning overlay strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import SystemParameters
+from repro.errors import ConfigurationError
+from repro.simulation.capacity_sim import CapacitySimulator
+from repro.strategies import (
+    ManualOverrideStrategy,
+    ProvisioningWindow,
+    StaticStrategy,
+)
+from repro.strategies.base import SimState
+from repro.workloads.trace import LoadTrace
+
+PARAMS = SystemParameters(interval_seconds=300.0, partitions_per_node=6)
+INTERVALS_PER_DAY = 288
+
+
+def state(interval, machines, rate=100.0):
+    return SimState(
+        interval=interval,
+        machines=machines,
+        load_rate=rate,
+        history_rates=np.full(interval + 1, rate),
+        slot_seconds=300.0,
+    )
+
+
+class TestWindow:
+    def test_active(self):
+        window = ProvisioningWindow(2.0, 3.0, 8, label="promo")
+        assert not window.active(1.9)
+        assert window.active(2.0)
+        assert window.active(2.99)
+        assert not window.active(3.0)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ProvisioningWindow(2.0, 2.0, 8)
+        with pytest.raises(ConfigurationError):
+            ProvisioningWindow(1.0, 2.0, 0)
+
+
+class TestOverlay:
+    def test_floor_enforced_inside_window(self):
+        strategy = ManualOverrideStrategy(
+            StaticStrategy(2), [ProvisioningWindow(1.0, 2.0, 8)]
+        )
+        strategy.reset(PARAMS, 10)
+        # Outside the window: the base strategy rules (holds at 2).
+        assert strategy.decide(state(0, 2)) is None
+        # Inside the window: the floor forces a scale-out.
+        inside = int(1.5 * INTERVALS_PER_DAY)
+        assert strategy.decide(state(inside, 2)) == 8
+        # Already at the floor: nothing to do.
+        assert strategy.decide(state(inside, 8)) is None
+
+    def test_lead_time_pre_provisions(self):
+        strategy = ManualOverrideStrategy(
+            StaticStrategy(2), [ProvisioningWindow(1.0, 2.0, 8)], lead_days=0.1
+        )
+        strategy.reset(PARAMS, 10)
+        just_before = int(0.95 * INTERVALS_PER_DAY)
+        assert strategy.decide(state(just_before, 2)) == 8
+
+    def test_base_decision_wins_when_higher(self):
+        strategy = ManualOverrideStrategy(
+            StaticStrategy(9), [ProvisioningWindow(0.0, 1.0, 4)]
+        )
+        strategy.reset(PARAMS, 10)
+        # Static-9 wants 9 >= floor 4: the overlay passes it through.
+        assert strategy.initial_machines(100.0) == 9
+        assert strategy.decide(state(5, 9)) is None
+
+    def test_initial_machines_respects_floor(self):
+        strategy = ManualOverrideStrategy(
+            StaticStrategy(2), [ProvisioningWindow(0.0, 1.0, 6)]
+        )
+        strategy.reset(PARAMS, 10)
+        assert strategy.initial_machines(100.0) == 6
+
+    def test_floor_clamped_to_max_machines(self):
+        strategy = ManualOverrideStrategy(
+            StaticStrategy(2), [ProvisioningWindow(0.0, 1.0, 50)]
+        )
+        strategy.reset(PARAMS, 5)
+        assert strategy.decide(state(3, 2)) == 5
+
+    def test_rejects_negative_lead(self):
+        with pytest.raises(ConfigurationError):
+            ManualOverrideStrategy(StaticStrategy(2), [], lead_days=-1.0)
+
+
+class TestSimulation:
+    def test_black_friday_floor_in_capacity_sim(self):
+        """The composite strategy pre-provisions a known event day."""
+        q = PARAMS.q
+        # Two days of modest load; day 2 carries a huge known promotion.
+        rates = np.concatenate([
+            np.full(INTERVALS_PER_DAY, 1.5 * q),
+            np.full(INTERVALS_PER_DAY, 7.5 * q),
+        ])
+        trace = LoadTrace(rates * 300.0, slot_seconds=300.0)
+        simulator = CapacitySimulator(PARAMS, max_machines=12)
+
+        plain = simulator.run(trace, StaticStrategy(2))
+        composite = simulator.run(
+            trace,
+            ManualOverrideStrategy(
+                StaticStrategy(2),
+                [ProvisioningWindow(1.0, 2.0, 10, label="black friday")],
+            ),
+        )
+        assert plain.pct_time_insufficient > 40.0
+        assert composite.pct_time_insufficient < 1.0
+        # The floor lifts allocation only around the event.
+        assert composite.allocated[: INTERVALS_PER_DAY // 2].max() <= 2
+        assert composite.allocated[-INTERVALS_PER_DAY // 2 :].min() >= 10

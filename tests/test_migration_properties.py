@@ -1,0 +1,96 @@
+"""Property-based tests for live migration against a real cluster.
+
+For any pair of cluster sizes, a migration must terminate, leave the
+plan balanced, keep allocation monotone in the right direction, and —
+when real rows are present — lose nothing.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.cluster import Cluster
+from repro.engine.migration import Migration, MigrationConfig
+from repro.engine.table import DatabaseSchema, TableSchema
+
+DB_KB = 1106.0 * 1024.0
+sizes = st.integers(min_value=1, max_value=10)
+
+
+def make_cluster(initial: int) -> Cluster:
+    schema = DatabaseSchema().add(TableSchema(name="T", key_column="k"))
+    return Cluster(
+        schema, initial_nodes=initial, partitions_per_node=2,
+        num_buckets=120, max_nodes=12,
+    )
+
+
+@given(before=sizes, after=sizes)
+@settings(max_examples=40, deadline=None)
+def test_migration_terminates_balanced(before, after):
+    if before == after:
+        return
+    cluster = make_cluster(before)
+    migration = Migration(cluster, after, DB_KB)
+    allocations = [cluster.num_active_nodes]
+    steps = 0
+    while not migration.completed:
+        migration.step(migration.round_seconds or 1.0)
+        allocations.append(cluster.num_active_nodes)
+        steps += 1
+        assert steps < 10_000
+
+    assert cluster.num_active_nodes == after
+    fractions = cluster.data_fractions()
+    assert len(fractions) == after
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    # Buckets spread evenly (within integrality).
+    counts = [cluster.plan.bucket_counts().get(n, 0) for n in range(after)]
+    assert max(counts) - min(counts) <= after
+    # Allocation monotone in the move's direction.
+    if after > before:
+        assert allocations == sorted(allocations)
+    else:
+        assert allocations == sorted(allocations, reverse=True)
+    # Plan compacted after scale-in.
+    assert cluster.plan.num_nodes == max(
+        cluster.plan.node_of(b) for b in range(cluster.num_buckets)
+    ) + 1 or cluster.plan.num_nodes >= after
+
+
+@given(before=sizes, after=sizes, rows=st.integers(10, 120))
+@settings(max_examples=20, deadline=None)
+def test_migration_preserves_rows(before, after, rows):
+    if before == after:
+        return
+    cluster = make_cluster(before)
+    for i in range(rows):
+        key = f"row-{i}"
+        cluster.route(key).put("T", key, {"k": key})
+    migration = Migration(cluster, after, DB_KB)
+    while not migration.completed:
+        migration.step(1e6)
+    assert cluster.total_rows() == rows
+    # Every key still routes to a partition that actually has it.
+    for i in range(rows):
+        key = f"row-{i}"
+        assert cluster.route(key).get("T", key) == {"k": key}
+
+
+@given(before=sizes, after=sizes)
+@settings(max_examples=20, deadline=None)
+def test_back_to_back_moves(before, after):
+    """A second migration after the first must still work (plan state
+    is consistent between moves)."""
+    if before == after:
+        return
+    cluster = make_cluster(before)
+    first = Migration(cluster, after, DB_KB)
+    while not first.completed:
+        first.step(1e6)
+    # Move back to where we started.
+    second = Migration(cluster, before, DB_KB)
+    while not second.completed:
+        second.step(1e6)
+    assert cluster.num_active_nodes == before
+    assert len(cluster.data_fractions()) == before

@@ -1,0 +1,124 @@
+"""Property-based tests for the planner.
+
+For random feasible instances, the returned plan must always be a
+contiguous tiling of the horizon whose effective capacity covers the
+load, with cost between the fractional lower bound and the trivial
+peak-provisioned upper bound.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+import repro.core.capacity as cap
+from repro.core.params import SystemParameters
+from repro.core.planner import Planner, plan_cost_lower_bound
+from repro.errors import InfeasiblePlanError
+
+PARAMS = SystemParameters(interval_seconds=300.0, partitions_per_node=6)
+
+
+@st.composite
+def planning_instances(draw):
+    horizon = draw(st.integers(3, 12))
+    initial = draw(st.integers(1, 6))
+    # Loads as machine multiples; keep the first interval feasible.
+    multiples = draw(
+        st.lists(
+            st.floats(0.1, 6.0, allow_nan=False, allow_infinity=False),
+            min_size=horizon + 1,
+            max_size=horizon + 1,
+        )
+    )
+    load = np.array(multiples) * PARAMS.q
+    load[0] = min(load[0], 0.95 * initial * PARAMS.q)
+    return load, initial
+
+
+@given(planning_instances())
+@settings(max_examples=120, deadline=None)
+def test_plans_are_feasible_tilings(instance):
+    load, initial = instance
+    planner = Planner(PARAMS, max_machines=12)
+    try:
+        plan = planner.best_moves(load, initial)
+    except InfeasiblePlanError:
+        return  # random spikes may legitimately be unschedulable
+
+    # Moves tile [0, horizon] contiguously.
+    cursor = 0
+    for move in plan.moves:
+        assert move.start == cursor
+        assert move.end > move.start
+        assert move.before >= 1 and move.after >= 1
+        cursor = move.end
+    assert cursor == plan.horizon
+
+    # First move starts from the initial machine count.
+    assert plan.moves[0].before == initial
+    assert plan.moves[-1].after == plan.final_machines
+
+    # Effective capacity covers the load at every interval.
+    for move in plan.moves:
+        duration = move.duration
+        for i in range(1, duration + 1):
+            eff = cap.effective_capacity(move.before, move.after, i / duration, PARAMS)
+            assert load[move.start + i] <= eff + 1e-6
+
+    # Chained moves are consistent (after of one == before of next).
+    for first, second in zip(plan.moves, plan.moves[1:]):
+        assert first.after == second.before
+
+
+@given(planning_instances())
+@settings(max_examples=80, deadline=None)
+def test_cost_bounds(instance):
+    load, initial = instance
+    planner = Planner(PARAMS, max_machines=12)
+    try:
+        plan = planner.best_moves(load, initial)
+    except InfeasiblePlanError:
+        return
+    horizon = len(load) - 1
+    lower = plan_cost_lower_bound(load, PARAMS)
+    peak_machines = max(
+        initial, max(1, math.ceil(load.max() / PARAMS.q))
+    )
+    upper = peak_machines * (horizon + 1) + peak_machines  # slack for move avg
+    # Just-in-time allocation inside each real move may fractionally
+    # undercut the ceil-based baseline by up to (A - B) / 2 machines.
+    move_slack = sum(
+        abs(m.after - m.before) / 2 for m in plan.moves if not m.is_noop
+    )
+    assert lower - move_slack - 1e-6 <= plan.cost <= upper + 1e-6
+
+
+@given(planning_instances())
+@settings(max_examples=60, deadline=None)
+def test_final_machines_minimal(instance):
+    """No feasible plan ends with fewer machines than the one returned."""
+    load, initial = instance
+    planner = Planner(PARAMS, max_machines=12)
+    try:
+        plan = planner.best_moves(load, initial)
+    except InfeasiblePlanError:
+        return
+    assume(plan.final_machines > 1)
+    with pytest.raises(InfeasiblePlanError):
+        planner.best_moves(
+            load, initial, required_final_machines=plan.final_machines - 1
+        )
+
+
+@given(st.integers(1, 10), st.integers(3, 10))
+@settings(max_examples=40, deadline=None)
+def test_constant_load_always_holds(machines, horizon):
+    """At exactly-sufficient constant load, the plan is all no-ops."""
+    load = np.full(horizon + 1, (machines - 0.5) * PARAMS.q)
+    planner = Planner(PARAMS, max_machines=12)
+    plan = planner.best_moves(load, machines)
+    assert plan.first_real_move() is None
+    assert plan.cost == pytest.approx(machines * (horizon + 1))

@@ -1,0 +1,183 @@
+"""Tests for the fluid-queue latency model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.queueing import (
+    LatencyComponents,
+    PartitionQueue,
+    fluid_queue_step,
+    latency_components,
+    mixture_mean,
+    mixture_quantiles,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFluidQueue:
+    def test_underload_serves_everything(self):
+        backlog = np.array([0.0])
+        new_backlog, served = fluid_queue_step(
+            backlog, np.array([50.0]), np.array([100.0]), dt=1.0
+        )
+        assert served[0] == pytest.approx(50.0)
+        assert new_backlog[0] == pytest.approx(0.0)
+
+    def test_overload_accumulates(self):
+        backlog = np.array([0.0])
+        new_backlog, served = fluid_queue_step(
+            backlog, np.array([150.0]), np.array([100.0]), dt=1.0
+        )
+        assert served[0] == pytest.approx(100.0)
+        assert new_backlog[0] == pytest.approx(50.0)
+
+    def test_backlog_drains(self):
+        backlog = np.array([30.0])
+        new_backlog, served = fluid_queue_step(
+            backlog, np.array([50.0]), np.array([100.0]), dt=1.0
+        )
+        assert served[0] == pytest.approx(80.0)
+        assert new_backlog[0] == pytest.approx(0.0)
+
+    @given(
+        st.floats(0, 1000), st.floats(0, 500), st.floats(1, 500),
+        st.floats(0.1, 10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_work_conservation(self, backlog, offered, mu, dt):
+        new_backlog, served = fluid_queue_step(
+            np.array([backlog]), np.array([offered]), np.array([mu]), dt
+        )
+        # Work in == work out + work queued.
+        assert backlog + offered * dt == pytest.approx(served[0] + new_backlog[0])
+        assert new_backlog[0] >= -1e-9
+        assert served[0] <= mu * dt + 1e-9
+
+
+class TestLatencyComponents:
+    def test_m_m_1_quantiles(self):
+        # Single partition, no backlog: latency = base + Exp(mu - lambda).
+        components = latency_components(
+            np.array([0.0]), np.array([50.0]), np.array([100.0]),
+            base_service_s=0.01,
+        )
+        p50, p99 = mixture_quantiles(components, (0.5, 0.99))
+        assert p50 == pytest.approx(0.01 + np.log(2) / 50.0, rel=1e-6)
+        assert p99 == pytest.approx(0.01 + np.log(100) / 50.0, rel=1e-6)
+
+    def test_backlog_adds_deterministic_delay(self):
+        no_queue = latency_components(
+            np.array([0.0]), np.array([50.0]), np.array([100.0]), base_service_s=0.0
+        )
+        queued = latency_components(
+            np.array([200.0]), np.array([50.0]), np.array([100.0]), base_service_s=0.0
+        )
+        p50_a = mixture_quantiles(no_queue, (0.5,))[0]
+        p50_b = mixture_quantiles(queued, (0.5,))[0]
+        assert p50_b == pytest.approx(p50_a + 2.0, rel=1e-6)
+
+    def test_latency_monotone_in_load(self):
+        previous = 0.0
+        for offered in (10.0, 50.0, 80.0, 95.0):
+            components = latency_components(
+                np.array([0.0]), np.array([offered]), np.array([100.0]),
+                base_service_s=0.0,
+            )
+            p99 = mixture_quantiles(components, (0.99,))[0]
+            assert p99 > previous
+            previous = p99
+
+    def test_block_widens_tail(self):
+        base = latency_components(
+            np.array([0.0]), np.array([50.0]), np.array([100.0]),
+            base_service_s=0.0,
+        )
+        blocked = latency_components(
+            np.array([0.0]), np.array([50.0]), np.array([100.0]),
+            base_service_s=0.0,
+            block_seconds=np.array([0.4]),
+            block_weight=np.array([0.4]),
+        )
+        p99_base = mixture_quantiles(base, (0.99,))[0]
+        p99_blocked = mixture_quantiles(blocked, (0.99,))[0]
+        assert p99_blocked > p99_base + 0.3  # reflects the 0.4 s pause
+
+    def test_block_requires_weight(self):
+        with pytest.raises(ConfigurationError):
+            latency_components(
+                np.array([0.0]), np.array([1.0]), np.array([10.0]),
+                base_service_s=0.0, block_seconds=np.array([0.1]),
+            )
+
+    def test_weights_normalized(self):
+        components = latency_components(
+            np.zeros(4), np.array([10.0, 20.0, 30.0, 40.0]), np.full(4, 100.0),
+            base_service_s=0.0,
+        )
+        assert components.weights.sum() == pytest.approx(1.0)
+
+    def test_no_arrivals_degenerates(self):
+        components = latency_components(
+            np.zeros(2), np.zeros(2), np.full(2, 100.0), base_service_s=0.005
+        )
+        p50 = mixture_quantiles(components, (0.5,))[0]
+        assert p50 >= 0.005
+
+
+class TestMixtureQuantiles:
+    def test_against_monte_carlo(self, rng):
+        weights = np.array([0.6, 0.4])
+        delays = np.array([0.05, 0.30])
+        rates = np.array([40.0, 5.0])
+        components = LatencyComponents(weights, delays, rates)
+        analytic = mixture_quantiles(components, (0.5, 0.95, 0.99))
+        choices = rng.choice(2, size=400_000, p=weights)
+        samples = delays[choices] + rng.exponential(1.0 / rates[choices])
+        empirical = np.percentile(samples, [50, 95, 99])
+        assert np.allclose(analytic, empirical, rtol=0.02)
+
+    def test_mixture_mean(self):
+        components = LatencyComponents(
+            np.array([0.5, 0.5]), np.array([0.1, 0.2]), np.array([10.0, 20.0])
+        )
+        expected = 0.5 * (0.1 + 0.1) + 0.5 * (0.2 + 0.05)
+        assert mixture_mean(components) == pytest.approx(expected)
+
+    def test_rejects_bad_quantile(self):
+        components = LatencyComponents(
+            np.array([1.0]), np.array([0.0]), np.array([1.0])
+        )
+        with pytest.raises(ConfigurationError):
+            mixture_quantiles(components, (1.5,))
+
+    def test_quantiles_monotone(self):
+        components = LatencyComponents(
+            np.array([0.3, 0.7]), np.array([0.0, 0.5]), np.array([3.0, 30.0])
+        )
+        q = mixture_quantiles(components, (0.1, 0.5, 0.9, 0.99))
+        assert list(q) == sorted(q)
+
+
+class TestPartitionQueue:
+    def test_steady_state(self):
+        queue = PartitionQueue(service_rate=100.0, base_service_s=0.01)
+        for _ in range(10):
+            served, percentiles = queue.step(offered=50.0)
+        assert served == pytest.approx(50.0)
+        assert queue.backlog == pytest.approx(0.0)
+        assert percentiles[2] > percentiles[0] > 0.01
+
+    def test_overload_latency_grows(self):
+        queue = PartitionQueue(service_rate=100.0)
+        previous = 0.0
+        for _ in range(5):
+            _, percentiles = queue.step(offered=150.0)
+            assert percentiles[0] >= previous
+            previous = percentiles[0]
+        assert queue.backlog > 0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            PartitionQueue(service_rate=0.0)

@@ -1,0 +1,76 @@
+"""Property-based tests for the migration scheduler.
+
+The schedule invariants must hold for every (B, A, P): validation
+passes, the round count is optimal, the time-average allocation matches
+Algorithm 4 exactly, and the total duration matches Equation 3.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.capacity as cap
+from repro.core.params import SystemParameters
+from repro.core.schedule import build_move_schedule
+
+sizes = st.integers(min_value=1, max_value=24)
+partitions = st.integers(min_value=1, max_value=8)
+
+
+@given(before=sizes, after=sizes, p=partitions)
+@settings(max_examples=200, deadline=None)
+def test_schedule_invariants(before, after, p):
+    schedule = build_move_schedule(before, after, p)
+    schedule.validate()
+
+    if before == after:
+        assert schedule.num_rounds == 0
+        return
+
+    smaller, larger = min(before, after), max(before, after)
+    delta = larger - smaller
+
+    # Optimal round count: B*delta pairs at min(B, delta) parallelism,
+    # kept tight by the three-phase trick.
+    assert schedule.num_rounds == max(smaller, delta)
+
+    # Time-average allocation agrees with Algorithm 4 (Appendix B).
+    assert schedule.average_machines_allocated() == pytest.approx(
+        cap.average_machines_allocated(before, after)
+    )
+
+    # Duration agrees with Equation 3.
+    params = SystemParameters(partitions_per_node=p)
+    assert schedule.total_seconds(params) == pytest.approx(
+        cap.move_time_seconds(before, after, params)
+    )
+
+
+@given(before=sizes, after=sizes)
+@settings(max_examples=100, deadline=None)
+def test_allocation_monotone_and_bounded(before, after):
+    schedule = build_move_schedule(before, after)
+    allocations = [rnd.machines_allocated for rnd in schedule.rounds]
+    if not allocations:
+        return
+    lo, hi = min(before, after), max(before, after)
+    assert all(lo <= a <= hi for a in allocations)
+    if after > before:
+        assert allocations == sorted(allocations)
+        assert allocations[-1] == after
+    else:
+        assert allocations == sorted(allocations, reverse=True)
+        assert allocations[0] == before
+
+
+@given(before=sizes, after=sizes)
+@settings(max_examples=100, deadline=None)
+def test_rounds_are_matchings_with_equal_size(before, after):
+    """Every round is a matching and all rounds move equal data."""
+    schedule = build_move_schedule(before, after)
+    sizes_seen = set()
+    for rnd in schedule.rounds:
+        machines = [m for t in rnd.transfers for m in (t.sender, t.receiver)]
+        assert len(machines) == len(set(machines))
+        sizes_seen.add(len(rnd.transfers))
+    assert len(sizes_seen) <= 1

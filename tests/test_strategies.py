@@ -1,0 +1,193 @@
+"""Tests for the allocation strategies and the predictive policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import SystemParameters
+from repro.core.policy import PredictivePolicy
+from repro.errors import ConfigurationError
+from repro.prediction.oracle import OraclePredictor
+from repro.strategies import (
+    PStoreStrategy,
+    ReactiveStrategy,
+    SimState,
+    SimpleStrategy,
+    StaticStrategy,
+)
+from repro.workloads.trace import LoadTrace
+
+PARAMS = SystemParameters(interval_seconds=300.0, partitions_per_node=6)
+
+
+def make_state(interval, machines, load_rate, history=None, slot=300.0):
+    if history is None:
+        history = np.full(interval + 1, load_rate)
+    return SimState(
+        interval=interval,
+        machines=machines,
+        load_rate=load_rate,
+        history_rates=np.asarray(history, dtype=float),
+        slot_seconds=slot,
+    )
+
+
+class TestStatic:
+    def test_never_moves(self):
+        strategy = StaticStrategy(7)
+        strategy.reset(PARAMS, 10)
+        assert strategy.initial_machines(1.0) == 7
+        assert strategy.decide(make_state(5, 7, 1e9)) is None
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ConfigurationError):
+            StaticStrategy(0)
+
+
+class TestSimple:
+    def test_day_night_switching(self):
+        strategy = SimpleStrategy(8, 2, morning_hour=7, night_hour=23)
+        strategy.reset(PARAMS, 10)
+        intervals_per_hour = 12
+        night = make_state(3 * intervals_per_hour, 2, 100.0)  # 03:00
+        assert strategy.decide(night) is None
+        morning = make_state(8 * intervals_per_hour, 2, 100.0)  # 08:00
+        assert strategy.decide(morning) == 8
+        evening = make_state(23 * intervals_per_hour + 1, 8, 100.0)  # 23:05
+        assert strategy.decide(evening) == 2
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            SimpleStrategy(2, 5)
+        with pytest.raises(ConfigurationError):
+            SimpleStrategy(5, 0)
+        with pytest.raises(ConfigurationError):
+            SimpleStrategy(5, 2, morning_hour=10, night_hour=9)
+
+
+class TestReactive:
+    def test_triggers_after_detection(self):
+        strategy = ReactiveStrategy(detect_intervals=2)
+        strategy.reset(PARAMS, 10)
+        overload = 2.5 * PARAMS.q  # needs 3 machines, have 2
+        assert strategy.decide(make_state(0, 2, overload)) is None
+        assert strategy.decide(make_state(1, 2, overload)) == 3
+
+    def test_headroom_adds_machines(self):
+        strategy = ReactiveStrategy(headroom=0.5, detect_intervals=1)
+        strategy.reset(PARAMS, 10)
+        assert strategy.decide(make_state(0, 2, 2.5 * PARAMS.q)) == 4
+
+    def test_scale_in_one_at_a_time(self):
+        strategy = ReactiveStrategy(scale_in_intervals=3)
+        strategy.reset(PARAMS, 10)
+        low = 0.5 * PARAMS.q
+        assert strategy.decide(make_state(0, 5, low)) is None
+        assert strategy.decide(make_state(1, 5, low)) is None
+        assert strategy.decide(make_state(2, 5, low)) == 4
+
+    def test_counter_resets_on_normal_load(self):
+        strategy = ReactiveStrategy(scale_in_intervals=2)
+        strategy.reset(PARAMS, 10)
+        low = 0.5 * PARAMS.q
+        fine = 4.5 * PARAMS.q
+        assert strategy.decide(make_state(0, 5, low)) is None
+        assert strategy.decide(make_state(1, 5, fine)) is None
+        assert strategy.decide(make_state(2, 5, low)) is None
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ReactiveStrategy(headroom=-0.1)
+        with pytest.raises(ConfigurationError):
+            ReactiveStrategy(detect_intervals=0)
+
+
+class TestPredictivePolicy:
+    def test_plateau_fast_path_skips_planning(self):
+        policy = PredictivePolicy(PARAMS, max_machines=10)
+        load = np.full(13, 1.5 * PARAMS.q)
+        decision = policy.decide(load, 2)
+        assert decision.target is None
+        assert not decision.planned
+        assert policy.plans_computed == 0
+
+    def test_scale_out_executed_immediately(self):
+        policy = PredictivePolicy(PARAMS, max_machines=10)
+        # Load exceeds the 2-machine capacity already at the next
+        # interval, so the first move must start now.
+        load = np.linspace(1.9, 6.5, 13) * PARAMS.q
+        decision = policy.decide(load, 2)
+        assert decision.planned
+        assert decision.target is not None and decision.target > 2
+
+    def test_scale_out_delayed_when_there_is_time(self):
+        policy = PredictivePolicy(PARAMS, max_machines=10)
+        # Capacity is exceeded only several intervals out: the planner
+        # delays the move (minimizing cost), so nothing executes yet.
+        load = np.linspace(1.5, 2.8, 13) * PARAMS.q
+        decision = policy.decide(load, 2)
+        assert decision.planned
+        assert decision.target is None
+
+    def test_scale_in_needs_three_votes(self):
+        policy = PredictivePolicy(PARAMS, max_machines=10, scale_in_confirmations=3)
+        load = np.full(13, 0.5 * PARAMS.q)
+        assert policy.decide(load, 4).target is None
+        assert policy.decide(load, 4).target is None
+        third = policy.decide(load, 4)
+        assert third.target is not None and third.target < 4
+
+    def test_scale_out_resets_scale_in_votes(self):
+        policy = PredictivePolicy(PARAMS, max_machines=10, scale_in_confirmations=2)
+        low = np.full(13, 0.5 * PARAMS.q)
+        high = np.linspace(1.5, 6.5, 13) * PARAMS.q
+        assert policy.decide(low, 4).target is None
+        policy.decide(high, 4)  # interleaved scale-out request
+        assert policy.decide(low, 4).target is None  # vote count restarted
+
+    def test_fallback_on_infeasible(self):
+        policy = PredictivePolicy(PARAMS, max_machines=10)
+        load = np.full(13, 6.0 * PARAMS.q)
+        load[0] = 0.9 * PARAMS.q
+        load[1] = 6.0 * PARAMS.q  # cliff no plan can climb
+        decision = policy.decide(load, 1)
+        assert decision.fallback
+        assert decision.target == 6
+        assert policy.fallback_scale_outs == 1
+
+
+class TestPStoreStrategy:
+    def test_oracle_strategy_scales_ahead(self):
+        q = PARAMS.q
+        rates = np.concatenate([
+            np.full(20, 0.8 * q), np.linspace(0.8, 4.5, 20) * q, np.full(20, 4.5 * q)
+        ])
+        trace = LoadTrace(rates * 300.0, slot_seconds=300.0)
+        strategy = PStoreStrategy(
+            OraclePredictor(trace.values), horizon=12, inflation=0.0
+        )
+        strategy.reset(PARAMS, 10, trace)
+        targets = []
+        for t in range(40):
+            state = make_state(t, 1 if not targets else targets[-1],
+                               float(rates[t]), history=rates)
+            wanted = strategy.decide(state)
+            if wanted is not None:
+                targets.append(wanted)
+        assert targets, "the ramp must trigger scale-outs"
+        assert max(targets) == 5
+
+    def test_warmup_falls_back_to_reactive(self):
+        from repro.prediction.spar import SPARPredictor
+
+        model = SPARPredictor(period=48, n_periods=2, n_recent=2, max_horizon=4)
+        model.fit(np.tile(np.linspace(100, 200, 48), 5))
+        strategy = PStoreStrategy(model, horizon=4)
+        strategy.reset(PARAMS, 10, None)  # no precompute, no prefix
+        state = make_state(3, 1, 2.5 * PARAMS.q, history=np.full(4, 2.5 * PARAMS.q))
+        assert strategy.decide(state) == 3
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            PStoreStrategy(OraclePredictor(np.ones(4)), horizon=0)
+        with pytest.raises(ValueError):
+            PStoreStrategy(OraclePredictor(np.ones(4)), inflation=-1.0)
