@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-pytest
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Median-ns kernel baseline, written to BENCH_<date>.json (see
+## docs/PERFORMANCE.md).
+bench:
+	$(PYTHON) benchmarks/run_bench.py
+
+## Full pytest-benchmark statistics for the same kernels.
+bench-pytest:
+	$(PYTHON) -m pytest benchmarks/test_kernels.py

@@ -1,0 +1,15 @@
+#!/usr/bin/env python
+"""Thin wrapper over :mod:`repro.bench` for running from a checkout:
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--repeats N] [--output-dir D]
+
+Equivalent to the ``repro-bench`` console script of an installed package,
+and to ``make bench``.
+"""
+
+import sys
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,37 @@ def test_planner_scaling_with_horizon(benchmark, horizon):
     assert plan.final_machines >= 9
 
 
+def test_planner_tables_memoized():
+    """Planners built from equal parameters share one table set."""
+    first = Planner(PARAMS, max_machines=48)
+    second = Planner(
+        SystemParameters(interval_seconds=300.0, partitions_per_node=6),
+        max_machines=48,
+    )
+    assert first._tables is second._tables
+
+
+def test_second_planning_cycle_not_slower():
+    """Receding-horizon replanning reuses the memoized move tables, so a
+    second cycle (tables warm) must not be slower than the first (tables
+    cold — parameters unique to this test, so nothing is pre-cached)."""
+    import time
+
+    params = SystemParameters(interval_seconds=299.0, partitions_per_node=6)
+    rng = np.random.default_rng(1)
+    load = (np.linspace(1.0, 30.0, 25) + rng.uniform(0, 0.3, 25)) * params.q
+
+    start = time.perf_counter()
+    Planner(params, max_machines=48).best_moves(load, 4)
+    first_cycle = time.perf_counter() - start
+
+    start = time.perf_counter()
+    Planner(params, max_machines=48).best_moves(load, 4)
+    second_cycle = time.perf_counter() - start
+
+    assert second_cycle <= first_cycle * 1.25
+
+
 def test_engine_step_rate(benchmark):
     """1000 one-second engine steps on a 10-node cluster."""
     sim = EngineSimulator(EngineConfig(max_nodes=10), initial_nodes=10)

@@ -1,0 +1,148 @@
+"""Standalone kernel benchmark runner: ``repro-bench`` / ``make bench``.
+
+Times the same hot kernels as ``benchmarks/test_kernels.py`` without the
+pytest-benchmark harness and writes one JSON baseline per day,
+``BENCH_<date>.json``, holding the median wall time per kernel in
+nanoseconds.  Committing the file gives later perf PRs a reference point
+(see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.params import SystemParameters
+from repro.core.planner import Planner
+from repro.core.schedule import build_move_schedule
+from repro.engine.simulator import EngineConfig, EngineSimulator
+from repro.prediction.spar import SPARPredictor
+from repro.workloads.b2w import generate_b2w_trace
+from repro.workloads.trace import LoadTrace
+
+PARAMS = SystemParameters(interval_seconds=300.0, partitions_per_node=6)
+
+
+def _bench_planner_best_moves() -> Callable[[], None]:
+    planner = Planner(PARAMS, max_machines=12)
+    rng = np.random.default_rng(0)
+    load = (np.linspace(1.0, 8.0, 13) + rng.uniform(0, 0.2, 13)) * PARAMS.q
+    return lambda: planner.best_moves(load, 2)
+
+
+def _bench_spar_fit() -> Callable[[], None]:
+    trace = generate_b2w_trace(28, slot_seconds=300.0, seed=5)
+    model = SPARPredictor(period=288, n_periods=7, n_recent=12, max_horizon=12)
+    return lambda: model.fit(trace.values)
+
+
+def _bench_spar_predict() -> Callable[[], None]:
+    trace = generate_b2w_trace(35, slot_seconds=300.0, seed=5)
+    model = SPARPredictor(period=288, n_periods=7, n_recent=12, max_horizon=12)
+    model.fit(trace.values[: 28 * 288])
+    history = trace.values[: 30 * 288]
+    return lambda: model.predict(history, 12)
+
+
+def _bench_schedule_construction() -> Callable[[], None]:
+    return lambda: build_move_schedule(3, 14, partitions_per_node=6)
+
+
+def _bench_engine_1000_steps() -> Callable[[], None]:
+    def run() -> None:
+        sim = EngineSimulator(EngineConfig(max_nodes=10), initial_nodes=10)
+        for _ in range(1000):
+            sim.step(2000.0)
+
+    return run
+
+
+def _bench_engine_run_steady_hour() -> Callable[[], None]:
+    """One simulated hour of steady load through :meth:`run` — exercises
+    the steady-slot fast path end to end."""
+    trace = LoadTrace(np.full(12, 2000.0 * 300.0), slot_seconds=300.0)
+
+    def run() -> None:
+        sim = EngineSimulator(EngineConfig(max_nodes=10), initial_nodes=10)
+        sim.run(trace)
+
+    return run
+
+
+KERNELS: Dict[str, Callable[[], Callable[[], None]]] = {
+    "planner_best_moves": _bench_planner_best_moves,
+    "spar_fit": _bench_spar_fit,
+    "spar_predict": _bench_spar_predict,
+    "schedule_construction": _bench_schedule_construction,
+    "engine_1000_steps": _bench_engine_1000_steps,
+    "engine_run_steady_hour": _bench_engine_run_steady_hour,
+}
+
+
+def time_kernel(fn: Callable[[], None], repeats: int) -> Tuple[int, List[int]]:
+    """Median and raw samples of ``fn``'s wall time, in nanoseconds."""
+    fn()  # warm-up: JIT-free, but fills caches (numpy, lru_cache)
+    samples: List[int] = []
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        fn()
+        samples.append(time.perf_counter_ns() - start)
+    return int(statistics.median(samples)), samples
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Time the hot kernels and write a BENCH_<date>.json baseline.",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="samples per kernel (default 5)"
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=Path("."),
+        help="directory for BENCH_<date>.json (default: current directory)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(KERNELS),
+        help="run only the named kernel (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    kernels = KERNELS
+    if args.only:
+        kernels = {name: KERNELS[name] for name in args.only}
+
+    results: Dict[str, Dict[str, object]] = {}
+    for name, setup in kernels.items():
+        median_ns, samples = time_kernel(setup(), args.repeats)
+        results[name] = {"median_ns": median_ns, "samples_ns": samples}
+        print(f"{name:30s} {median_ns / 1e6:10.3f} ms median")
+
+    report = {
+        "date": datetime.date.today().isoformat(),
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "kernels": results,
+    }
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    out_path = args.output_dir / f"BENCH_{report['date']}.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

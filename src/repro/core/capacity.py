@@ -23,6 +23,10 @@ and larger cluster size, not the direction.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
+from typing import Dict, Tuple
+
+import numpy as np
 
 from repro.core.params import SystemParameters
 from repro.errors import ConfigurationError
@@ -228,6 +232,66 @@ def effective_capacity(
     else:
         largest_share = inv_b + f * (inv_a - inv_b)
     return params.q / largest_share
+
+
+class PlannerTables:
+    """Precomputed move tables for one ``(params, max_machines)`` pair.
+
+    The planner evaluates ``T(B, A)``, ``C(B, A)`` and the Equation 7
+    effective-capacity profile of every candidate move on every planning
+    cycle; the controller calls it every cycle with identical parameters,
+    so these tables are built once and shared via :func:`planner_tables`.
+
+    Attributes:
+        duration: ``T(B, A)`` in intervals, 0 on the diagonal (indices are
+            machine counts; row/column 0 unused).
+        cost: ``C(B, A)`` in machine-intervals; the diagonal holds the
+            do-nothing cost ``B``.
+        by_duration: For each *clamped* duration ``d`` (a move spans at
+            least one interval), the moves of that length as parallel
+            arrays ``(befores, afters, profiles)`` where ``profiles[k, i-1]``
+            is the effective capacity of move ``k`` after ``i`` of its
+            ``d`` intervals — the feasibility check of Algorithm 3,
+            precomputed.
+
+    Consumers must treat all arrays as read-only (they are shared).
+    """
+
+    __slots__ = ("max_machines", "duration", "cost", "by_duration")
+
+    def __init__(self, params: SystemParameters, max_machines: int) -> None:
+        if max_machines < 1:
+            raise ConfigurationError("max_machines must be >= 1")
+        self.max_machines = max_machines
+        size = max_machines + 1
+        self.duration = np.zeros((size, size), dtype=np.int64)
+        self.cost = np.zeros((size, size), dtype=np.float64)
+        pairs_by_duration: Dict[int, list] = {}
+        for b in range(1, size):
+            for a in range(1, size):
+                self.duration[b, a] = move_time_intervals(b, a, params)
+                self.cost[b, a] = move_cost(b, a, params)
+                clamped = max(1, int(self.duration[b, a]))
+                pairs_by_duration.setdefault(clamped, []).append((b, a))
+        self.by_duration: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        for d, pairs in pairs_by_duration.items():
+            befores = np.array([p[0] for p in pairs], dtype=np.int64)
+            afters = np.array([p[1] for p in pairs], dtype=np.int64)
+            profiles = np.empty((len(pairs), d))
+            for k, (b, a) in enumerate(pairs):
+                for i in range(1, d + 1):
+                    profiles[k, i - 1] = effective_capacity(b, a, i / d, params)
+            self.by_duration[d] = (befores, afters, profiles)
+
+
+@lru_cache(maxsize=None)
+def planner_tables(params: SystemParameters, max_machines: int) -> PlannerTables:
+    """Memoized :class:`PlannerTables` for ``(params, max_machines)``.
+
+    ``SystemParameters`` is frozen and hashes by value, so two planners
+    built from equal parameters share one table set.
+    """
+    return PlannerTables(params, max_machines)
 
 
 def minimum_forecast_window_seconds(params: SystemParameters) -> float:

@@ -37,6 +37,11 @@ from repro.errors import ConfigurationError, InfeasiblePlanError
 
 INFINITY = math.inf
 
+#: Below this many ``(t, B, A)`` cells the DP runs its scalar loop;
+#: numpy call overhead dominates the vectorized pass on tiny instances
+#: (the 12-interval receding-horizon replans of the capacity simulation).
+_SCALAR_DP_LIMIT = 2000
+
 
 @dataclass(frozen=True)
 class Move:
@@ -147,13 +152,13 @@ class Planner:
         self.params = params
         self.max_machines = max_machines
         self.effective_capacity_aware = effective_capacity_aware
-        size = max_machines + 1
-        self._duration = np.zeros((size, size), dtype=np.int64)
-        self._cost = np.zeros((size, size), dtype=np.float64)
-        for b in range(1, size):
-            for a in range(1, size):
-                self._duration[b, a] = cap_model.move_time_intervals(b, a, params)
-                self._cost[b, a] = cap_model.move_cost(b, a, params)
+        # Tables are memoized per (params, max_machines): the controller
+        # re-plans every cycle with identical parameters, so repeated
+        # construction (one planner per strategy reset, per sweep point,
+        # per test) reuses one shared table set.
+        self._tables = cap_model.planner_tables(params, max_machines)
+        self._duration = self._tables.duration
+        self._cost = self._tables.cost
 
     # ------------------------------------------------------------------
     def move_duration(self, before: int, after: int) -> int:
@@ -235,7 +240,7 @@ class Planner:
                 moves = self._backtrack(prev_time, prev_nodes, horizon, final)
                 return MovePlan(
                     moves=moves,
-                    cost=cost[horizon][final],
+                    cost=float(cost[horizon][final]),
                     final_machines=final,
                     horizon=horizon,
                 )
@@ -255,77 +260,132 @@ class Planner:
             return None
 
     # ------------------------------------------------------------------
-    def _solve(
-        self, load: np.ndarray, initial_machines: int, z: int
-    ) -> Tuple[List[List[float]], List[List[int]], List[List[int]]]:
-        """Bottom-up version of the cost/sub-cost recursion (Alg. 2 and 3).
+    def _feasibility(self, load: np.ndarray, z: int) -> np.ndarray:
+        """Feasibility of every candidate final move (Alg. 3 lines 6-9).
 
-        Returns ``cost[t][a]``, ``prev_time[t][a]`` and ``prev_nodes[t][a]``
-        (the memo matrix ``m`` of the paper).
+        ``feas[t, b-1, a-1]`` is True when the predicted load stays under
+        the effective capacity throughout a ``b -> a`` move *ending* at
+        interval ``t``.  Moves are grouped by duration so the sliding
+        window check runs vectorized over end times and moves at once.
         """
         horizon = len(load) - 1
         q = self.params.q
-        cost = [[INFINITY] * (z + 1) for _ in range(horizon + 1)]
-        prev_time = [[-1] * (z + 1) for _ in range(horizon + 1)]
-        prev_nodes = [[-1] * (z + 1) for _ in range(horizon + 1)]
+        feas = np.zeros((horizon + 1, z, z), dtype=bool)
+        for d, (befores, afters, profiles) in self._tables.by_duration.items():
+            if d > horizon:
+                continue  # cannot complete within the horizon
+            sel = (befores <= z) & (afters <= z)
+            if not sel.any():
+                continue
+            bsel = befores[sel]
+            asel = afters[sel]
+            if self.effective_capacity_aware:
+                prof = profiles[sel]
+            else:
+                # Ablation: naively assume the full capacity of the
+                # larger allocation for the whole move.
+                naive = q * np.maximum(bsel, asel).astype(np.float64)
+                prof = np.broadcast_to(naive[:, None], (len(bsel), d))
+            # End times t = d..horizon; move interval i checks load[t-d+i].
+            window = horizon + 1 - d
+            ok = np.ones((len(bsel), window), dtype=bool)
+            for i in range(1, d + 1):
+                ok &= load[None, i : i + window] <= prof[:, i - 1 : i] + 1e-9
+            feas[d:, bsel - 1, asel - 1] = ok.T
+        return feas
+
+    def _solve(self, load: np.ndarray, initial_machines: int, z: int):
+        """Bottom-up version of the cost/sub-cost recursion (Alg. 2 and 3).
+
+        Returns ``cost[t][a]``, ``prev_time[t][a]`` and ``prev_nodes[t][a]``
+        (the memo matrix ``m`` of the paper).  Small instances (the common
+        receding-horizon case: short horizon, few machines) run a plain
+        scalar loop — numpy call overhead would dominate; larger ones run
+        the min-over-B inner loop as one vectorized pass over all
+        ``(B, A)`` pairs per interval.  Both paths evaluate the identical
+        recurrence (same table values, same first-minimum tie-break).
+        """
+        horizon = len(load) - 1
+        if z * z * horizon <= _SCALAR_DP_LIMIT:
+            return self._solve_small(load, initial_machines, z)
+        q = self.params.q
+        cost = np.full((horizon + 1, z + 1), INFINITY)
+        prev_time = np.full((horizon + 1, z + 1), -1, dtype=np.int64)
+        prev_nodes = np.full((horizon + 1, z + 1), -1, dtype=np.int64)
 
         # Base case (Alg. 2 lines 5-6): t = 0 requires A == N0.
         if load[0] <= q * initial_machines + 1e-9:
-            cost[0][initial_machines] = float(initial_machines)
+            cost[0, initial_machines] = float(initial_machines)
+
+        feas = self._feasibility(load, z)
+        dur = np.maximum(self._duration[1 : z + 1, 1 : z + 1], 1)  # (B, A)
+        move_cost = self._cost[1 : z + 1, 1 : z + 1]
+        b_col = np.arange(1, z + 1)[:, None]  # machine count per row
+        a_idx = np.arange(z)
+        # Penalty for insufficient capacity at t (Alg. 2 line 2).
+        cap_ok = load[:, None] <= q * np.arange(1, z + 1)[None, :] + 1e-9
 
         for t in range(1, horizon + 1):
-            for after in range(1, z + 1):
-                # Penalty for insufficient capacity at t (Alg. 2 line 2).
-                if load[t] > q * after + 1e-9:
+            starts = t - dur
+            valid = (starts >= 0) & feas[t] & cap_ok[t][None, :]
+            if not valid.any():
+                continue
+            base = cost[np.where(valid, starts, 0), b_col]
+            value = np.where(valid, base + move_cost, INFINITY)
+            best_b = np.argmin(value, axis=0)  # ties -> smallest B, as before
+            best = value[best_b, a_idx]
+            finite = np.isfinite(best)
+            if not finite.any():
+                continue
+            cost[t, 1:] = np.where(finite, best, INFINITY)
+            chosen = np.where(finite, best_b + 1, prev_nodes[t, 1:])
+            prev_nodes[t, 1:] = chosen
+            prev_time[t, 1:] = np.where(finite, t - dur[best_b, a_idx], prev_time[t, 1:])
+        return cost, prev_time, prev_nodes
+
+    def _solve_small(self, load: np.ndarray, initial_machines: int, z: int):
+        """Scalar DP for small instances; see :meth:`_solve`."""
+        horizon = len(load) - 1
+        q = self.params.q
+        feas = self._feasibility(load, z).tolist()
+        dur = np.maximum(self._duration[1 : z + 1, 1 : z + 1], 1).tolist()
+        mcost = self._cost[1 : z + 1, 1 : z + 1].tolist()
+        load_l = load.tolist()
+        cost = [[INFINITY] * (z + 1) for _ in range(horizon + 1)]
+        prev_time = [[-1] * (z + 1) for _ in range(horizon + 1)]
+        prev_nodes = [[-1] * (z + 1) for _ in range(horizon + 1)]
+        if load_l[0] <= q * initial_machines + 1e-9:
+            cost[0][initial_machines] = float(initial_machines)
+        for t in range(1, horizon + 1):
+            feas_t = feas[t]
+            load_t = load_l[t]
+            for a in range(1, z + 1):
+                if load_t > q * a + 1e-9:
                     continue
                 best = INFINITY
                 best_b = -1
                 best_start = -1
-                for before in range(1, z + 1):
-                    value = self._sub_cost(load, cost, t, before, after)
-                    if value < best:
+                for b in range(1, z + 1):
+                    if not feas_t[b - 1][a - 1]:
+                        continue
+                    start = t - dur[b - 1][a - 1]
+                    if start < 0:
+                        continue
+                    value = cost[start][b] + mcost[b - 1][a - 1]
+                    if value < best:  # strict: ties keep the smallest B
                         best = value
-                        best_b = before
-                        best_start = t - self.move_duration(before, after)
-                if math.isfinite(best):
-                    cost[t][after] = best
-                    prev_time[t][after] = best_start
-                    prev_nodes[t][after] = best_b
+                        best_b = b
+                        best_start = start
+                if best_b >= 0 and best < INFINITY:
+                    cost[t][a] = best
+                    prev_nodes[t][a] = best_b
+                    prev_time[t][a] = best_start
         return cost, prev_time, prev_nodes
-
-    def _sub_cost(
-        self,
-        load: np.ndarray,
-        cost: List[List[float]],
-        t: int,
-        before: int,
-        after: int,
-    ) -> float:
-        """Cost of ending at time ``t`` with a final ``before -> after``
-        move (Algorithm 3)."""
-        duration = self.move_duration(before, after)
-        start = t - duration
-        if start < 0:
-            return INFINITY  # the move would need to start in the past
-        base = cost[start][before]
-        if not math.isfinite(base):
-            return INFINITY
-        # The predicted load must stay under the effective capacity for
-        # every interval of the move (Alg. 3 lines 6-9).
-        params = self.params
-        for i in range(1, duration + 1):
-            if self.effective_capacity_aware:
-                eff = cap_model.effective_capacity(before, after, i / duration, params)
-            else:
-                eff = params.q * max(before, after)
-            if load[start + i] > eff + 1e-9:
-                return INFINITY
-        return base + self.move_cost(before, after)
 
     @staticmethod
     def _backtrack(
-        prev_time: List[List[int]],
-        prev_nodes: List[List[int]],
+        prev_time,
+        prev_nodes,
         horizon: int,
         final: int,
     ) -> List[Move]:
@@ -333,8 +393,8 @@ class Planner:
         moves: List[Move] = []
         t, nodes = horizon, final
         while t > 0:
-            start = prev_time[t][nodes]
-            before = prev_nodes[t][nodes]
+            start = int(prev_time[t][nodes])
+            before = int(prev_nodes[t][nodes])
             moves.append(Move(start=start, end=t, before=before, after=nodes))
             t, nodes = start, before
         moves.reverse()

@@ -74,6 +74,8 @@ class Cluster:
         self.partitioner = partitioner
         self.plan = PartitionPlan.balanced(initial_nodes, num_buckets)
         self._bucket_counts = self._recount_buckets()
+        self._routing_version = 0
+        self._node_weights_cache: "Optional[list[float]]" = None
 
     def _recount_buckets(self) -> "list[int]":
         counts = [0] * self.max_nodes
@@ -158,6 +160,7 @@ class Cluster:
         self.plan = PartitionPlan(assignment, max(self.plan.num_nodes, new_node + 1))
         self._bucket_counts[old_node] -= 1
         self._bucket_counts[new_node] += 1
+        self._invalidate_routing()
         return moved
 
     def compact_plan(self, num_nodes: int) -> None:
@@ -173,6 +176,7 @@ class Cluster:
                 "still on departing nodes"
             )
         self.plan = PartitionPlan(assignment, num_nodes)
+        self._invalidate_routing()
 
     def data_fractions(self) -> Dict[int, float]:
         """Fraction of buckets per node (``f_n`` of Equation 6)."""
@@ -182,14 +186,34 @@ class Cluster:
             if count > 0
         }
 
+    def _invalidate_routing(self) -> None:
+        """Drop routing-derived caches after a plan change."""
+        self._routing_version += 1
+        self._node_weights_cache = None
+
+    @property
+    def routing_version(self) -> int:
+        """Monotone counter bumped whenever bucket routing changes.
+
+        Consumers (the engine simulator) key their own derived caches on
+        this, so per-step work is only redone when a migration actually
+        moved data.
+        """
+        return self._routing_version
+
     def node_weights(self) -> "list[float]":
         """Bucket-count weight of every node slot (zeros for empty/idle).
 
         The simulator routes offered load proportionally to these weights
-        (uniform-workload assumption of Section 4.2).
+        (uniform-workload assumption of Section 4.2).  The result is
+        cached until the next routing change; callers must not mutate it.
         """
-        total = self.num_buckets
-        return [count / total for count in self._bucket_counts]
+        if self._node_weights_cache is None:
+            total = self.num_buckets
+            self._node_weights_cache = [
+                count / total for count in self._bucket_counts
+            ]
+        return self._node_weights_cache
 
     def total_rows(self) -> int:
         return sum(node.row_count() for node in self.nodes)

@@ -106,13 +106,12 @@ def latency_components(
     slack = mu - offered
     tail_rates = np.maximum(slack, MIN_TAIL_FRACTION * mu)
 
-    weights = offered.astype(np.float64).copy()
-    total = weights.sum()
+    total = float(offered.sum())
     if total <= 0:
         # No arrivals anywhere: degenerate mixture at the base service time.
-        weights = np.ones_like(weights) / max(len(weights), 1)
+        weights = np.full(len(offered), 1.0 / max(len(offered), 1))
     else:
-        weights = weights / total
+        weights = offered / total
 
     if block_seconds is None or not np.any(block_seconds > 0):
         return LatencyComponents(weights, delays, tail_rates)
@@ -130,14 +129,75 @@ def latency_components(
     return LatencyComponents(all_weights, all_delays, all_rates)
 
 
+#: Bisection iterations; the bracket shrinks by 2^-40, ~1e-11 absolute on
+#: second-scale latencies.
+_BISECT_ITERS = 40
+#: Below this many (component, quantile) pairs a scalar bisection beats
+#: the vectorized one (numpy call overhead dominates tiny arrays).
+_SCALAR_WORK_LIMIT = 32
+
+
+def merge_components(
+    weights: np.ndarray, delays: np.ndarray, tail_rates: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse identical ``(delay, rate)`` components into classes.
+
+    Partitions almost always fall into a handful of classes (uniform,
+    migration sender, migration receiver), so the quantile search only
+    ever sees a tiny mixture.  Keys are rounded to 9 decimals; when no
+    two components collide the originals are returned untouched.
+    """
+    n = len(weights)
+    if n <= 1:
+        return weights, delays, tail_rates
+    dl = delays.tolist()
+    rl = tail_rates.tolist()
+    wl = weights.tolist()
+    groups: dict = {}
+    for i in range(n):
+        key = (round(dl[i], 9), round(rl[i], 9))
+        groups[key] = groups.get(key, 0.0) + wl[i]
+    if len(groups) == n:
+        return weights, delays, tail_rates
+    keys = sorted(groups)
+    m = len(keys)
+    merged_w = np.fromiter((groups[k] for k in keys), np.float64, m)
+    merged_d = np.fromiter((k[0] for k in keys), np.float64, m)
+    merged_r = np.fromiter((k[1] for k in keys), np.float64, m)
+    return merged_w, merged_d, merged_r
+
+
+def _scalar_bisect(
+    wl: list, dl: list, rl: list, quantiles: Sequence[float], hi: float
+) -> np.ndarray:
+    """Plain-Python bisection — fastest for the tiny merged mixtures."""
+    m = len(wl)
+    out = np.empty(len(quantiles))
+    exp = math.exp
+    for qi, q in enumerate(quantiles):
+        lo, hi_b = 0.0, hi
+        for _ in range(_BISECT_ITERS):
+            mid = 0.5 * (lo + hi_b)
+            cdf = 0.0
+            for j in range(m):
+                gap = mid - dl[j]
+                if gap > 0.0:
+                    cdf += wl[j] * (1.0 - exp(-rl[j] * gap))
+            if cdf < q:
+                lo = mid
+            else:
+                hi_b = mid
+        out[qi] = 0.5 * (lo + hi_b)
+    return out
+
+
 def mixture_quantiles(
     components: LatencyComponents, quantiles: Sequence[float]
 ) -> np.ndarray:
     """Quantiles of a mixture of shifted exponentials, via bisection.
 
     The CDF is ``F(x) = sum_i w_i * (1 - exp(-r_i * (x - d_i)))`` for
-    ``x > d_i``.  Monotone, so 60 bisection iterations give ~1e-18
-    relative precision on the bracket.
+    ``x > d_i``.  Monotone, so bisection converges deterministically.
     """
     w = components.weights
     d = components.delays
@@ -148,29 +208,24 @@ def mixture_quantiles(
         if not 0 < q < 1:
             raise ConfigurationError(f"quantile must be in (0, 1), got {q}")
 
-    # Merge identical components: partitions usually fall into a handful
-    # of classes (uniform, migration sender, migration receiver), so this
-    # keeps the bisection tiny.
-    keys = np.round(np.column_stack([d, r]), 9)
-    unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
-    if len(unique_keys) < len(w):
-        merged_w = np.zeros(len(unique_keys))
-        np.add.at(merged_w, inverse, w)
-        w, d, r = merged_w, unique_keys[:, 0], unique_keys[:, 1]
+    w, d, r = merge_components(w, d, r)
 
     if len(w) == 1:
         # Single shifted exponential: closed-form quantile.
         return np.array([d[0] - math.log(1.0 - q) / r[0] for q in quantiles])
 
-    out = np.empty(len(quantiles))
     # Upper bracket: every component's own q-quantile is a bound when all
     # mass were in it; take the max over components at the highest q.
     q_max = max(quantiles)
     hi = float(np.max(d - np.log(max(1.0 - q_max, 1e-12)) / r)) + 1e-9
+
+    if len(w) * len(quantiles) <= _SCALAR_WORK_LIMIT:
+        return _scalar_bisect(w.tolist(), d.tolist(), r.tolist(), quantiles, hi)
+
     qs = np.asarray(quantiles, dtype=np.float64)
     lo_b = np.zeros(len(qs))
     hi_b = np.full(len(qs), hi)
-    for _ in range(40):
+    for _ in range(_BISECT_ITERS):
         mid = 0.5 * (lo_b + hi_b)
         gap = mid[:, None] - d[None, :]
         mass = np.where(gap > 0, 1.0 - np.exp(-r[None, :] * np.maximum(gap, 0.0)), 0.0)
@@ -178,8 +233,7 @@ def mixture_quantiles(
         below = cdf < qs
         lo_b = np.where(below, mid, lo_b)
         hi_b = np.where(below, hi_b, mid)
-    out[:] = 0.5 * (lo_b + hi_b)
-    return out
+    return 0.5 * (lo_b + hi_b)
 
 
 def mixture_mean(components: LatencyComponents) -> float:

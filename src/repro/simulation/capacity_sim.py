@@ -64,6 +64,45 @@ class _InFlightMove:
         round_index = max(0, min(round_index, self.schedule.num_rounds - 1))
         return self.schedule.machines_allocated_at(round_index)
 
+    def fill_span(
+        self,
+        n: int,
+        effective: np.ndarray,
+        allocated: np.ndarray,
+        target: np.ndarray,
+        reconfiguring: np.ndarray,
+    ) -> int:
+        """Write this move's intervals ``[start, min(end, n))`` in one
+        vectorized pass; returns the first interval after the span.
+
+        Element-for-element identical to evaluating :meth:`fraction_at`,
+        Equation 7 and the just-in-time allocation round per interval.
+        """
+        span_end = min(self.end(), n)
+        k = np.arange(self.start, span_end)
+        frac = np.minimum((k + 1 - self.start) / self.duration, 1.0)
+        inv_b, inv_a = 1.0 / self.before, 1.0 / self.after
+        if self.before < self.after:
+            share = inv_b - frac * (inv_b - inv_a)
+        elif self.before > self.after:
+            share = inv_b + frac * (inv_a - inv_b)
+        else:
+            share = np.full(len(k), inv_b)
+        effective[k] = 1.0 / share
+        rounds = self.schedule.num_rounds
+        if rounds == 0:
+            allocated[k] = self.after
+        else:
+            per_round = np.array(
+                [self.schedule.machines_allocated_at(i) for i in range(rounds)],
+                dtype=np.float64,
+            )
+            idx = np.clip(np.ceil(frac * rounds).astype(np.int64) - 1, 0, rounds - 1)
+            allocated[k] = per_round[idx]
+        target[k] = self.after
+        reconfiguring[k] = True
+        return span_end
+
 
 @dataclass
 class CapacitySimResult:
@@ -165,47 +204,43 @@ class CapacitySimulator:
         target = np.empty(n)
         reconfiguring = np.zeros(n, dtype=bool)
 
-        for t in range(n):
-            if move is not None and t > move.end() - 1:
-                machines = move.after
-                move = None
-
-            if move is None:
-                state = SimState(
-                    interval=t,
-                    machines=machines,
-                    load_rate=float(rates[t]),
-                    history_rates=rates,
-                    slot_seconds=trace.slot_seconds,
-                )
-                wanted = strategy.decide(state)
-                if wanted is not None and wanted != machines and wanted >= 1:
-                    wanted = min(wanted, self.max_machines)
-                    if wanted != machines:
-                        duration = cap_model.move_time_intervals(
-                            machines, wanted, params
-                        )
-                        move = _InFlightMove(
-                            before=machines,
-                            after=wanted,
-                            start=t,
-                            duration=duration,
-                            schedule=build_move_schedule(
-                                machines, wanted, params.partitions_per_node
-                            ),
-                        )
-                        moves_executed += 1
-
-            if move is not None and t >= move.start:
-                fraction = move.fraction_at(t + 1)
-                effective[t] = 1.0 / _largest_share(move.before, move.after, fraction)
-                allocated[t] = move.machines_allocated_through(fraction)
-                target[t] = move.after
-                reconfiguring[t] = True
-            else:
-                effective[t] = machines
-                allocated[t] = machines
-                target[t] = machines
+        # The strategy only decides while no move is in flight, so each
+        # accepted move's whole span is filled in one vectorized pass and
+        # the loop jumps straight to the move's end.
+        t = 0
+        while t < n:
+            state = SimState(
+                interval=t,
+                machines=machines,
+                load_rate=float(rates[t]),
+                history_rates=rates,
+                slot_seconds=trace.slot_seconds,
+            )
+            wanted = strategy.decide(state)
+            if wanted is not None and wanted != machines and wanted >= 1:
+                wanted = min(wanted, self.max_machines)
+                if wanted != machines:
+                    duration = cap_model.move_time_intervals(
+                        machines, wanted, params
+                    )
+                    move = _InFlightMove(
+                        before=machines,
+                        after=wanted,
+                        start=t,
+                        duration=duration,
+                        schedule=build_move_schedule(
+                            machines, wanted, params.partitions_per_node
+                        ),
+                    )
+                    moves_executed += 1
+                    t = move.fill_span(n, effective, allocated, target, reconfiguring)
+                    machines = move.after
+                    move = None
+                    continue
+            effective[t] = machines
+            allocated[t] = machines
+            target[t] = machines
+            t += 1
 
         return CapacitySimResult(
             strategy_name=strategy.name,

@@ -1,0 +1,163 @@
+"""Equivalence and caching tests for the engine's steady-slot fast path.
+
+``EngineSimulator.run`` collapses converged slots into one computed step
+(see docs/PERFORMANCE.md); these tests pin that the optimisation is
+invisible in the results: every ``RunResult`` column matches the exact
+step-by-step path (``force_exact_stepping=True``) to 1e-9, and the
+derived SLA-violation and cost metrics are identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.simulator import EngineConfig, EngineSimulator, SkewEvent
+from repro.workloads.trace import LoadTrace
+
+SLOT_SECONDS = 30.0
+
+COLUMNS = (
+    "time",
+    "offered",
+    "served",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "mean_ms",
+    "machines",
+    "reconfiguring",
+)
+
+
+def flat_trace(rate: float, num_slots: int) -> LoadTrace:
+    return LoadTrace(
+        np.full(num_slots, rate * SLOT_SECONDS), slot_seconds=SLOT_SECONDS
+    )
+
+
+def make_sim(*, force_exact: bool, **kwargs) -> EngineSimulator:
+    config = EngineConfig(
+        max_nodes=6,
+        db_size_kb=kwargs.pop("db_size_kb", 700_000.0),
+        force_exact_stepping=force_exact,
+    )
+    return EngineSimulator(config, initial_nodes=kwargs.pop("initial_nodes", 3))
+
+
+def scenario_steady(sim: EngineSimulator) -> LoadTrace:
+    """Constant sub-saturation load: every slot after warm-up is steady."""
+    return flat_trace(600.0, 10)
+
+
+def scenario_skew_mid_slot(sim: EngineSimulator) -> LoadTrace:
+    """A skew event starting and ending mid-slot forces exact stepping in
+    the affected slots only."""
+    sim.skew_events.append(
+        SkewEvent(start_seconds=45.0, end_seconds=105.0, partition_index=2)
+    )
+    return flat_trace(600.0, 8)
+
+
+def scenario_migration_spanning_slots(sim: EngineSimulator) -> LoadTrace:
+    """A 3 -> 6 scale-out whose migration crosses slot boundaries."""
+    migration = sim.start_move(6)
+    assert migration.total_seconds > SLOT_SECONDS  # spans >1 slot boundary
+    return flat_trace(700.0, 10)
+
+
+SCENARIOS = {
+    "steady": scenario_steady,
+    "skew_mid_slot": scenario_skew_mid_slot,
+    "migration_spanning_slots": scenario_migration_spanning_slots,
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_fast_path_matches_exact_path(scenario):
+    setup = SCENARIOS[scenario]
+
+    fast_sim = make_sim(force_exact=False)
+    fast = fast_sim.run(setup(fast_sim))
+
+    exact_sim = make_sim(force_exact=True)
+    exact = exact_sim.run(setup(exact_sim))
+
+    assert exact_sim.fast_slots == 0
+    if scenario == "steady":
+        assert fast_sim.fast_slots > 0
+
+    for column in COLUMNS:
+        np.testing.assert_allclose(
+            getattr(fast, column).astype(np.float64),
+            getattr(exact, column).astype(np.float64),
+            rtol=0.0,
+            atol=1e-9,
+            err_msg=f"{scenario}: column {column} diverged",
+        )
+    for pct in ("p50", "p95", "p99"):
+        assert fast.sla_violations(pct) == exact.sla_violations(pct)
+    assert fast.total_cost() == exact.total_cost()
+
+
+def test_force_exact_disables_fast_path():
+    sim = make_sim(force_exact=True)
+    sim.run(flat_trace(600.0, 5))
+    assert sim.fast_slots == 0
+
+
+def test_node_weights_called_once_per_routing_change():
+    """The simulator's weight cache must hit cluster.node_weights() at
+    most once per routing change (satellite of the perf PR)."""
+    sim = make_sim(force_exact=True)
+    cluster = sim.cluster
+    calls = {"count": 0}
+    original = cluster.node_weights
+
+    def counting_node_weights():
+        calls["count"] += 1
+        return original()
+
+    cluster.node_weights = counting_node_weights
+
+    sim.run(flat_trace(600.0, 4))
+    assert calls["count"] <= 1  # routing never changed
+
+    calls["count"] = 0
+    version_before = cluster.routing_version
+    sim.start_move(6)
+    sim.run(flat_trace(600.0, 6))
+    routing_changes = cluster.routing_version - version_before
+    assert routing_changes > 0
+    assert calls["count"] <= routing_changes
+
+
+def test_top_percent_latencies_matches_full_sort():
+    """np.partition selection must agree with the reference full sort."""
+    rng = np.random.default_rng(7)
+    sim = make_sim(force_exact=False)
+    result = sim.run(flat_trace(600.0, 6))
+    # Scatter in noise so the order statistics are non-trivial.
+    result.p99_ms[:] = rng.uniform(10.0, 900.0, len(result.p99_ms))
+    for percent in (0.5, 1.0, 5.0, 50.0, 100.0):
+        count = max(1, int(len(result.p99_ms) * percent / 100.0))
+        expected = np.sort(result.p99_ms)[-count:]
+        got = result.top_percent_latencies("p99", percent)
+        np.testing.assert_array_equal(got, expected)
+
+
+def test_fast_path_skipped_during_skew_transitions():
+    """Slots containing a skew boundary must run the exact path."""
+    sim = make_sim(force_exact=False)
+    trace = scenario_skew_mid_slot(sim)
+    sim.run(trace)
+    # 8 slots; the slots holding t=45 and t=105 cannot be fast.
+    assert sim.fast_slots <= len(trace) - 2
+
+
+def test_fast_path_resumes_after_migration():
+    """Once the migration lands and backlog converges, slots go fast."""
+    sim = make_sim(force_exact=False)
+    trace = scenario_migration_spanning_slots(sim)
+    sim.run(trace)
+    assert sim.fast_slots > 0
