@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-pytest
+.PHONY: test bench bench-pytest chaos
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## The fault-tolerance chaos experiment (docs/ROBUSTNESS.md): replay a
+## compressed B2W day under a deterministic fault plan and report the
+## controller's recovery behaviour.
+chaos:
+	$(PYTHON) -m repro.cli run ext-faults --fast
 
 ## Median-ns kernel baseline, written to BENCH_<date>.json (see
 ## docs/PERFORMANCE.md).

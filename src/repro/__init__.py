@@ -38,11 +38,23 @@ from repro.core import (
 from repro.errors import (
     ConfigurationError,
     EngineError,
+    FaultInjectionError,
     InfeasiblePlanError,
     MigrationError,
+    NodeFailedError,
     PredictionError,
     ReproError,
     TransactionAborted,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    MigrationStall,
+    NodeCrash,
+    NodeStraggler,
+    TransferFailure,
+    parse_fault_spec,
 )
 from repro.prediction import (
     ARMAPredictor,
@@ -60,13 +72,21 @@ __all__ = [
     "ARPredictor",
     "ConfigurationError",
     "EngineError",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "InfeasiblePlanError",
     "InflatedPredictor",
     "LoadTrace",
     "MigrationError",
+    "MigrationStall",
     "Move",
     "MovePlan",
     "MoveSchedule",
+    "NodeCrash",
+    "NodeFailedError",
+    "NodeStraggler",
     "OraclePredictor",
     "PAPER_PARAMETERS",
     "Planner",
@@ -75,8 +95,10 @@ __all__ = [
     "SPARPredictor",
     "SystemParameters",
     "TransactionAborted",
+    "TransferFailure",
     "build_move_schedule",
     "effective_capacity",
     "generate_b2w_trace",
+    "parse_fault_spec",
     "__version__",
 ]

@@ -118,17 +118,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=sorted(KERNELS),
         help="run only the named kernel (repeatable)",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: one sample per kernel, no baseline file",
+    )
     args = parser.parse_args(argv)
 
     kernels = KERNELS
     if args.only:
         kernels = {name: KERNELS[name] for name in args.only}
+    repeats = 1 if args.quick else args.repeats
 
     results: Dict[str, Dict[str, object]] = {}
     for name, setup in kernels.items():
-        median_ns, samples = time_kernel(setup(), args.repeats)
+        median_ns, samples = time_kernel(setup(), repeats)
         results[name] = {"median_ns": median_ns, "samples_ns": samples}
         print(f"{name:30s} {median_ns / 1e6:10.3f} ms median")
+
+    if args.quick:
+        return 0
 
     report = {
         "date": datetime.date.today().isoformat(),

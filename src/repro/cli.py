@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments import registry
+from repro.faults import parse_fault_spec, set_default_fault_plan
 
 
 def _cmd_list() -> int:
@@ -26,7 +27,10 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(
-    experiment_ids: List[str], fast: bool, save_dir: Optional[str] = None
+    experiment_ids: List[str],
+    fast: bool,
+    save_dir: Optional[str] = None,
+    faults: Optional[str] = None,
 ) -> int:
     if experiment_ids == ["all"]:
         experiment_ids = [spec.experiment_id for spec in registry.list_experiments()]
@@ -34,24 +38,35 @@ def _cmd_run(
     if save_dir is not None:
         out_dir = Path(save_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
+    if faults is not None:
+        # Every simulator constructed while the flag is in force gets a
+        # fresh injector over this (deterministic) plan, so any existing
+        # experiment can be rerun under faults.
+        plan = parse_fault_spec(faults)
+        set_default_fault_plan(plan)
+        print(f"fault plan in force: {plan.counts()}")
     status = 0
-    for experiment_id in experiment_ids:
-        try:
-            spec = registry.get(experiment_id)
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
-            return 2
-        started = time.time()
-        print(f"== {spec.paper_reference}: {spec.title} ==")
-        result = spec.runner(fast=fast)
-        report = result.format_report()
-        print(report)
-        print(f"-- completed in {time.time() - started:.1f}s\n")
-        if out_dir is not None:
-            path = out_dir / f"{experiment_id}.txt"
-            path.write_text(
-                f"{spec.paper_reference}: {spec.title}\n\n{report}\n"
-            )
+    try:
+        for experiment_id in experiment_ids:
+            try:
+                spec = registry.get(experiment_id)
+            except KeyError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            started = time.time()
+            print(f"== {spec.paper_reference}: {spec.title} ==")
+            result = spec.runner(fast=fast)
+            report = result.format_report()
+            print(report)
+            print(f"-- completed in {time.time() - started:.1f}s\n")
+            if out_dir is not None:
+                path = out_dir / f"{experiment_id}.txt"
+                path.write_text(
+                    f"{spec.paper_reference}: {spec.title}\n\n{report}\n"
+                )
+    finally:
+        if faults is not None:
+            set_default_fault_plan(None)
     return status
 
 
@@ -71,10 +86,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--save", metavar="DIR", default=None,
         help="also write each report to DIR/<id>.txt",
     )
+    run_parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject a deterministic fault plan into every engine run, "
+             "e.g. 'crash@300:n2:recover=600,stall@120' or "
+             "'gen@0:seed=7:span=8640' (see docs/ROBUSTNESS.md)",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    return _cmd_run(args.ids, args.fast, args.save)
+    return _cmd_run(args.ids, args.fast, args.save, args.faults)
 
 
 if __name__ == "__main__":

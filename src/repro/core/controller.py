@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.params import SystemParameters
 from repro.core.policy import PredictivePolicy
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MigrationError
 from repro.prediction.base import Predictor
 from repro.engine.simulator import EngineSimulator
 
@@ -44,7 +44,9 @@ class ControllerDecision:
         machines_before: Machines allocated at decision time.
         target: Machines the move reconfigures to.
         kind: ``"planned"`` (DP first move), ``"fallback"`` (infeasible
-            plan, Section 4.3.1) or ``"warmup-reactive"``.
+            plan, Section 4.3.1), ``"warmup-reactive"``, or
+            ``"fault-recovery"`` (replanned after the machine set changed
+            under an active schedule).
         boost: Migration-rate multiplier used (1.0 or ``R x boost``).
     """
 
@@ -143,6 +145,12 @@ class PredictiveController:
         #: Observability: one entry per executed action, for operators
         #: and for the examples' move logs.
         self.decision_log: List[ControllerDecision] = []
+        #: Machine count the controller believes the cluster has (the
+        #: target of its last move); a mismatch means the machine set
+        #: changed under us — a crash or an aborted move — and the
+        #: active schedule is void.
+        self._expected_machines: Optional[int] = None
+        self.topology_changes_detected = 0
 
     # ------------------------------------------------------------------
     def _record(
@@ -181,16 +189,29 @@ class PredictiveController:
         measured_rate = interval_count / interval_seconds
         current = sim.machines_allocated
 
+        fault_recovery = (
+            self._expected_machines is not None
+            and current != self._expected_machines
+        )
+        if fault_recovery:
+            # The machine set changed under an active plan (node crash,
+            # aborted move): invalidate stale confirmation state and
+            # replan from the surviving allocation this very cycle.
+            self.policy.notify_topology_change()
+            self.topology_changes_detected += 1
+        self._expected_machines = current
+        #: Never target more nodes than are physically healthy.
+        cap = min(self.max_machines, sim.cluster.num_available_nodes)
+
         if len(self.history) < self.predictor.min_history:
             # Warm-up: fall back to purely reactive scale-out.
             needed = max(
                 1, math.ceil(measured_rate * (1 + self.inflation) / self.params.q)
             )
-            needed = min(needed, self.max_machines)
+            needed = min(needed, cap)
             if needed > current:
                 self._record(sim, measured_rate, needed, "warmup-reactive")
-                sim.start_move(needed)
-                self.moves_requested += 1
+                self._start_move(sim, needed)
             return
 
         forecast_counts = self.predictor.predict(
@@ -201,15 +222,34 @@ class PredictiveController:
         load[1:] = (forecast_counts / interval_seconds) * (1.0 + self.inflation)
 
         decision = self.policy.decide(load, current)
-        if decision.target is None or decision.target == current:
+        if decision.target is None:
+            return
+        target = min(decision.target, cap)
+        if target == current:
             return
         boost = 1.0
         if decision.fallback and self.spike_policy == SPIKE_POLICY_BOOST:
             boost = self.spike_boost
             self.boosted_moves += 1
-        kind = "fallback" if decision.fallback else "planned"
-        self._record(sim, measured_rate, decision.target, kind, boost)
-        sim.start_move(decision.target, boost=boost)
+        if decision.fallback:
+            kind = "fallback"
+        elif fault_recovery:
+            kind = "fault-recovery"
+        else:
+            kind = "planned"
+        self._record(sim, measured_rate, target, kind, boost)
+        self._start_move(sim, target, boost=boost)
+
+    def _start_move(
+        self, sim: EngineSimulator, target: int, boost: float = 1.0
+    ) -> None:
+        """Execute a move; a cluster that refuses (e.g. spare nodes died
+        between planning and execution) costs us the cycle, not the run."""
+        try:
+            sim.start_move(target, boost=boost)
+        except MigrationError:
+            return
+        self._expected_machines = target
         self.moves_requested += 1
 
 
@@ -246,6 +286,7 @@ class ReactiveController:
         self.slot_seconds = measurement_slot_seconds or params.interval_seconds
         self._over = 0
         self._under = 0
+        self._last_machines: Optional[int] = None
         self.moves_requested = 0
 
     def _needed(self, rate: float) -> int:
@@ -264,15 +305,21 @@ class ReactiveController:
             return
         rate = measured_count / self.slot_seconds
         current = sim.machines_allocated
-        needed = self._needed(rate)
+        if self._last_machines is not None and current != self._last_machines:
+            # The allocation changed since we last looked (our own move
+            # landing, or a fault re-routing the cluster): detection
+            # windows accumulated against the old size are stale.
+            self._over = 0
+            self._under = 0
+        self._last_machines = current
+        needed = min(self._needed(rate), sim.cluster.num_available_nodes)
 
         if rate > self.trigger_fraction * self.params.q * current:
             self._over += 1
             self._under = 0
             if self._over >= self.detect_slots and needed > current:
                 self._over = 0
-                sim.start_move(needed)
-                self.moves_requested += 1
+                self._request(sim, needed)
             return
         self._over = 0
 
@@ -280,7 +327,13 @@ class ReactiveController:
             self._under += 1
             if self._under >= self.scale_in_slots:
                 self._under = 0
-                sim.start_move(current - 1)
-                self.moves_requested += 1
+                self._request(sim, current - 1)
         else:
             self._under = 0
+
+    def _request(self, sim: EngineSimulator, target: int) -> None:
+        try:
+            sim.start_move(target)
+        except MigrationError:
+            return
+        self.moves_requested += 1

@@ -69,6 +69,13 @@ class PredictivePolicy:
         self.plans_computed = 0
         self.fallback_scale_outs = 0
 
+    def notify_topology_change(self) -> None:
+        """The machine set changed outside this policy's control (a node
+        crashed or a move was aborted).  Confirmation votes accumulated
+        against the old topology are meaningless; drop them so a stale
+        scale-in cannot fire against the post-fault cluster."""
+        self._scale_in_votes = 0
+
     def _clamp(self, machines: int) -> int:
         return max(1, min(machines, self.max_machines))
 

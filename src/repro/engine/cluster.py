@@ -18,7 +18,7 @@ from repro.engine.hashing import Key
 from repro.engine.node import Node
 from repro.engine.partition import Partition
 from repro.engine.table import DatabaseSchema
-from repro.errors import EngineError
+from repro.errors import EngineError, NodeFailedError
 
 
 class Cluster:
@@ -96,7 +96,19 @@ class Cluster:
     def set_active(self, node_id: int, active: bool) -> None:
         if not 0 <= node_id < self.max_nodes:
             raise EngineError(f"node {node_id} out of range")
+        if active and self.nodes[node_id].failed:
+            raise NodeFailedError(
+                f"node {node_id} has failed and cannot be activated"
+            )
         self.nodes[node_id].active = active
+
+    @property
+    def num_available_nodes(self) -> int:
+        """Node slots that could be allocated: everything not failed."""
+        return sum(1 for node in self.nodes if not node.failed)
+
+    def failed_nodes(self) -> List[int]:
+        return [node.node_id for node in self.nodes if node.failed]
 
     def partitions(self, only_active: bool = True) -> List[Partition]:
         out: List[Partition] = []
@@ -117,6 +129,10 @@ class Cluster:
     def partition_of_bucket(self, bucket: int) -> Partition:
         node_id = self.plan.node_of(bucket)
         node = self.nodes[node_id]
+        if node.failed:
+            raise NodeFailedError(
+                f"bucket {bucket} routed to failed node {node_id}"
+            )
         if not node.active:
             raise EngineError(
                 f"bucket {bucket} routed to inactive node {node_id}"
@@ -140,8 +156,21 @@ class Cluster:
         old_node = self.plan.node_of(bucket)
         if old_node == new_node:
             return 0
+        if self.nodes[new_node].failed:
+            raise NodeFailedError(f"cannot move bucket to failed node {new_node}")
         if not self.nodes[new_node].active:
             raise EngineError(f"cannot move bucket to inactive node {new_node}")
+        moved = self._relocate_bucket_rows(bucket, old_node, new_node)
+        assignment = list(self.plan.as_tuple())
+        assignment[bucket] = new_node
+        self.plan = PartitionPlan(assignment, max(self.plan.num_nodes, new_node + 1))
+        self._bucket_counts[old_node] -= 1
+        self._bucket_counts[new_node] += 1
+        self._invalidate_routing()
+        return moved
+
+    def _relocate_bucket_rows(self, bucket: int, old_node: int, new_node: int) -> int:
+        """Ship one bucket's rows between the nodes' local partitions."""
         local = bucket % self.partitions_per_node
         source = self.nodes[old_node].partitions[local]
         target = self.nodes[new_node].partitions[local]
@@ -155,13 +184,66 @@ class Cluster:
             rows = source.extract_rows(table, keys)
             target.install_rows(table, rows)
             moved += len(rows)
-        assignment = list(self.plan.as_tuple())
-        assignment[bucket] = new_node
-        self.plan = PartitionPlan(assignment, max(self.plan.num_nodes, new_node + 1))
-        self._bucket_counts[old_node] -= 1
-        self._bucket_counts[new_node] += 1
-        self._invalidate_routing()
         return moved
+
+    # ------------------------------------------------------------------
+    # Failures (see repro.faults and docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+    def fail_node(self, node_id: int) -> int:
+        """Crash a node: emergency re-route its buckets to the survivors.
+
+        The dead node's buckets are spread round-robin over the remaining
+        active nodes (the same balancing idiom as a planned scale-in) and
+        their rows are restored onto the new owners — the simulator state
+        stands in for the replica a production deployment would recover
+        from.  Routing flips atomically (one ``routing_version`` bump).
+
+        Returns the number of buckets re-routed.  Failing an idle spare
+        is legal and re-routes nothing; failing the last active node is
+        refused because there is nowhere left to route.
+        """
+        if not 0 <= node_id < self.max_nodes:
+            raise EngineError(f"node {node_id} out of range")
+        node = self.nodes[node_id]
+        if node.failed:
+            raise NodeFailedError(f"node {node_id} has already failed")
+        if node.active and self.num_active_nodes <= 1:
+            raise EngineError("cannot fail the last active node")
+        was_active = node.active
+        node.failed = True
+        node.active = False
+        if not was_active:
+            return 0
+        survivors = [n.node_id for n in self.nodes if n.active]
+        assignment = list(self.plan.as_tuple())
+        owned = [b for b, owner in enumerate(assignment) if owner == node_id]
+        for i, bucket in enumerate(owned):
+            receiver = survivors[(i + node_id) % len(survivors)]
+            self._relocate_bucket_rows(bucket, node_id, receiver)
+            assignment[bucket] = receiver
+            self._bucket_counts[node_id] -= 1
+            self._bucket_counts[receiver] += 1
+        if owned:
+            # Survivors can include nodes above the plan's current width
+            # (a crash during a scale-out, after new machines activated).
+            self.plan = PartitionPlan(
+                assignment, max(self.plan.num_nodes, max(assignment) + 1)
+            )
+        self._invalidate_routing()
+        return len(owned)
+
+    def recover_node(self, node_id: int) -> None:
+        """A failed node comes back — as an empty, *inactive* spare.
+
+        It holds no buckets until a future reconfiguration scales onto
+        it; recovery only returns the slot to the allocatable pool.
+        """
+        if not 0 <= node_id < self.max_nodes:
+            raise EngineError(f"node {node_id} out of range")
+        node = self.nodes[node_id]
+        if not node.failed:
+            raise EngineError(f"node {node_id} has not failed")
+        node.failed = False
 
     def compact_plan(self, num_nodes: int) -> None:
         """Shrink the plan's node count after a completed scale-in.

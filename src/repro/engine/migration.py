@@ -25,10 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
-from repro.core.partition_plan import plan_move
+from repro.core.partition_plan import PartitionPlan, plan_move
 from repro.core.schedule import MoveSchedule, build_move_schedule
 from repro.engine.cluster import Cluster
-from repro.errors import MigrationError
+from repro.errors import EngineError, MigrationError
 
 
 @dataclass(frozen=True)
@@ -43,18 +43,39 @@ class MigrationConfig:
             source/destination partition; ``chunk_kb / extract_kbps`` is
             the per-chunk pause length.
         boost: Rate multiplier for reactive catch-up (``R x 8``).
+        max_retries: Consecutive failures of one chunk tolerated before
+            the migration fails permanently (surfaced as
+            :class:`~repro.errors.MigrationError`).
+        backoff_base_s: Delay before the first retry of a failed chunk;
+            doubles per consecutive failure (exponential backoff).
+        backoff_cap_s: Upper bound on any single retry delay.
     """
 
     chunk_kb: float = 1000.0
     rate_kbps: float = 244.0
     extract_kbps: float = 25000.0
     boost: float = 1.0
+    max_retries: int = 3
+    backoff_base_s: float = 2.0
+    backoff_cap_s: float = 30.0
 
     def __post_init__(self) -> None:
         if min(self.chunk_kb, self.rate_kbps, self.extract_kbps) <= 0:
             raise MigrationError("chunk_kb, rate_kbps and extract_kbps must be > 0")
         if self.boost < 1.0:
             raise MigrationError("boost must be >= 1")
+        if self.max_retries < 0:
+            raise MigrationError("max_retries must be >= 0")
+        if self.backoff_base_s <= 0:
+            raise MigrationError("backoff_base_s must be > 0")
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise MigrationError("backoff_cap_s must be >= backoff_base_s")
+
+    def retry_delay_s(self, attempt: int) -> float:
+        """Capped exponential backoff before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise MigrationError("retry attempt is 1-based")
+        return min(self.backoff_base_s * 2.0 ** (attempt - 1), self.backoff_cap_s)
 
     @property
     def effective_rate_kbps(self) -> float:
@@ -126,9 +147,39 @@ class Migration:
         self.schedule: MoveSchedule = build_move_schedule(
             before, target_nodes, cluster.partitions_per_node
         )
-        # Bucket batches per (sender, receiver) node pair, computed once
-        # from the balanced partition plan.
-        _, transfers = plan_move(cluster.plan, target_nodes)
+        # The schedule and bucket plan work in *logical* machine slots
+        # 0..max(before, after)-1; ``self._phys`` maps each slot to a
+        # physical node id.  With no failed nodes this is the identity,
+        # reproducing the pre-fault behaviour bit for bit; after a crash
+        # the surviving holders keep their data and new slots map onto
+        # healthy spares, skipping dead node ids.
+        holders = sorted(node.node_id for node in cluster.nodes if node.active)
+        phys = list(holders)
+        if target_nodes > before:
+            spares = [
+                node.node_id
+                for node in cluster.nodes
+                if not node.active and not node.failed
+            ]
+            extra = target_nodes - before
+            if len(spares) < extra:
+                raise MigrationError(
+                    f"scale-out to {target_nodes} needs {extra} spare nodes "
+                    f"but only {len(spares)} are healthy"
+                )
+            phys.extend(spares[:extra])
+        self._phys: Tuple[int, ...] = tuple(phys)
+        to_logical = {p: i for i, p in enumerate(self._phys)}
+        logical_plan = PartitionPlan(
+            [
+                to_logical[cluster.plan.node_of(bucket)]
+                for bucket in range(cluster.num_buckets)
+            ],
+            before,
+        )
+        # Bucket batches per logical (sender, receiver) pair, computed
+        # once from the balanced partition plan.
+        _, transfers = plan_move(logical_plan, target_nodes)
         self._buckets: Dict[Tuple[int, int], Tuple[int, ...]] = {
             (t.sender, t.receiver): t.buckets for t in transfers
         }
@@ -136,6 +187,16 @@ class Migration:
         self._elapsed_in_round = 0.0
         self._chunk_accumulator = 0.0
         self.completed = self.schedule.num_rounds == 0
+        #: Fault bookkeeping (see repro.faults): pending pause seconds
+        #: (stall windows + retry backoff), retry/stall counters.
+        self._pause_remaining = 0.0
+        self._consecutive_failures = 0
+        self._pending_stall_recoveries = 0
+        self._cleared_stalls = 0
+        self.chunk_failures = 0
+        self.retries = 0
+        self.stalls = 0
+        self.failed_permanently = False
         self._apply_allocation()
 
     # ------------------------------------------------------------------
@@ -165,8 +226,13 @@ class Migration:
             allocated = self.after
         else:
             allocated = self.schedule.machines_allocated_at(self.current_round)
-        for node_id in range(self.cluster.max_nodes):
-            self.cluster.set_active(node_id, node_id < allocated)
+        wanted = set(self._phys[:allocated])
+        for node in self.cluster.nodes:
+            if node.failed:
+                continue
+            desired = node.node_id in wanted
+            if node.active != desired:
+                self.cluster.set_active(node.node_id, desired)
 
     def _active_partition_ids(self) -> Set[int]:
         """Global partition ids participating in the current round."""
@@ -175,25 +241,106 @@ class Migration:
             return ids
         p = self.cluster.partitions_per_node
         for transfer in self.schedule.rounds[self.current_round].transfers:
-            for node in (transfer.sender, transfer.receiver):
+            for slot in (transfer.sender, transfer.receiver):
+                node = self._phys[slot]
                 for local in range(p):
                     ids.add(node * p + local)
         return ids
+
+    def _check_round_nodes(self) -> None:
+        """Every endpoint of the current round must still be usable.
+
+        A node that crashed (or was deallocated behind the migration's
+        back) invalidates the schedule; surfacing this as a
+        :class:`~repro.errors.MigrationError` lets the control loop abort
+        and replan instead of dying on a low-level engine error.
+        """
+        rnd = self.schedule.rounds[self.current_round]
+        for transfer in rnd.transfers:
+            for slot in (transfer.sender, transfer.receiver):
+                node = self.cluster.nodes[self._phys[slot]]
+                if node.failed:
+                    raise MigrationError(
+                        f"transfer {transfer.sender}->{transfer.receiver} "
+                        f"references failed node {node.node_id}; "
+                        "the move schedule is invalid"
+                    )
 
     def _complete_round(self) -> None:
         """Flip bucket ownership for the finished round's node pairs."""
         rnd = self.schedule.rounds[self.current_round]
         for transfer in rnd.transfers:
             buckets = self._buckets.get((transfer.sender, transfer.receiver), ())
+            receiver = self._phys[transfer.receiver]
             for bucket in buckets:
-                self.cluster.move_bucket(bucket, transfer.receiver)
+                try:
+                    self.cluster.move_bucket(bucket, receiver)
+                except EngineError as exc:
+                    raise MigrationError(
+                        f"cannot complete transfer to node {receiver}: {exc}"
+                    ) from exc
         self.current_round += 1
         self._elapsed_in_round = 0.0
         if self.current_round >= self.schedule.num_rounds:
             self.completed = True
             if self.after < self.before:
-                self.cluster.compact_plan(self.after)
+                self.cluster.compact_plan(max(self._phys[: self.after]) + 1)
         self._apply_allocation()
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.faults and docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+    @property
+    def paused(self) -> bool:
+        """True while a stall window or retry backoff suspends progress."""
+        return self._pause_remaining > 0.0
+
+    def inject_transfer_failure(self) -> float:
+        """One in-flight chunk is lost; schedule its retry.
+
+        The chunk's progress is rolled back (it must be re-shipped) and
+        the migration pauses for a capped exponential backoff before the
+        retry.  Returns the scheduled backoff delay.  A streak of more
+        than ``config.max_retries`` consecutive failures — the streak
+        resets once a backoff drains and progress resumes — marks the
+        migration permanently failed and raises ``MigrationError``.
+        """
+        if self.completed:
+            raise MigrationError("no migration in flight to fail a transfer of")
+        cfg = self.config
+        self.chunk_failures += 1
+        self._consecutive_failures += 1
+        if self._consecutive_failures > cfg.max_retries:
+            self.failed_permanently = True
+            raise MigrationError(
+                f"chunk transfer failed permanently after {cfg.max_retries} "
+                "retries"
+            )
+        self._elapsed_in_round = max(
+            0.0, self._elapsed_in_round - cfg.chunk_period_s
+        )
+        delay = cfg.retry_delay_s(self._consecutive_failures)
+        self._pause_remaining += delay
+        self.retries += 1
+        return delay
+
+    def inject_stall(self, duration_s: float) -> None:
+        """The current transfers stop making progress for ``duration_s``
+        seconds, after which they are re-enqueued automatically."""
+        if self.completed:
+            raise MigrationError("no migration in flight to stall")
+        if duration_s <= 0:
+            raise MigrationError("stall duration must be positive")
+        self.stalls += 1
+        self._pending_stall_recoveries += 1
+        self._pause_remaining += duration_s
+
+    def take_recovered_stalls(self) -> int:
+        """Stall windows that fully drained since the last call (their
+        transfers were re-enqueued); consumed by the fault-stats ledger."""
+        recovered = self._cleared_stalls
+        self._cleared_stalls = 0
+        return recovered
 
     # ------------------------------------------------------------------
     def step(self, dt: float) -> MigrationStep:
@@ -202,26 +349,44 @@ class Migration:
         Returns the step's effects: which partitions were blocked (and
         for how long), the machine allocation, and completion status.
         Multiple rounds may complete within one step for coarse ``dt``.
+        Pending stall/backoff pauses consume step time before any
+        progress is made (the transfers are suspended, so partitions are
+        not chunk-blocked during a pause).
         """
         if dt <= 0:
             raise MigrationError("dt must be positive")
         if self.completed:
             return MigrationStep(False, True, self.after, {}, 1.0)
+        self._check_round_nodes()
+
+        effective_dt = dt
+        if self._pause_remaining > 0.0:
+            consumed = min(self._pause_remaining, dt)
+            self._pause_remaining -= consumed
+            effective_dt = dt - consumed
+            if self._pause_remaining <= 1e-12:
+                self._pause_remaining = 0.0
+                # The retried chunk (and any re-enqueued stalled
+                # transfer) is back in flight: the failure streak ends.
+                self._consecutive_failures = 0
+                self._cleared_stalls += self._pending_stall_recoveries
+                self._pending_stall_recoveries = 0
 
         blocked: Dict[int, Tuple[float, float]] = {}
         cfg = self.config
-        # Chunk pauses: every chunk_period seconds, each active partition
-        # pauses for chunk_block seconds.
-        self._chunk_accumulator += dt
-        chunks_this_step = int(self._chunk_accumulator / cfg.chunk_period_s)
-        self._chunk_accumulator -= chunks_this_step * cfg.chunk_period_s
-        block_total = min(chunks_this_step * cfg.chunk_block_s, dt)
-        single_block = min(cfg.chunk_block_s, dt) if chunks_this_step else 0.0
-        if block_total > 0:
-            for pid in self._active_partition_ids():
-                blocked[pid] = (single_block, block_total / dt)
+        if effective_dt > 0.0:
+            # Chunk pauses: every chunk_period seconds, each active
+            # partition pauses for chunk_block seconds.
+            self._chunk_accumulator += effective_dt
+            chunks_this_step = int(self._chunk_accumulator / cfg.chunk_period_s)
+            self._chunk_accumulator -= chunks_this_step * cfg.chunk_period_s
+            block_total = min(chunks_this_step * cfg.chunk_block_s, dt)
+            single_block = min(cfg.chunk_block_s, dt) if chunks_this_step else 0.0
+            if block_total > 0:
+                for pid in self._active_partition_ids():
+                    blocked[pid] = (single_block, block_total / dt)
 
-        remaining = dt
+        remaining = effective_dt
         while remaining > 0 and not self.completed:
             left_in_round = self.round_seconds - self._elapsed_in_round
             if remaining >= left_in_round:

@@ -16,11 +16,15 @@ class Node:
     group of cores).  Nodes are allocated and deallocated by moves; a
     deallocated node keeps its identity so re-allocation is cheap in the
     simulator.
+
+    A *failed* node is stronger than a deallocated one: it crashed (see
+    :mod:`repro.faults`) and cannot be re-activated until it recovers.
     """
 
     node_id: int
     partitions: List[Partition] = field(default_factory=list)
     active: bool = True
+    failed: bool = False
 
     def row_count(self) -> int:
         return sum(p.row_count() for p in self.partitions)

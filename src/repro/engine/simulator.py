@@ -39,7 +39,16 @@ from repro.engine.queueing import (
     mixture_quantiles,
 )
 from repro.engine.table import DatabaseSchema
-from repro.errors import ConfigurationError, MigrationError
+from repro.errors import ConfigurationError, EngineError, MigrationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultEvent,
+    MigrationStall,
+    NodeCrash,
+    NodeStraggler,
+    TransferFailure,
+)
+from repro.faults.runtime import new_default_injector
 from repro.workloads.trace import LoadTrace
 
 
@@ -180,6 +189,7 @@ class EngineSimulator:
         initial_nodes: int = 1,
         schema: Optional[DatabaseSchema] = None,
         migration_config: Optional[MigrationConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.config = config
         self.cluster = Cluster(
@@ -197,6 +207,15 @@ class EngineSimulator:
         self._mu_full = np.full(total_partitions, config.partition_service_rate)
         self.skew_events: List[SkewEvent] = []
         self._moves_started = 0
+        #: Fault injection (repro.faults).  When no injector is passed,
+        #: the process-wide default plan (the CLI's ``--faults`` flag)
+        #: applies; with neither, runs are fault-free and byte-identical
+        #: to the pre-fault engine.
+        self.fault_injector = fault_injector or new_default_injector()
+        self.migrations_aborted = 0
+        #: Service rates with active straggler degradation folded in, or
+        #: ``None`` while no straggler window is open.
+        self._mu_degraded: Optional[np.ndarray] = None
         # Partition-weight caches, keyed on the cluster's routing version
         # (and the set of active skew events for the final weights), so
         # steady steps never recompute routing.
@@ -241,6 +260,108 @@ class EngineSimulator:
     @property
     def moves_started(self) -> int:
         return self._moves_started
+
+    # ------------------------------------------------------------------
+    # Fault handling (repro.faults; recovery semantics in
+    # docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+    def _abort_migration(self) -> None:
+        """Drop the in-flight move.  Routing only flips per completed
+        round, so the partial state is crash-consistent: a valid (if
+        intermediate) allocation the controller can replan from."""
+        self.migration = None
+        self.migrations_aborted += 1
+        if self.fault_injector is not None:
+            self.fault_injector.stats.migrations_aborted += 1
+
+    def _recompute_straggler_mu(self) -> None:
+        active = (
+            self.fault_injector.active_stragglers() if self.fault_injector else []
+        )
+        if not active:
+            self._mu_degraded = None
+            return
+        factors = np.ones(len(self._mu_full))
+        p = self.config.partitions_per_node
+        for node_id, factor in active:
+            factors[node_id * p : (node_id + 1) * p] *= factor
+        self._mu_degraded = self._mu_full * factors
+
+    @property
+    def _mu_base(self) -> np.ndarray:
+        """Per-partition service rates, degraded by active stragglers."""
+        return self._mu_degraded if self._mu_degraded is not None else self._mu_full
+
+    def _apply_fault_event(self, event: FaultEvent) -> None:
+        stats = self.fault_injector.stats
+        if isinstance(event, NodeCrash):
+            node_id = event.node_id
+            if (
+                node_id >= self.cluster.max_nodes
+                or self.cluster.nodes[node_id].failed
+                or (
+                    self.cluster.nodes[node_id].active
+                    and self.cluster.num_active_nodes <= 1
+                )
+            ):
+                stats.crashes_skipped += 1
+                return
+            # A membership change invalidates any in-flight move
+            # schedule; abort it so the controller replans from the
+            # surviving allocation.
+            if self.migration is not None and not self.migration.completed:
+                self._abort_migration()
+            stats.buckets_rerouted += self.cluster.fail_node(node_id)
+            stats.crashes_injected += 1
+            if event.recover_after_seconds is not None:
+                self.fault_injector.schedule_recovery(
+                    node_id, event.at_seconds + event.recover_after_seconds
+                )
+        elif isinstance(event, NodeStraggler):
+            if event.node_id >= self.cluster.max_nodes:
+                return
+            self.fault_injector.add_straggler(
+                event.node_id,
+                event.factor,
+                event.at_seconds + event.duration_seconds,
+            )
+            stats.stragglers_injected += 1
+            self._recompute_straggler_mu()
+        elif isinstance(event, TransferFailure):
+            if not self.migration_active:
+                stats.transfer_failures_skipped += 1
+                return
+            stats.transfer_failures_injected += 1
+            try:
+                for _ in range(event.count):
+                    self.migration.inject_transfer_failure()
+                    stats.transfer_retries += 1
+            except MigrationError:
+                stats.transfers_failed_permanently += 1
+                self._abort_migration()
+        elif isinstance(event, MigrationStall):
+            if not self.migration_active:
+                stats.stalls_skipped += 1
+                return
+            self.migration.inject_stall(event.duration_seconds)
+            stats.stalls_injected += 1
+
+    def _apply_due_faults(self) -> None:
+        """Fire everything the fault schedule owes us at ``self.now``."""
+        injector = self.fault_injector
+        stats = injector.stats
+        expired = injector.straggler_expirations(self.now)
+        if expired:
+            stats.stragglers_recovered += len(expired)
+            self._recompute_straggler_mu()
+        for node_id in injector.recoveries_due(self.now):
+            try:
+                self.cluster.recover_node(node_id)
+                stats.nodes_recovered += 1
+            except EngineError:
+                pass
+        for event in injector.events_due(self.now):
+            self._apply_fault_event(event)
 
     # ------------------------------------------------------------------
     # Stepping
@@ -293,25 +414,40 @@ class EngineSimulator:
         block_weight = None
         reconfiguring = False
 
-        if self.migration is not None and not self.migration.completed:
-            mig_step = self.migration.step(dt)
-            reconfiguring = mig_step.active or bool(mig_step.blocked_partitions)
-            if mig_step.blocked_partitions:
-                num_partitions = len(self._backlog)
-                block_seconds = np.zeros(num_partitions)
-                block_weight = np.zeros(num_partitions)
-                for pid, (single, frac) in mig_step.blocked_partitions.items():
-                    block_seconds[pid] = single
-                    block_weight[pid] = frac
-            if mig_step.completed:
-                self.migration = None
+        if self.fault_injector is not None and not self.fault_injector.exhausted:
+            self._apply_due_faults()
 
+        if self.migration is not None and not self.migration.completed:
+            try:
+                mig_step = self.migration.step(dt)
+            except MigrationError:
+                # The schedule became invalid mid-flight (a node died
+                # under it): abort; the controller replans next slot.
+                self._abort_migration()
+                mig_step = None
+            if mig_step is not None:
+                if self.fault_injector is not None:
+                    self.fault_injector.stats.stalls_recovered += (
+                        self.migration.take_recovered_stalls()
+                    )
+                reconfiguring = mig_step.active or bool(mig_step.blocked_partitions)
+                if mig_step.blocked_partitions:
+                    num_partitions = len(self._backlog)
+                    block_seconds = np.zeros(num_partitions)
+                    block_weight = np.zeros(num_partitions)
+                    for pid, (single, frac) in mig_step.blocked_partitions.items():
+                        block_seconds[pid] = single
+                        block_weight[pid] = frac
+                if mig_step.completed:
+                    self.migration = None
+
+        mu_base = self._mu_base
         weights = self._partition_weights()
         offered = offered_rate * weights
         if block_weight is None:
-            mu_eff = self._mu_full
+            mu_eff = mu_base
         else:
-            mu_eff = self._mu_full * (1.0 - block_weight)
+            mu_eff = mu_base * (1.0 - block_weight)
 
         components = latency_components(
             self._backlog,
@@ -450,6 +586,12 @@ class EngineSimulator:
                     and not self.migration_active
                     and self._skew_constant_over(
                         slot_start, slot_start + (steps_per_slot - 1) * dt
+                    )
+                    and (
+                        self.fault_injector is None
+                        or self.fault_injector.quiet_over(
+                            slot_start, slot_start + (steps_per_slot - 1) * dt
+                        )
                     )
                     and np.array_equal(self._backlog, pre_backlog)
                 )

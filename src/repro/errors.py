@@ -30,8 +30,21 @@ class MigrationError(ReproError):
     """Raised when a live migration cannot be scheduled or executed."""
 
 
+class FaultInjectionError(ReproError):
+    """Raised when a fault plan or fault spec is invalid."""
+
+
 class EngineError(ReproError):
     """Raised on invalid operations against the simulated OLTP engine."""
+
+
+class NodeFailedError(EngineError):
+    """Raised when an operation touches a node that has crashed.
+
+    A failed node is distinct from a merely deallocated one: it cannot be
+    re-activated until it recovers, and routing a request to it is a bug
+    in the emergency re-route path rather than a capacity decision.
+    """
 
 
 class TransactionAborted(EngineError):

@@ -11,6 +11,7 @@ from typing import Callable, Dict, List
 
 from repro.experiments import (
     ablations,
+    ext_fault_tolerance,
     ext_wikipedia_provisioning,
     fig1_load_trace,
     fig2_ideal_capacity,
@@ -80,6 +81,8 @@ REGISTRY: Dict[str, ExperimentSpec] = {
                        ablations.run),
         ExperimentSpec("ext-wiki", "P-Store on Wikipedia-like workloads",
                        "(this repo)", ext_wikipedia_provisioning.run),
+        ExperimentSpec("ext-faults", "Chaos run: P-Store under faults",
+                       "(this repo)", ext_fault_tolerance.run),
     )
 }
 

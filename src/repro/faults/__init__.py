@@ -1,0 +1,37 @@
+"""repro.faults — deterministic fault injection for chaos experiments.
+
+See :mod:`repro.faults.plan` for the fault model and
+:mod:`repro.faults.injector` for the run-time cursor + stats ledger.
+``docs/ROBUSTNESS.md`` documents recovery semantics end to end.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    MigrationStall,
+    NodeCrash,
+    NodeStraggler,
+    TransferFailure,
+    parse_fault_spec,
+)
+from repro.faults.runtime import (
+    default_fault_plan,
+    new_default_injector,
+    set_default_fault_plan,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "MigrationStall",
+    "NodeCrash",
+    "NodeStraggler",
+    "TransferFailure",
+    "default_fault_plan",
+    "new_default_injector",
+    "parse_fault_spec",
+    "set_default_fault_plan",
+]

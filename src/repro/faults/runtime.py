@@ -1,0 +1,39 @@
+"""Process-wide default fault plan (the ``--faults`` CLI hook).
+
+Experiments construct their own :class:`~repro.engine.simulator.
+EngineSimulator` instances internally, so a CLI flag cannot thread a
+fault plan through every ``run()`` signature.  Instead the CLI installs
+a default plan here; every simulator created without an explicit
+injector picks it up (each gets its *own* fresh
+:class:`~repro.faults.injector.FaultInjector`, so parallel runs in one
+experiment do not share cursors).
+
+With no default installed (the normal case) this module is inert and
+simulators run fault-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+_default_plan: Optional[FaultPlan] = None
+
+
+def set_default_fault_plan(plan: Optional[FaultPlan]) -> None:
+    """Install (or clear, with ``None``) the process-wide fault plan."""
+    global _default_plan
+    _default_plan = plan if plan else None
+
+
+def default_fault_plan() -> Optional[FaultPlan]:
+    return _default_plan
+
+
+def new_default_injector() -> Optional[FaultInjector]:
+    """A fresh injector over the default plan, or ``None`` if unset."""
+    if _default_plan is None:
+        return None
+    return FaultInjector(_default_plan)

@@ -63,11 +63,13 @@ class ReactiveStrategy(AllocationStrategy):
         self.name = f"reactive-h{headroom:.2f}"
         self._over_count = 0
         self._under_count = 0
+        self._last_machines: Optional[int] = None
 
     def reset(self, params, max_machines, trace=None) -> None:  # noqa: D102
         super().reset(params, max_machines, trace)
         self._over_count = 0
         self._under_count = 0
+        self._last_machines = None
 
     def _needed(self, load_rate: float) -> int:
         """Machines for the load plus the configured headroom."""
@@ -77,6 +79,15 @@ class ReactiveStrategy(AllocationStrategy):
 
     def decide(self, state: SimState) -> Optional[int]:
         params = self.params
+        if self._last_machines is not None and state.machines != self._last_machines:
+            # The allocation changed since our last decision returned —
+            # a move we requested completing, or a *forced* change (a
+            # fault-driven re-route).  Consecutive-interval counts
+            # measured against the old allocation are stale; detection
+            # must restart against the new one.
+            self._over_count = 0
+            self._under_count = 0
+        self._last_machines = state.machines
         target_capacity = params.q * state.machines
         needed = self._needed(state.load_rate)
 
@@ -85,6 +96,7 @@ class ReactiveStrategy(AllocationStrategy):
             self._under_count = 0
             if self._over_count >= self.detect_intervals and needed > state.machines:
                 self._over_count = 0
+                self._last_machines = needed
                 return needed
             return None
         self._over_count = 0
@@ -95,6 +107,7 @@ class ReactiveStrategy(AllocationStrategy):
                 self._under_count = 0
                 # Scale in one step at a time: reactive systems avoid
                 # large speculative shrinks they might instantly regret.
+                self._last_machines = state.machines - 1
                 return state.machines - 1
         else:
             self._under_count = 0
