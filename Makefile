@@ -1,10 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-pytest chaos
+.PHONY: test lint cov bench bench-pytest chaos
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Static checks, same invocation as the CI lint job.
+lint:
+	ruff check src tests benchmarks experiments
+	ruff format --check src tests benchmarks experiments
+
+## Tier-1 suite with line coverage, same floor as the CI tests job.
+cov:
+	$(PYTHON) -m pytest -x -q --cov=repro --cov-report=term-missing --cov-fail-under=80
 
 ## The fault-tolerance chaos experiment (docs/ROBUSTNESS.md): replay a
 ## compressed B2W day under a deterministic fault plan and report the

@@ -8,8 +8,6 @@ experiment executes once (rounds=1) since the workloads are large.
 
 from __future__ import annotations
 
-import pytest
-
 
 def run_once(benchmark, runner, *args, **kwargs):
     """Execute ``runner`` exactly once under pytest-benchmark timing."""

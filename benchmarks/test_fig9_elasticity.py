@@ -6,7 +6,6 @@ static-4, reactive, P-Store), then the Table 2 SLA accounting and the
 Figure 10 top-1% latency CDFs — all from the same runs, as in the paper.
 """
 
-import pytest
 from conftest import report, run_once
 
 from repro.experiments import fig9_elasticity, fig10_latency_cdfs

@@ -123,7 +123,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="CI smoke mode: one sample per kernel, no baseline file",
     )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the results JSON to this exact path (also in --quick "
+             "mode; CI uploads it as the bench-regression artifact)",
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="compare each kernel's median against this committed "
+             "BENCH_*.json; exit 1 if any regresses beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        help="allowed slowdown factor vs the baseline median (default 1.5)",
+    )
     args = parser.parse_args(argv)
+    if args.tolerance <= 0:
+        parser.error("--tolerance must be positive")
 
     kernels = KERNELS
     if args.only:
@@ -136,20 +159,63 @@ def main(argv: Optional[List[str]] = None) -> int:
         results[name] = {"median_ns": median_ns, "samples_ns": samples}
         print(f"{name:30s} {median_ns / 1e6:10.3f} ms median")
 
-    if args.quick:
-        return 0
-
     report = {
         "date": datetime.date.today().isoformat(),
-        "repeats": args.repeats,
+        "repeats": repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "kernels": results,
     }
-    args.output_dir.mkdir(parents=True, exist_ok=True)
-    out_path = args.output_dir / f"BENCH_{report['date']}.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    elif not args.quick:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+        out_path = args.output_dir / f"BENCH_{report['date']}.json"
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {out_path}")
+
+    if args.compare is not None:
+        return compare_to_baseline(results, args.compare, args.tolerance)
+    return 0
+
+
+def compare_to_baseline(
+    results: Dict[str, Dict[str, object]], baseline_path: Path, tolerance: float
+) -> int:
+    """The CI bench-regression gate: fail on medians beyond tolerance.
+
+    Kernels present only on one side are reported but do not fail the
+    gate (a new kernel has no baseline yet; a retired one has no
+    measurement), so adding a kernel and its baseline can land in
+    separate commits without breaking CI.
+    """
+    baseline = json.loads(Path(baseline_path).read_text())
+    baseline_kernels: Dict[str, Dict[str, object]] = baseline.get("kernels", {})
+    regressions: List[str] = []
+    print(f"\nbaseline: {baseline_path} (tolerance {tolerance:g}x)")
+    for name, result in results.items():
+        base = baseline_kernels.get(name)
+        if base is None:
+            print(f"{name:30s} (no baseline entry; skipped)")
+            continue
+        base_ns = float(base["median_ns"])
+        measured_ns = float(result["median_ns"])  # type: ignore[arg-type]
+        ratio = measured_ns / base_ns if base_ns > 0 else float("inf")
+        verdict = "ok" if ratio <= tolerance else "REGRESSION"
+        print(
+            f"{name:30s} {measured_ns / 1e6:10.3f} ms vs "
+            f"{base_ns / 1e6:10.3f} ms  ({ratio:5.2f}x)  {verdict}"
+        )
+        if ratio > tolerance:
+            regressions.append(name)
+    for name in sorted(set(baseline_kernels) - set(results)):
+        print(f"{name:30s} (in baseline but not measured)")
+    if regressions:
+        print(f"bench regression in: {', '.join(regressions)}")
+        return 1
+    print("bench regression gate: all kernels within tolerance")
     return 0
 
 

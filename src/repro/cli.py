@@ -6,18 +6,31 @@ Usage::
     python -m repro.cli run fig5
     python -m repro.cli run fig9 --fast
     python -m repro.cli run all --fast --save results/
+    python -m repro.cli run fig9-elasticity --telemetry out.jsonl
+    python -m repro.cli report out.jsonl
+    python -m repro.cli bench --quick --compare BENCH_2026-08-06.json
+
+``--faults`` and ``--telemetry`` install *scoped* process-wide defaults
+(see :mod:`repro.faults.runtime` and :mod:`repro.telemetry.runtime`):
+the previous defaults are restored when the invocation finishes, so
+back-to-back ``main()`` calls in one process never leak state into each
+other and stay deterministic.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.experiments import registry
-from repro.faults import parse_fault_spec, set_default_fault_plan
+from repro.experiments.common import experiment_telemetry
+from repro.faults import fault_plan_session, parse_fault_spec
+from repro.telemetry import Telemetry, telemetry_session
+from repro.telemetry.export import export as export_telemetry
 
 
 def _cmd_list() -> int:
@@ -26,11 +39,39 @@ def _cmd_list() -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _session(
+    faults: Optional[str], telemetry_path: Optional[str]
+) -> Iterator[Optional[Telemetry]]:
+    """Install the scoped fault-plan/telemetry defaults for one command.
+
+    On exit the telemetry dump is written to ``telemetry_path`` and both
+    process-wide defaults are restored to whatever they were before.
+    """
+    with contextlib.ExitStack() as stack:
+        if faults is not None:
+            plan = parse_fault_spec(faults)
+            stack.enter_context(fault_plan_session(plan))
+            print(f"fault plan in force: {plan.counts()}")
+        telemetry: Optional[Telemetry] = None
+        if telemetry_path is not None:
+            telemetry = Telemetry()
+            stack.enter_context(telemetry_session(telemetry))
+        try:
+            yield telemetry
+        finally:
+            if telemetry is not None and telemetry_path is not None:
+                telemetry.tracer.finish_all()
+                count = export_telemetry(telemetry, telemetry_path)
+                print(f"telemetry: {count} records -> {telemetry_path}")
+
+
 def _cmd_run(
     experiment_ids: List[str],
     fast: bool,
     save_dir: Optional[str] = None,
     faults: Optional[str] = None,
+    telemetry_path: Optional[str] = None,
 ) -> int:
     if experiment_ids == ["all"]:
         experiment_ids = [spec.experiment_id for spec in registry.list_experiments()]
@@ -38,15 +79,7 @@ def _cmd_run(
     if save_dir is not None:
         out_dir = Path(save_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
-    if faults is not None:
-        # Every simulator constructed while the flag is in force gets a
-        # fresh injector over this (deterministic) plan, so any existing
-        # experiment can be rerun under faults.
-        plan = parse_fault_spec(faults)
-        set_default_fault_plan(plan)
-        print(f"fault plan in force: {plan.counts()}")
-    status = 0
-    try:
+    with _session(faults, telemetry_path):
         for experiment_id in experiment_ids:
             try:
                 spec = registry.get(experiment_id)
@@ -55,19 +88,67 @@ def _cmd_run(
                 return 2
             started = time.time()
             print(f"== {spec.paper_reference}: {spec.title} ==")
-            result = spec.runner(fast=fast)
+            with experiment_telemetry(spec.experiment_id):
+                result = spec.runner(fast=fast)
             report = result.format_report()
             print(report)
             print(f"-- completed in {time.time() - started:.1f}s\n")
             if out_dir is not None:
-                path = out_dir / f"{experiment_id}.txt"
+                path = out_dir / f"{spec.experiment_id}.txt"
                 path.write_text(
                     f"{spec.paper_reference}: {spec.title}\n\n{report}\n"
                 )
-    finally:
-        if faults is not None:
-            set_default_fault_plan(None)
-    return status
+    return 0
+
+
+def _cmd_report(path: str, window: int) -> int:
+    from repro.telemetry.report import render_report
+
+    target = Path(path)
+    if not target.exists():
+        print(f"no such telemetry dump: {path}", file=sys.stderr)
+        return 2
+    print(render_report(str(target), window=window))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the kernel benchmarks under the same scoped defaults as
+    ``run`` — ``repro.cli bench --quick --faults ... --telemetry ...``
+    composes without mutating process-wide state."""
+    from repro.bench import main as bench_main
+
+    bench_argv: List[str] = []
+    if args.quick:
+        bench_argv.append("--quick")
+    if args.repeats is not None:
+        bench_argv.extend(["--repeats", str(args.repeats)])
+    for name in args.only or ():
+        bench_argv.extend(["--only", name])
+    if args.output_dir is not None:
+        bench_argv.extend(["--output-dir", args.output_dir])
+    if args.output is not None:
+        bench_argv.extend(["--output", args.output])
+    if args.compare is not None:
+        bench_argv.extend(["--compare", args.compare])
+        bench_argv.extend(["--tolerance", str(args.tolerance)])
+    with _session(args.faults, args.telemetry):
+        return bench_main(bench_argv)
+
+
+def _add_session_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject a deterministic fault plan into every engine run, "
+             "e.g. 'crash@300:n2:recover=600,stall@120' or "
+             "'gen@0:seed=7:span=8640' (see docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="record metrics/traces/timeline and write them to PATH "
+             "(.jsonl = full dump, .csv = tick table; see "
+             "docs/OBSERVABILITY.md)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -76,6 +157,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list all experiments")
+
     run_parser = subparsers.add_parser("run", help="run experiments by id")
     run_parser.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
     run_parser.add_argument(
@@ -86,16 +168,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--save", metavar="DIR", default=None,
         help="also write each report to DIR/<id>.txt",
     )
-    run_parser.add_argument(
-        "--faults", metavar="SPEC", default=None,
-        help="inject a deterministic fault plan into every engine run, "
-             "e.g. 'crash@300:n2:recover=600,stall@120' or "
-             "'gen@0:seed=7:span=8640' (see docs/ROBUSTNESS.md)",
+    _add_session_flags(run_parser)
+
+    report_parser = subparsers.add_parser(
+        "report", help="summarize an exported telemetry dump"
     )
+    report_parser.add_argument("path", help="JSONL dump written by --telemetry")
+    report_parser.add_argument(
+        "--window", type=int, default=0,
+        help="forecast samples per error window (0 = auto, <= 12 windows)",
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="time the hot kernels (see docs/PERFORMANCE.md)"
+    )
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="one sample per kernel, no baseline file")
+    bench_parser.add_argument("--repeats", type=int, default=None)
+    bench_parser.add_argument("--only", action="append", default=None)
+    bench_parser.add_argument("--output-dir", default=None)
+    bench_parser.add_argument(
+        "--output", default=None,
+        help="write results JSON to this exact path (works with --quick)",
+    )
+    bench_parser.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="compare medians against a committed BENCH_*.json; exit 1 "
+             "on regression beyond --tolerance",
+    )
+    bench_parser.add_argument(
+        "--tolerance", type=float, default=1.5,
+        help="allowed median slowdown factor vs the baseline (default 1.5)",
+    )
+    _add_session_flags(bench_parser)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    return _cmd_run(args.ids, args.fast, args.save, args.faults)
+    if args.command == "report":
+        return _cmd_report(args.path, args.window)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    return _cmd_run(args.ids, args.fast, args.save, args.faults, args.telemetry)
 
 
 if __name__ == "__main__":

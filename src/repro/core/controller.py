@@ -151,6 +151,11 @@ class PredictiveController:
         #: active schedule is void.
         self._expected_machines: Optional[int] = None
         self.topology_changes_detected = 0
+        #: Last cycle's one-interval-ahead forecast (raw, uninflated
+        #: txn/s); compared against the next measured interval and
+        #: emitted as a telemetry ``forecast`` event, the feedback signal
+        #: ``repro.cli report`` turns into per-window MAPE.
+        self._pending_forecast: Optional[float] = None
 
     # ------------------------------------------------------------------
     def _record(
@@ -171,6 +176,20 @@ class PredictiveController:
                 boost=boost,
             )
         )
+        tel = sim.telemetry
+        if tel is not None:
+            tel.counter("controller.decisions").inc()
+            if kind == "fallback":
+                tel.counter("controller.fallbacks").inc()
+            tel.event(
+                "decision",
+                sim.now,
+                action=kind,
+                measured_rate=measured_rate,
+                machines_before=sim.machines_allocated,
+                target=target,
+                boost=boost,
+            )
 
     def on_slot(
         self, sim: EngineSimulator, slot_index: int, measured_count: float
@@ -183,9 +202,24 @@ class PredictiveController:
         self._slot_buffer.clear()
         self.history.append(interval_count)
 
+        interval_seconds = self.params.interval_seconds
+        tel = sim.telemetry
+        if tel is not None:
+            measured = interval_count / interval_seconds
+            tel.gauge("controller.measured_rate").set(measured)
+            if self._pending_forecast is not None:
+                tel.event(
+                    "forecast",
+                    sim.now,
+                    interval=len(self.history) - 1,
+                    predicted=self._pending_forecast,
+                    actual=measured,
+                )
+                tel.counter("controller.forecasts_scored").inc()
+        self._pending_forecast = None
+
         if sim.migration_active:
             return
-        interval_seconds = self.params.interval_seconds
         measured_rate = interval_count / interval_seconds
         current = sim.machines_allocated
 
@@ -220,6 +254,9 @@ class PredictiveController:
         load = np.empty(self.horizon + 1)
         load[0] = measured_rate
         load[1:] = (forecast_counts / interval_seconds) * (1.0 + self.inflation)
+        self._pending_forecast = float(forecast_counts[0]) / interval_seconds
+        if tel is not None:
+            tel.gauge("controller.predicted_rate").set(self._pending_forecast)
 
         decision = self.policy.decide(load, current)
         if decision.target is None:
@@ -332,8 +369,20 @@ class ReactiveController:
             self._under = 0
 
     def _request(self, sim: EngineSimulator, target: int) -> None:
+        machines_before = sim.machines_allocated
         try:
             sim.start_move(target)
         except MigrationError:
             return
         self.moves_requested += 1
+        tel = sim.telemetry
+        if tel is not None:
+            tel.counter("controller.decisions").inc()
+            tel.event(
+                "decision",
+                sim.now,
+                action="reactive",
+                machines_before=machines_before,
+                target=target,
+                boost=1.0,
+            )

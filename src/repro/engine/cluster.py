@@ -76,6 +76,9 @@ class Cluster:
         self._bucket_counts = self._recount_buckets()
         self._routing_version = 0
         self._node_weights_cache: "Optional[list[float]]" = None
+        #: Telemetry handle, installed by the owning simulator (None when
+        #: instrumentation is off; every use below guards on that).
+        self.telemetry = None
 
     def _recount_buckets(self) -> "list[int]":
         counts = [0] * self.max_nodes
@@ -167,6 +170,9 @@ class Cluster:
         self._bucket_counts[old_node] -= 1
         self._bucket_counts[new_node] += 1
         self._invalidate_routing()
+        if self.telemetry is not None:
+            self.telemetry.counter("cluster.buckets_moved").inc()
+            self.telemetry.counter("cluster.rows_moved").inc(moved)
         return moved
 
     def _relocate_bucket_rows(self, bucket: int, old_node: int, new_node: int) -> int:
@@ -230,6 +236,9 @@ class Cluster:
                 assignment, max(self.plan.num_nodes, max(assignment) + 1)
             )
         self._invalidate_routing()
+        if self.telemetry is not None:
+            self.telemetry.counter("cluster.nodes_failed").inc()
+            self.telemetry.counter("cluster.buckets_rerouted").inc(len(owned))
         return len(owned)
 
     def recover_node(self, node_id: int) -> None:
@@ -244,6 +253,8 @@ class Cluster:
         if not node.failed:
             raise EngineError(f"node {node_id} has not failed")
         node.failed = False
+        if self.telemetry is not None:
+            self.telemetry.counter("cluster.nodes_recovered").inc()
 
     def compact_plan(self, num_nodes: int) -> None:
         """Shrink the plan's node count after a completed scale-in.

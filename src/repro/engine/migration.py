@@ -23,12 +23,15 @@ round by round against a :class:`~repro.engine.cluster.Cluster`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
 from repro.core.partition_plan import PartitionPlan, plan_move
 from repro.core.schedule import MoveSchedule, build_move_schedule
 from repro.engine.cluster import Cluster
 from repro.errors import EngineError, MigrationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -129,6 +132,7 @@ class Migration:
         target_nodes: int,
         db_size_kb: float,
         config: Optional[MigrationConfig] = None,
+        telemetry: "Optional[Telemetry]" = None,
     ) -> None:
         before = cluster.num_active_nodes
         if target_nodes < 1 or target_nodes > cluster.max_nodes:
@@ -197,6 +201,9 @@ class Migration:
         self.retries = 0
         self.stalls = 0
         self.failed_permanently = False
+        #: Resolved telemetry handle (the simulator passes its own); the
+        #: round/retry/stall accounting below is dead when ``None``.
+        self.telemetry = telemetry
         self._apply_allocation()
 
     # ------------------------------------------------------------------
@@ -281,6 +288,8 @@ class Migration:
                     ) from exc
         self.current_round += 1
         self._elapsed_in_round = 0.0
+        if self.telemetry is not None:
+            self.telemetry.counter("migration.rounds_completed").inc()
         if self.current_round >= self.schedule.num_rounds:
             self.completed = True
             if self.after < self.before:
@@ -312,6 +321,8 @@ class Migration:
         self._consecutive_failures += 1
         if self._consecutive_failures > cfg.max_retries:
             self.failed_permanently = True
+            if self.telemetry is not None:
+                self.telemetry.counter("migration.failed_permanently").inc()
             raise MigrationError(
                 f"chunk transfer failed permanently after {cfg.max_retries} "
                 "retries"
@@ -322,6 +333,11 @@ class Migration:
         delay = cfg.retry_delay_s(self._consecutive_failures)
         self._pause_remaining += delay
         self.retries += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("migration.chunk_retries").inc()
+            self.telemetry.histogram(
+                "migration.retry_backoff_s", buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+            ).observe(delay)
         return delay
 
     def inject_stall(self, duration_s: float) -> None:
@@ -334,6 +350,8 @@ class Migration:
         self.stalls += 1
         self._pending_stall_recoveries += 1
         self._pause_remaining += duration_s
+        if self.telemetry is not None:
+            self.telemetry.counter("migration.stalls").inc()
 
     def take_recovered_stalls(self) -> int:
         """Stall windows that fully drained since the last call (their

@@ -49,6 +49,8 @@ from repro.faults.plan import (
     TransferFailure,
 )
 from repro.faults.runtime import new_default_injector
+from repro.telemetry import Telemetry, resolve_telemetry
+from repro.telemetry.tracer import Span
 from repro.workloads.trace import LoadTrace
 
 
@@ -190,6 +192,7 @@ class EngineSimulator:
         schema: Optional[DatabaseSchema] = None,
         migration_config: Optional[MigrationConfig] = None,
         fault_injector: Optional[FaultInjector] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config
         self.cluster = Cluster(
@@ -225,6 +228,22 @@ class EngineSimulator:
         self._weights_key: Optional[tuple] = None
         #: Slots served by the steady-slot fast path in :meth:`run`.
         self.fast_slots = 0
+        #: Telemetry handle (explicit, or the process default installed
+        #: by the CLI's ``--telemetry`` flag).  ``None`` when disabled:
+        #: every hot-path instrumentation site guards on that alone, so
+        #: an uninstrumented run stays bit-identical (test_fast_path).
+        self.telemetry = resolve_telemetry(telemetry)
+        self._migration_span: Optional[Span] = None
+        if self.telemetry is not None:
+            self.telemetry.set_meta(
+                sla_ms=config.sla_ms,
+                dt_seconds=config.dt_seconds,
+                partitions_per_node=config.partitions_per_node,
+                max_nodes=config.max_nodes,
+            )
+            self.cluster.telemetry = self.telemetry
+            if self.fault_injector is not None:
+                self.fault_injector.telemetry = self.telemetry
 
     # ------------------------------------------------------------------
     # Reconfiguration control
@@ -248,14 +267,33 @@ class EngineSimulator:
         migration_config = self.migration_config
         if boost != 1.0:
             migration_config = dataclasses.replace(migration_config, boost=boost)
+        before = self.cluster.num_active_nodes
         self.migration = Migration(
             self.cluster,
             target_nodes,
             self.config.db_size_kb,
             migration_config,
+            telemetry=self.telemetry,
         )
         self._moves_started += 1
+        tel = self.telemetry
+        if tel is not None:
+            tel.counter("engine.moves_started").inc()
+            self._migration_span = tel.tracer.begin(
+                "migration",
+                at=self.now,
+                **{"from": before, "to": target_nodes, "boost": boost},
+            )
+            if self.migration.completed:  # zero-round schedule
+                self._finish_migration_span("ok")
         return self.migration
+
+    def _finish_migration_span(self, status: str) -> None:
+        if self._migration_span is not None:
+            self.telemetry.tracer.end(
+                self._migration_span, at=self.now, status=status
+            )
+            self._migration_span = None
 
     @property
     def moves_started(self) -> int:
@@ -273,6 +311,9 @@ class EngineSimulator:
         self.migrations_aborted += 1
         if self.fault_injector is not None:
             self.fault_injector.stats.migrations_aborted += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("engine.migrations_aborted").inc()
+            self._finish_migration_span("aborted")
 
     def _recompute_straggler_mu(self) -> None:
         active = (
@@ -292,6 +333,19 @@ class EngineSimulator:
         """Per-partition service rates, degraded by active stragglers."""
         return self._mu_degraded if self._mu_degraded is not None else self._mu_full
 
+    def _record_fault(self, event: FaultEvent, outcome: str) -> None:
+        tel = self.telemetry
+        if tel is None:
+            return
+        tel.counter(f"faults.{outcome}").inc()
+        tel.event(
+            "fault",
+            self.now,
+            fault=type(event).__name__,
+            outcome=outcome,
+            node_id=getattr(event, "node_id", None),
+        )
+
     def _apply_fault_event(self, event: FaultEvent) -> None:
         stats = self.fault_injector.stats
         if isinstance(event, NodeCrash):
@@ -305,6 +359,7 @@ class EngineSimulator:
                 )
             ):
                 stats.crashes_skipped += 1
+                self._record_fault(event, "skipped")
                 return
             # A membership change invalidates any in-flight move
             # schedule; abort it so the controller replans from the
@@ -313,12 +368,14 @@ class EngineSimulator:
                 self._abort_migration()
             stats.buckets_rerouted += self.cluster.fail_node(node_id)
             stats.crashes_injected += 1
+            self._record_fault(event, "injected")
             if event.recover_after_seconds is not None:
                 self.fault_injector.schedule_recovery(
                     node_id, event.at_seconds + event.recover_after_seconds
                 )
         elif isinstance(event, NodeStraggler):
             if event.node_id >= self.cluster.max_nodes:
+                self._record_fault(event, "skipped")
                 return
             self.fault_injector.add_straggler(
                 event.node_id,
@@ -326,12 +383,15 @@ class EngineSimulator:
                 event.at_seconds + event.duration_seconds,
             )
             stats.stragglers_injected += 1
+            self._record_fault(event, "injected")
             self._recompute_straggler_mu()
         elif isinstance(event, TransferFailure):
             if not self.migration_active:
                 stats.transfer_failures_skipped += 1
+                self._record_fault(event, "skipped")
                 return
             stats.transfer_failures_injected += 1
+            self._record_fault(event, "injected")
             try:
                 for _ in range(event.count):
                     self.migration.inject_transfer_failure()
@@ -342,9 +402,11 @@ class EngineSimulator:
         elif isinstance(event, MigrationStall):
             if not self.migration_active:
                 stats.stalls_skipped += 1
+                self._record_fault(event, "skipped")
                 return
             self.migration.inject_stall(event.duration_seconds)
             stats.stalls_injected += 1
+            self._record_fault(event, "injected")
 
     def _apply_due_faults(self) -> None:
         """Fire everything the fault schedule owes us at ``self.now``."""
@@ -440,6 +502,8 @@ class EngineSimulator:
                         block_weight[pid] = frac
                 if mig_step.completed:
                     self.migration = None
+                    if self.telemetry is not None:
+                        self._finish_migration_span("ok")
 
         mu_base = self._mu_base
         weights = self._partition_weights()
@@ -468,13 +532,33 @@ class EngineSimulator:
                 out=self._backlog,
             )
         self.now += dt
+        served_rate = float(served.sum() / dt)
+        machines = float(self.machines_allocated)
+        tel = self.telemetry
+        if tel is not None:
+            # The only per-step telemetry cost; everything is O(1) or one
+            # O(P) reduction, and the branch is dead when telemetry is off.
+            tel.counter("engine.steps").inc()
+            tel.histogram("engine.p99_ms").observe(p99 * 1000.0)
+            tel.timeline.tick(
+                t=self.now,
+                offered=offered_rate,
+                served=served_rate,
+                p50_ms=p50 * 1000.0,
+                p95_ms=p95 * 1000.0,
+                p99_ms=p99 * 1000.0,
+                machines=machines,
+                reconfiguring=reconfiguring,
+                queue_depth=float(self._backlog.sum()),
+                capacity=float(mu_eff.sum()),
+            )
         return (
-            float(served.sum() / dt),
+            served_rate,
             p50 * 1000.0,
             p95 * 1000.0,
             p99 * 1000.0,
             mean * 1000.0,
-            float(self.machines_allocated),
+            machines,
             reconfiguring,
         )
 
@@ -616,6 +700,23 @@ class EngineSimulator:
                     self.now = now
                     idx = end
                     self.fast_slots += 1
+                    tel = self.telemetry
+                    if tel is not None:
+                        # The collapsed steps are identical to the slot's
+                        # first step; replicate their ticks so an enabled
+                        # timeline matches the exact path record for
+                        # record (only the timestamps advance).
+                        tel.counter("engine.fast_slots").inc()
+                        template = tel.timeline.ticks[-1]
+                        steps_counter = tel.counter("engine.steps")
+                        p99_hist = tel.histogram("engine.p99_ms")
+                        ticks = tel.timeline.ticks
+                        for j in range(remaining):
+                            steps_counter.inc()
+                            p99_hist.observe(template["p99_ms"])
+                            ticks.append(
+                                dict(template, t=time_col[end - remaining + j])
+                            )
                 else:
                     for _ in range(remaining):
                         served, p50, p95, p99, mean, machines, reconfiguring = (

@@ -10,7 +10,7 @@ into kilobytes moved).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, Tuple
 
 from repro.errors import EngineError
 

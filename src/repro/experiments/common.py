@@ -7,8 +7,9 @@ workload for test suites while preserving the qualitative shape.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 
 def format_table(
@@ -48,3 +49,24 @@ def comparison_table(comparisons: Sequence[PaperComparison], title: str) -> str:
         [c.as_row() for c in comparisons],
         title=title,
     )
+
+
+@contextmanager
+def experiment_telemetry(experiment_id: str) -> Iterator[None]:
+    """Mark an experiment's boundaries on the active telemetry.
+
+    When the CLI runs with ``--telemetry`` every experiment is wrapped in
+    an ``experiment`` span and the dump records which experiment each
+    simulator's ticks belong to; with no telemetry installed this is a
+    no-op, so experiment modules and the CLI can use it unconditionally.
+    """
+    from repro.telemetry.runtime import active_telemetry
+
+    tel = active_telemetry()
+    if tel is None:
+        yield
+        return
+    tel.set_meta(experiment=experiment_id)
+    with tel.tracer.span("experiment", id=experiment_id):
+        tel.counter("experiments.runs").inc()
+        yield

@@ -92,8 +92,16 @@ def list_experiments() -> List[ExperimentSpec]:
 
 
 def get(experiment_id: str) -> ExperimentSpec:
-    try:
-        return REGISTRY[experiment_id]
-    except KeyError:
-        known = ", ".join(sorted(REGISTRY))
-        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    spec = REGISTRY.get(experiment_id)
+    if spec is not None:
+        return spec
+    # Descriptive aliases: "fig9-elasticity" resolves to "fig9" — any
+    # "<id>-<suffix>" form whose prefix is a registered id and matches
+    # exactly one entry.
+    matches = [
+        known for known in REGISTRY if experiment_id.startswith(known + "-")
+    ]
+    if len(matches) == 1:
+        return REGISTRY[matches[0]]
+    known = ", ".join(sorted(REGISTRY))
+    raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")

@@ -17,6 +17,7 @@ from repro.faults.plan import (
 )
 from repro.faults.runtime import (
     default_fault_plan,
+    fault_plan_session,
     new_default_injector,
     set_default_fault_plan,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "NodeStraggler",
     "TransferFailure",
     "default_fault_plan",
+    "fault_plan_session",
     "new_default_injector",
     "parse_fault_spec",
     "set_default_fault_plan",

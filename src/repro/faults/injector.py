@@ -10,7 +10,7 @@ a fresh one (same plan) to replay.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import FaultInjectionError
@@ -77,6 +77,9 @@ class FaultInjector:
         self._cursor = 0
         self._recoveries: List[Tuple[float, int]] = []  # (at_seconds, node)
         self._stragglers: List[_Straggler] = []
+        #: Telemetry handle installed by the owning simulator; ``None``
+        #: (the default) makes every instrumentation site below inert.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # Schedule queries (all relative to simulation time ``now``)
@@ -90,6 +93,8 @@ class FaultInjector:
                 break
             due.append(event)
             self._cursor += 1
+        if due and self.telemetry is not None:
+            self.telemetry.counter("faults.events_delivered").inc(len(due))
         return due
 
     def schedule_recovery(self, node_id: int, at_seconds: float) -> None:
@@ -101,6 +106,8 @@ class FaultInjector:
         due = [node for at, node in self._recoveries if at <= now]
         if due:
             self._recoveries = [(at, n) for at, n in self._recoveries if at > now]
+            if self.telemetry is not None:
+                self.telemetry.counter("faults.recoveries_delivered").inc(len(due))
         return due
 
     def add_straggler(self, node_id: int, factor: float, end_seconds: float) -> None:
@@ -111,6 +118,8 @@ class FaultInjector:
         done = [s.node_id for s in self._stragglers if s.end_seconds <= now]
         if done:
             self._stragglers = [s for s in self._stragglers if s.end_seconds > now]
+            if self.telemetry is not None:
+                self.telemetry.counter("faults.stragglers_expired").inc(len(done))
         return done
 
     def active_stragglers(self) -> List[Tuple[int, float]]:

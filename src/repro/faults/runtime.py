@@ -14,7 +14,8 @@ simulators run fault-free.
 
 from __future__ import annotations
 
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
@@ -37,3 +38,17 @@ def new_default_injector() -> Optional[FaultInjector]:
     if _default_plan is None:
         return None
     return FaultInjector(_default_plan)
+
+
+@contextmanager
+def fault_plan_session(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Scoped default-plan install; the *previous* default is restored on
+    exit (not clobbered to ``None``), so back-to-back CLI invocations in
+    one process compose deterministically."""
+    global _default_plan
+    previous = _default_plan
+    _default_plan = plan if plan else None
+    try:
+        yield plan
+    finally:
+        _default_plan = previous

@@ -69,3 +69,22 @@ class AllocationStrategy(ABC):
 
     def clamp(self, machines: int) -> int:
         return max(1, min(machines, self.max_machines))
+
+    def note_decision(self, state: SimState, target: int, kind: str) -> None:
+        """Record an allocation decision on the active telemetry (no-op
+        when none is installed).  Strategies call this as they commit to
+        a target, so capacity-simulation runs produce the same
+        ``decision`` event stream as engine runs."""
+        from repro.telemetry.runtime import active_telemetry
+
+        tel = active_telemetry()
+        if tel is not None:
+            tel.counter("strategy.decisions").inc()
+            tel.event(
+                "decision",
+                state.interval * state.slot_seconds,
+                action=kind,
+                strategy=self.name,
+                machines_before=state.machines,
+                target=target,
+            )

@@ -146,10 +146,20 @@ class PStoreStrategy(AllocationStrategy):
                 1,
                 math.ceil(state.load_rate * (1.0 + self.inflation) / self.params.q),
             )
-            return self.clamp(needed) if needed > state.machines else None
+            if needed > state.machines:
+                target = self.clamp(needed)
+                self.note_decision(state, target, "warmup-reactive")
+                return target
+            return None
         forecast_rates = forecast_counts / state.slot_seconds
         load = np.empty(self.horizon + 1)
         load[0] = state.load_rate
         load[1:] = forecast_rates * (1.0 + self.inflation)
         decision = self._policy.decide(load, state.machines)
+        if decision.target is not None and decision.target != state.machines:
+            self.note_decision(
+                state,
+                decision.target,
+                "fallback" if decision.fallback else "planned",
+            )
         return decision.target

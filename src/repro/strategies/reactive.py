@@ -97,6 +97,7 @@ class ReactiveStrategy(AllocationStrategy):
             if self._over_count >= self.detect_intervals and needed > state.machines:
                 self._over_count = 0
                 self._last_machines = needed
+                self.note_decision(state, needed, "reactive-out")
                 return needed
             return None
         self._over_count = 0
@@ -108,6 +109,7 @@ class ReactiveStrategy(AllocationStrategy):
                 # Scale in one step at a time: reactive systems avoid
                 # large speculative shrinks they might instantly regret.
                 self._last_machines = state.machines - 1
+                self.note_decision(state, state.machines - 1, "reactive-in")
                 return state.machines - 1
         else:
             self._under_count = 0

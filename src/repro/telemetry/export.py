@@ -1,0 +1,128 @@
+"""Telemetry exporters: JSONL (full dump) and CSV (tick table).
+
+JSONL is the canonical format: one self-describing record per line
+(``kind`` discriminates meta/tick/event/span/counter/gauge/histogram),
+append-friendly and diff-friendly.  CSV carries the per-tick timeline
+only — the shape spreadsheet/pandas consumers want.  Both round-trip:
+``read_jsonl(write -> path)`` reconstructs every record and
+``read_csv_ticks`` reproduces the tick rows with float equality.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Union
+
+from repro.errors import ConfigurationError
+from repro.telemetry.timeline import TICK_FIELDS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import Telemetry
+
+PathLike = Union[str, Path]
+
+
+class TelemetryDump:
+    """Parsed export, grouped by record kind."""
+
+    def __init__(self, records: List[Dict[str, object]]) -> None:
+        self.records = records
+        self.meta: Dict[str, object] = {}
+        self.ticks: List[Dict[str, float]] = []
+        self.events: List[Dict[str, object]] = []
+        self.spans: List[Dict[str, object]] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Dict[str, object]] = {}
+        for record in records:
+            kind = record.get("kind")
+            body = {k: v for k, v in record.items() if k != "kind"}
+            if kind == "meta":
+                self.meta.update(body)
+            elif kind == "tick":
+                self.ticks.append({k: float(v) for k, v in body.items()})
+            elif kind == "event":
+                self.events.append(body)
+            elif kind == "span":
+                self.spans.append(body)
+            elif kind == "counter":
+                self.counters[str(body["name"])] = float(body["value"])  # type: ignore[arg-type]
+            elif kind == "gauge":
+                self.gauges[str(body["name"])] = float(body["value"])  # type: ignore[arg-type]
+            elif kind == "histogram":
+                self.histograms[str(body["name"])] = body
+            else:
+                raise ConfigurationError(f"unknown telemetry record kind {kind!r}")
+
+    def events_of(self, event_type: str) -> List[Dict[str, object]]:
+        return [e for e in self.events if e.get("type") == event_type]
+
+    def spans_named(self, name: str) -> List[Dict[str, object]]:
+        return [s for s in self.spans if s.get("name") == name]
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def write_jsonl(telemetry: "Telemetry", path: PathLike) -> int:
+    """Write the full dump; returns the number of records written."""
+    records = telemetry.records()
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def read_jsonl(path: PathLike) -> TelemetryDump:
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{line_no}: not a JSONL telemetry record: {exc}"
+                ) from exc
+    return TelemetryDump(records)
+
+
+# ----------------------------------------------------------------------
+# CSV (ticks only)
+# ----------------------------------------------------------------------
+def write_csv_ticks(telemetry: "Telemetry", path: PathLike) -> int:
+    """Write the tick table as CSV; returns the number of rows written."""
+    ticks = telemetry.timeline.ticks
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(TICK_FIELDS)
+        for tick in ticks:
+            writer.writerow([repr(tick[field]) for field in TICK_FIELDS])
+    return len(ticks)
+
+
+def read_csv_ticks(path: PathLike) -> List[Dict[str, float]]:
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != TICK_FIELDS:
+            raise ConfigurationError(
+                f"{path}: not a telemetry tick CSV (header {header!r})"
+            )
+        return [
+            {field: float(value) for field, value in zip(header, row)}
+            for row in reader
+            if row
+        ]
+
+
+# ----------------------------------------------------------------------
+def export(telemetry: "Telemetry", path: PathLike) -> int:
+    """Suffix-dispatched export: ``.csv`` -> tick table, else JSONL."""
+    if str(path).endswith(".csv"):
+        return write_csv_ticks(telemetry, path)
+    return write_jsonl(telemetry, path)

@@ -1,0 +1,210 @@
+"""Run-summary rendering for exported telemetry (``repro.cli report``).
+
+Takes a JSONL dump produced by ``repro.cli run ... --telemetry out.jsonl``
+and answers the questions the paper's evaluation asks of every run:
+
+* how often was the SLA violated, per percentile (Table 2 accounting);
+* what did the reconfigurations look like — when did each migration
+  start, how long did it run, did it complete or get aborted (Figure 9's
+  timing story);
+* how good were the forecasts, per window of the run (Section 5's
+  feedback loop: MAPE of predicted vs measured interval load);
+* what did the run cost in machine-hours (Equation 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import format_table
+from repro.telemetry.export import TelemetryDump
+
+#: Near-zero measured load is excluded from relative error (matches
+#: repro.prediction.metrics.mean_relative_error).
+_MAPE_FLOOR = 1e-9
+
+
+@dataclass
+class ForecastWindow:
+    """Forecast accuracy over one contiguous window of planning intervals."""
+
+    start_t: float
+    end_t: float
+    samples: int
+    mape_pct: float
+
+
+@dataclass
+class RunSummary:
+    """Everything ``format_summary`` renders, parse-friendly."""
+
+    ticks: int
+    duration_seconds: float
+    machine_hours: float
+    average_machines: float
+    sla_ms: float
+    violations: Dict[str, int]
+    migration_spans: List[Dict[str, object]]
+    forecast_windows: List[ForecastWindow]
+    fault_counts: Dict[str, int]
+    decisions: int
+    counters: Dict[str, float] = field(default_factory=dict)
+
+
+def _percentile_violations(dump: TelemetryDump) -> Tuple[float, Dict[str, int]]:
+    sla_ms = float(dump.meta.get("sla_ms", 500.0))
+    dt = float(dump.meta.get("dt_seconds", 1.0))
+    violations = {"p50": 0, "p95": 0, "p99": 0}
+    for tick in dump.ticks:
+        for pct in violations:
+            if tick[f"{pct}_ms"] > sla_ms:
+                violations[pct] += 1
+    return sla_ms, {k: int(round(v * dt)) for k, v in violations.items()}
+
+
+def forecast_windows(
+    dump: TelemetryDump, window: int = 0
+) -> List[ForecastWindow]:
+    """Per-window MAPE of the controller's one-interval-ahead forecasts.
+
+    ``window`` is the number of forecast samples per window; 0 picks a
+    size that yields at most 12 windows.
+    """
+    events = dump.events_of("forecast")
+    if not events:
+        return []
+    if window <= 0:
+        window = max(1, math.ceil(len(events) / 12))
+    out: List[ForecastWindow] = []
+    for start in range(0, len(events), window):
+        chunk = events[start : start + window]
+        errors = [
+            abs(float(e["predicted"]) - float(e["actual"])) / float(e["actual"])
+            for e in chunk
+            if float(e["actual"]) > _MAPE_FLOOR
+        ]
+        if not errors:
+            continue
+        out.append(
+            ForecastWindow(
+                start_t=float(chunk[0]["t"]),
+                end_t=float(chunk[-1]["t"]),
+                samples=len(errors),
+                mape_pct=100.0 * sum(errors) / len(errors),
+            )
+        )
+    return out
+
+
+def summarize(dump: TelemetryDump, window: int = 0) -> RunSummary:
+    sla_ms, violations = _percentile_violations(dump)
+    dt = float(dump.meta.get("dt_seconds", 1.0))
+    machine_seconds = sum(t["machines"] for t in dump.ticks) * dt
+    duration = len(dump.ticks) * dt
+    fault_counts: Dict[str, int] = {}
+    for event in dump.events_of("fault"):
+        name = str(event.get("fault", "unknown"))
+        fault_counts[name] = fault_counts.get(name, 0) + 1
+    return RunSummary(
+        ticks=len(dump.ticks),
+        duration_seconds=duration,
+        machine_hours=machine_seconds / 3600.0,
+        average_machines=(machine_seconds / duration / dt) if duration else 0.0,
+        sla_ms=sla_ms,
+        violations=violations,
+        migration_spans=dump.spans_named("migration"),
+        forecast_windows=forecast_windows(dump, window),
+        fault_counts=fault_counts,
+        decisions=len(dump.events_of("decision")),
+        counters=dict(dump.counters),
+    )
+
+
+def format_summary(summary: RunSummary, *, max_spans: int = 40) -> str:
+    """Human-readable report (the ``repro.cli report`` output)."""
+    sections: List[str] = []
+
+    overview = format_table(
+        ("metric", "value"),
+        [
+            ("ticks recorded", summary.ticks),
+            ("run duration", f"{summary.duration_seconds:.0f} s"),
+            ("machine-hours", f"{summary.machine_hours:.2f}"),
+            ("average machines", f"{summary.average_machines:.2f}"),
+            ("controller decisions", summary.decisions),
+        ],
+        title="Run overview",
+    )
+    sections.append(overview)
+
+    sections.append(
+        format_table(
+            ("percentile", f"seconds over {summary.sla_ms:.0f} ms"),
+            [(pct, count) for pct, count in sorted(summary.violations.items())],
+            title="SLA violations",
+        )
+    )
+
+    if summary.migration_spans:
+        rows = []
+        for span in summary.migration_spans[:max_spans]:
+            attrs = span.get("attrs") or {}
+            end = span.get("end")
+            duration = (
+                f"{float(end) - float(span['start']):.0f}"
+                if end is not None
+                else "-"
+            )
+            rows.append(
+                (
+                    f"{float(span['start']):.0f}",
+                    duration,
+                    f"{attrs.get('from', '?')} -> {attrs.get('to', '?')}",
+                    f"x{attrs.get('boost', 1.0):g}",
+                    span.get("status", "?"),
+                )
+            )
+        title = "Migration spans"
+        if len(summary.migration_spans) > max_spans:
+            title += f" (first {max_spans} of {len(summary.migration_spans)})"
+        sections.append(
+            format_table(
+                ("start s", "duration s", "move", "rate", "status"), rows, title=title
+            )
+        )
+    else:
+        sections.append("Migration spans\n(none recorded)")
+
+    if summary.forecast_windows:
+        sections.append(
+            format_table(
+                ("window start s", "window end s", "samples", "forecast MAPE %"),
+                [
+                    (f"{w.start_t:.0f}", f"{w.end_t:.0f}", w.samples, f"{w.mape_pct:.1f}")
+                    for w in summary.forecast_windows
+                ],
+                title="Forecast error per window",
+            )
+        )
+    else:
+        sections.append("Forecast error per window\n(no forecast events recorded)")
+
+    if summary.fault_counts:
+        sections.append(
+            format_table(
+                ("fault", "count"),
+                sorted(summary.fault_counts.items()),
+                title="Fault events",
+            )
+        )
+
+    return "\n\n".join(sections)
+
+
+def render_report(path: str, window: int = 0) -> str:
+    """Read a JSONL dump and render its summary (CLI entry point)."""
+    from repro.telemetry.export import read_jsonl
+
+    return format_summary(summarize(read_jsonl(path), window=window))

@@ -1,0 +1,147 @@
+"""Span-based tracing for migrations, reconfigurations and replans.
+
+The engine runs in *simulated* time, so the tracer never reads a wall
+clock: span timestamps are supplied by the instrumented code (the
+simulator passes ``sim.now``).  When no timestamp is given, a
+deterministic per-tracer sequence number is used instead, which keeps
+exports reproducible byte for byte — important for the golden-fixture
+tests and for diffing two runs.
+
+Two usage styles:
+
+* stepped code (a migration that starts in one engine step and finishes
+  hundreds of steps later) holds the :class:`Span` handle and calls
+  :meth:`Span.finish` explicitly;
+* scoped code uses ``with tracer.span("plan"):`` — the span closes when
+  the block exits, with ``status="error"`` and the exception type
+  attached if the block raised.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One traced operation; ``parent_id`` encodes nesting."""
+
+    span_id: int
+    name: str
+    start: float
+    parent_id: Optional[int] = None
+    depth: int = 0
+    end: Optional[float] = None
+    status: str = "open"
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def finish(self, at: Optional[float] = None, status: str = "ok") -> "Span":
+        """Close the span (idempotent: a second finish is a no-op)."""
+        if self.closed:
+            return self
+        self.end = self.start if at is None else float(at)
+        self.status = status
+        return self
+
+    def as_record(self) -> Dict[str, object]:
+        return {
+            "kind": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Records spans; keeps an explicit stack for nesting."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self._seq = 0.0
+
+    def _timestamp(self, at: Optional[float]) -> float:
+        if at is not None:
+            return float(at)
+        self._seq += 1.0
+        return self._seq
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str, at: Optional[float] = None, **attrs: object) -> Span:
+        """Open a span and push it on the nesting stack."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            start=self._timestamp(at),
+            parent_id=parent.span_id if parent else None,
+            depth=len(self._stack),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, at: Optional[float] = None, status: str = "ok") -> Span:
+        """Close a span; pops it (and any unclosed children) off the stack."""
+        ts = self._timestamp(at)
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            # A child left open by stepped code closes with its parent;
+            # its end never precedes its own start (mixed clocks).
+            top.finish(max(ts, top.start), status="abandoned")
+        return span.finish(ts, status=status)
+
+    @contextmanager
+    def span(
+        self, name: str, at: Optional[float] = None, **attrs: object
+    ) -> Iterator[Span]:
+        """Scoped span; closes on block exit, ``status="error"`` on raise."""
+        opened = self.begin(name, at=at, **attrs)
+        try:
+            yield opened
+        except BaseException as exc:
+            opened.attrs.setdefault("error", type(exc).__name__)
+            self.end(opened, status="error")
+            raise
+        else:
+            self.end(opened)
+
+    # ------------------------------------------------------------------
+    @property
+    def open_spans(self) -> List[Span]:
+        return list(self._stack)
+
+    def finish_all(self, at: Optional[float] = None) -> None:
+        """Close every span still open (end of run / aborted run).  With
+        no timestamp each span ends at its own start: the tracer cannot
+        know how far the span's clock advanced."""
+        while self._stack:
+            top = self._stack.pop()
+            top.finish(max(at, top.start) if at is not None else None,
+                       status="abandoned")
+
+    def named(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def records(self) -> List[Dict[str, object]]:
+        return [s.as_record() for s in self.spans]

@@ -1,7 +1,6 @@
 """Tests for the B2W workload generator and trace-replay client."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,9 +1,15 @@
 """Tests for the experiment CLI and shared report helpers."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.experiments import registry
 from repro.experiments.common import PaperComparison, comparison_table, format_table
+from repro.faults.runtime import default_fault_plan
+from repro.telemetry import default_telemetry
+from repro.telemetry.export import read_jsonl
 
 
 class TestCli:
@@ -40,6 +46,78 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRegistryAliases:
+    def test_dashed_alias_resolves(self):
+        assert registry.get("fig9-elasticity") is registry.get("fig9")
+
+    def test_unknown_id_lists_known(self):
+        with pytest.raises(KeyError, match="fig9"):
+            registry.get("fig99")
+
+
+class TestTelemetryFlag:
+    def test_run_writes_dump_and_restores_defaults(self, tmp_path, capsys):
+        assert default_telemetry() is None
+        dump_path = tmp_path / "out.jsonl"
+        assert main(["run", "table1", "--telemetry", str(dump_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"-> {dump_path}" in out
+        # Scoped session: the process-wide defaults are back to None.
+        assert default_telemetry() is None
+        assert default_fault_plan() is None
+        dump = read_jsonl(dump_path)
+        assert dump.meta["experiment"] == "table1"
+        assert dump.spans_named("experiment")
+        assert dump.counters["experiments.runs"] == 1.0
+
+    def test_report_round_trip(self, tmp_path, capsys):
+        dump_path = tmp_path / "out.jsonl"
+        assert main(["run", "table1", "--telemetry", str(dump_path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(dump_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Run overview" in out
+        assert "SLA violations" in out
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such telemetry dump" in capsys.readouterr().err
+
+
+class TestBenchSubcommand:
+    def _run_quick(self, extra, capsys):
+        code = main(
+            ["bench", "--quick", "--only", "schedule_construction"] + extra
+        )
+        return code, capsys.readouterr().out
+
+    def test_quick_writes_output(self, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        code, out = self._run_quick(["--output", str(out_path)], capsys)
+        assert code == 0
+        report = json.loads(out_path.read_text())
+        assert "schedule_construction" in report["kernels"]
+        assert report["repeats"] == 1
+
+    def test_compare_passes_within_tolerance(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(
+            {"kernels": {"schedule_construction": {"median_ns": 10**12}}}
+        ))
+        code, out = self._run_quick(["--compare", str(baseline)], capsys)
+        assert code == 0
+        assert "all kernels within tolerance" in out
+
+    def test_compare_fails_on_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(
+            {"kernels": {"schedule_construction": {"median_ns": 1}}}
+        ))
+        code, out = self._run_quick(["--compare", str(baseline)], capsys)
+        assert code == 1
+        assert "REGRESSION" in out
 
 
 class TestReportHelpers:

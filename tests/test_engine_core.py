@@ -4,9 +4,8 @@ partitions, nodes and cluster."""
 import numpy as np
 import pytest
 
-from repro.core.partition_plan import PartitionPlan
 from repro.engine.cluster import Cluster
-from repro.engine.hashing import hash_key, key_bytes, key_to_bucket, murmur2
+from repro.engine.hashing import key_bytes, key_to_bucket, murmur2
 from repro.engine.partition import Partition
 from repro.engine.table import DatabaseSchema, TableSchema
 from repro.errors import EngineError

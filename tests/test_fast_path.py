@@ -161,3 +161,38 @@ def test_fast_path_resumes_after_migration():
     trace = scenario_migration_spanning_slots(sim)
     sim.run(trace)
     assert sim.fast_slots > 0
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_telemetry_preserves_fast_path_results(scenario):
+    """An enabled telemetry handle must not perturb the run: same columns
+    bit for bit, same number of collapsed slots — the instrumentation
+    replicates ticks for collapsed steps instead of disabling the fast
+    path (docs/OBSERVABILITY.md)."""
+    from repro.telemetry import Telemetry
+
+    setup = SCENARIOS[scenario]
+
+    bare_sim = make_sim(force_exact=False)
+    bare = bare_sim.run(setup(bare_sim))
+
+    tel = Telemetry()
+    config = EngineConfig(
+        max_nodes=6, db_size_kb=700_000.0, force_exact_stepping=False
+    )
+    tel_sim = EngineSimulator(config, initial_nodes=3, telemetry=tel)
+    instrumented = tel_sim.run(setup(tel_sim))
+
+    assert tel_sim.fast_slots == bare_sim.fast_slots
+    for column in COLUMNS:
+        np.testing.assert_array_equal(
+            getattr(instrumented, column),
+            getattr(bare, column),
+            err_msg=f"{scenario}: column {column} diverged under telemetry",
+        )
+    ticks = tel.timeline.ticks
+    assert len(ticks) == len(instrumented.time)
+    np.testing.assert_array_equal(
+        np.array([t["t"] for t in ticks]), instrumented.time
+    )
+    assert tel.counter("engine.steps").value == len(instrumented.time)

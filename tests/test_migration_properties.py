@@ -10,7 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine.cluster import Cluster
-from repro.engine.migration import Migration, MigrationConfig
+from repro.engine.migration import Migration
 from repro.engine.table import DatabaseSchema, TableSchema
 
 DB_KB = 1106.0 * 1024.0

@@ -1,7 +1,5 @@
 """Tests for repro.core.params (Section 4.1 model parameters)."""
 
-import math
-
 import pytest
 
 from repro.core.params import (

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.partition_plan import (
-    BucketTransfer,
     PartitionPlan,
     plan_move,
 )

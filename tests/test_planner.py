@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 import repro.core.capacity as cap
-from repro.core.params import SystemParameters
 from repro.core.planner import Move, MovePlan, Planner, plan_cost_lower_bound
 from repro.errors import ConfigurationError, InfeasiblePlanError
 

@@ -7,7 +7,6 @@ qualitative behaviour of the optimal plan.
 import numpy as np
 import pytest
 
-import repro.core.capacity as cap
 from repro.core.params import SystemParameters
 from repro.core.planner import Planner
 from repro.errors import InfeasiblePlanError

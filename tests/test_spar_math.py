@@ -5,9 +5,7 @@ optimal forecasts are known in closed form, not just its plumbing.
 """
 
 import numpy as np
-import pytest
 
-from repro.prediction.metrics import mean_relative_error
 from repro.prediction.naive import SeasonalNaivePredictor
 from repro.prediction.rolling import rolling_forecast
 from repro.prediction.spar import SPARPredictor
