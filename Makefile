@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint cov bench bench-pytest chaos
+.PHONY: test lint cov bench bench-pytest chaos serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +20,12 @@ cov:
 ## controller's recovery behaviour.
 chaos:
 	$(PYTHON) -m repro.cli run ext-faults --fast
+
+## Serving-layer smoke (docs/SERVING.md): virtual-clock server under a
+## spike profile, probed over HTTP; fails unless admission sheds load
+## and at least one reconfiguration completes.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 ## Median-ns kernel baseline, written to BENCH_<date>.json (see
 ## docs/PERFORMANCE.md).

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Serving-layer smoke test (CI `serve-smoke` job / `make serve-smoke`).
+#
+# Boots `repro serve` on the virtual clock with an embedded spike
+# profile, waits for the bounded run to finish while the admin endpoints
+# stay up, then asserts over HTTP that:
+#   * /healthz answers and reports the run complete,
+#   * /metrics is non-empty Prometheus text,
+#   * admission control shed load during the spike (rejected > 0 — the
+#     210 txn/s spike peak exceeds the 2-node capacity ceiling, so
+#     queues hit --queue-limit no matter how fast scale-out runs),
+#   * at least one reconfiguration completed (exit code via
+#     --require-moves 1).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+OUT=$(mktemp)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$OUT"' EXIT
+
+python -m repro.cli serve \
+    --clock virtual --port 0 --duration 1200 \
+    --profile "spike:rate=35,at=300,magnitude=6,ramp=60,plateau=300,decay=120" \
+    --saturation 60 --db-size-mb 20 --nodes 1 --max-nodes 2 \
+    --interval-seconds 60 --spar "period=12,periods=2,recent=2,horizon=4" \
+    --queue-limit 5 --linger 120 --require-moves 1 >"$OUT" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 120); do
+    PORT=$(grep -oE 'http://127\.0\.0\.1:[0-9]+' "$OUT" | head -1 | grep -oE '[0-9]+$' || true)
+    if [ -n "$PORT" ] && curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "server exited before becoming healthy:" >&2
+        cat "$OUT" >&2
+        exit 1
+    fi
+    sleep 1
+done
+[ -n "$PORT" ] || { echo "server never published a port" >&2; cat "$OUT" >&2; exit 1; }
+echo "server healthy on port $PORT"
+
+# Wait for the virtual run itself to complete (healthz flips run_complete).
+for _ in $(seq 1 120); do
+    HEALTH=$(curl -sf "http://127.0.0.1:$PORT/healthz" || true)
+    case "$HEALTH" in *'"run_complete": true'*) break ;; esac
+    sleep 1
+done
+echo "healthz: $HEALTH"
+case "$HEALTH" in
+    *'"run_complete": true'*) ;;
+    *) echo "run never completed" >&2; cat "$OUT" >&2; exit 1 ;;
+esac
+case "$HEALTH" in
+    *'"rejected": 0,'*) echo "expected shed load during the spike" >&2; exit 1 ;;
+esac
+
+METRICS=$(curl -sf "http://127.0.0.1:$PORT/metrics")
+[ -n "$METRICS" ] || { echo "/metrics is empty" >&2; exit 1; }
+echo "$METRICS" | grep -q '^repro_serve_admitted_total ' \
+    || { echo "/metrics is missing serve counters" >&2; exit 1; }
+echo "/metrics: $(echo "$METRICS" | wc -l) lines"
+
+curl -sf -X POST "http://127.0.0.1:$PORT/shutdown" >/dev/null
+wait "$SERVER_PID"
+STATUS=$?
+cat "$OUT"
+# --require-moves 1 makes a run without a completed reconfiguration exit 1.
+exit "$STATUS"

@@ -77,6 +77,24 @@ def _bench_engine_run_steady_hour() -> Callable[[], None]:
     return run
 
 
+def _bench_serve_session() -> Callable[[], None]:
+    """Five virtual-clock minutes of open-loop serving (loadgen
+    throughput + admission p99): submit routing, latency sampling and
+    per-tick bookkeeping are the hot path."""
+    from repro.serve import ServerEngine, ServeSession, poisson_arrivals
+
+    config = EngineConfig(max_nodes=4, saturation_rate_per_node=300.0)
+    arrivals = poisson_arrivals(200.0, 300.0, seed=11)
+
+    def run() -> None:
+        engine = ServerEngine(engine_config=config, initial_nodes=2, seed=11)
+        session = ServeSession(engine, arrivals)
+        report = session.run(300.0)
+        report.latency_percentile(99.0)
+
+    return run
+
+
 KERNELS: Dict[str, Callable[[], Callable[[], None]]] = {
     "planner_best_moves": _bench_planner_best_moves,
     "spar_fit": _bench_spar_fit,
@@ -84,6 +102,7 @@ KERNELS: Dict[str, Callable[[], Callable[[], None]]] = {
     "schedule_construction": _bench_schedule_construction,
     "engine_1000_steps": _bench_engine_1000_steps,
     "engine_run_steady_hour": _bench_engine_run_steady_hour,
+    "serve_session": _bench_serve_session,
 }
 
 

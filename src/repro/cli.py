@@ -9,6 +9,11 @@ Usage::
     python -m repro.cli run fig9-elasticity --telemetry out.jsonl
     python -m repro.cli report out.jsonl
     python -m repro.cli bench --quick --compare BENCH_2026-08-06.json
+    repro serve --clock virtual --duration 3600 --profile poisson:rate=200
+    repro loadgen --url http://127.0.0.1:8080 --profile spike:rate=150
+
+(``repro`` is the installed console script for this module; see
+docs/SERVING.md for the serving layer.)
 
 ``--faults`` and ``--telemetry`` install *scoped* process-wide defaults
 (see :mod:`repro.faults.runtime` and :mod:`repro.telemetry.runtime`):
@@ -136,6 +141,185 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return bench_main(bench_argv)
 
 
+def _parse_spar_spec(spec: Optional[str], interval_seconds: float) -> dict:
+    """Parse ``period=...,periods=...,recent=...,horizon=...`` into
+    SPAR constructor kwargs; defaults scale with the planning interval
+    (one day per period, paper-shaped term counts)."""
+    from repro.errors import ConfigurationError
+
+    period = max(2, int(round(86400.0 / interval_seconds)))
+    options = {"period": period, "periods": 3, "recent": 6, "horizon": 12}
+    if spec:
+        for token in spec.split(","):
+            key, eq, value = token.partition("=")
+            key = key.strip()
+            if not eq or key not in options:
+                raise ConfigurationError(
+                    f"bad --spar token {token!r}; keys: {', '.join(options)}"
+                )
+            try:
+                options[key] = int(value)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"--spar {key} must be an integer, got {value!r}"
+                ) from exc
+    return {
+        "period": options["period"],
+        "n_periods": options["periods"],
+        "n_recent": options["recent"],
+        "max_horizon": min(options["horizon"], options["period"]),
+    }
+
+
+def _build_serve_engine(args: argparse.Namespace, telemetry: Telemetry):
+    from repro.core.params import SystemParameters
+    from repro.engine.simulator import EngineConfig
+    from repro.serve import OnlineControlLoop, ServerEngine
+    from repro.serve.admission import AdmissionConfig
+
+    config = EngineConfig(
+        max_nodes=args.max_nodes,
+        saturation_rate_per_node=args.saturation,
+        db_size_kb=args.db_size_mb * 1024.0,
+    )
+    params = SystemParameters.from_saturation(
+        args.saturation, interval_seconds=args.interval_seconds
+    )
+    controller = None
+    if args.control == "online":
+        from repro.prediction.online import OnlinePredictor
+        from repro.prediction.spar import SPARPredictor
+
+        spar = SPARPredictor(**_parse_spar_spec(args.spar, args.interval_seconds))
+        online = OnlinePredictor(spar, refit_every=args.refit_every)
+        controller = OnlineControlLoop(
+            params,
+            online,
+            measurement_slot_seconds=args.slot_seconds,
+            max_machines=args.max_nodes,
+        )
+    elif args.control == "reactive":
+        from repro.core.controller import ReactiveController
+
+        controller = ReactiveController(
+            params,
+            max_machines=args.max_nodes,
+            measurement_slot_seconds=args.slot_seconds,
+        )
+    return ServerEngine(
+        engine_config=config,
+        initial_nodes=args.nodes,
+        slot_seconds=args.slot_seconds,
+        admission=AdmissionConfig(queue_limit_seconds=args.queue_limit),
+        controller=controller,
+        seed=args.seed,
+        telemetry=telemetry,
+    )
+
+
+def _print_serve_outcome(engine, report) -> None:
+    if report.offered:
+        print(report.format_report())
+    health = engine.healthz()
+    print(
+        f"machines now: {health['machines']} | moves started "
+        f"{health['moves_started']} | completed {health['moves_completed']} | "
+        f"peak node queue {health['max_node_queue_seconds']}s"
+    )
+    log = getattr(engine.controller, "decision_log", None)
+    if log:
+        print("decisions:")
+        for decision in log:
+            print(f"  {decision}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    import numpy as np
+
+    from repro.serve import ServeSession
+    from repro.serve.loadgen import parse_profile
+
+    with _session(args.faults, args.telemetry) as session_telemetry:
+        # /metrics needs a registry even without --telemetry.
+        telemetry = session_telemetry if session_telemetry is not None else Telemetry()
+        engine = _build_serve_engine(args, telemetry)
+        arrivals = None
+        if args.profile is not None:
+            if args.duration is None:
+                print("--profile requires --duration", file=sys.stderr)
+                return 2
+            arrivals = parse_profile(args.profile, args.duration, seed=args.seed)
+            print(f"embedded loadgen: {len(arrivals)} arrivals ({args.profile})")
+        if args.no_http:
+            if args.duration is None:
+                print("--no-http requires --duration", file=sys.stderr)
+                return 2
+            session = ServeSession(
+                engine, arrivals if arrivals is not None else np.empty(0)
+            )
+            report = session.run(args.duration)
+        else:
+            from repro.serve.http import ServeApp
+
+            app = ServeApp(
+                engine,
+                host=args.host,
+                port=args.port,
+                virtual=args.clock == "virtual",
+                speedup=args.speedup,
+                duration_s=args.duration,
+                linger_s=args.linger,
+                arrivals=arrivals,
+            )
+            asyncio.run(
+                app.run(
+                    on_ready=lambda a: print(
+                        f"serving on http://{a.host}:{a.port} "
+                        f"({args.clock} clock)",
+                        flush=True,
+                    )
+                )
+            )
+            report = app.loadgen_report
+        _print_serve_outcome(engine, report)
+        moves = engine.moves_completed
+        print(f"reconfigurations completed: {moves}")
+        if args.require_moves and moves < args.require_moves:
+            print(
+                f"FAIL: required >= {args.require_moves} completed "
+                f"reconfigurations, saw {moves}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.http import run_loadgen_client
+    from repro.serve.loadgen import parse_profile
+
+    with _session(args.faults, args.telemetry):
+        arrivals = parse_profile(args.profile, args.duration, seed=args.seed)
+        print(
+            f"firing {len(arrivals)} arrivals over {args.duration:.0f}s "
+            f"(speedup {args.speedup:g}x) at {args.url}"
+        )
+        report = asyncio.run(
+            run_loadgen_client(
+                args.url,
+                arrivals,
+                speedup=args.speedup,
+                concurrency=args.concurrency,
+            )
+        )
+        print(report.format_report())
+        return 1 if report.offered and report.accepted == 0 else 0
+
+
 def _add_session_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--faults", metavar="SPEC", default=None,
@@ -202,6 +386,82 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_session_flags(bench_parser)
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the live serving layer (see docs/SERVING.md)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = pick a free port)"
+    )
+    serve_parser.add_argument(
+        "--clock", choices=("wall", "virtual"), default="wall",
+        help="wall: one tick per dt/speedup real seconds; virtual: tick "
+             "as fast as possible with zero sleeps",
+    )
+    serve_parser.add_argument("--speedup", type=float, default=1.0,
+                              help="wall-clock acceleration factor")
+    serve_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="stop after this much engine time, seconds (default: forever)",
+    )
+    serve_parser.add_argument(
+        "--linger", type=float, default=0.0,
+        help="keep admin endpoints alive this many real seconds after the "
+             "run completes (POST /shutdown ends it early)",
+    )
+    serve_parser.add_argument(
+        "--profile", default=None,
+        help="embedded open-loop load, e.g. 'poisson:rate=200' or "
+             "'spike:rate=150,at=1800,magnitude=3' (requires --duration)",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--nodes", type=int, default=1,
+                              help="initial cluster size")
+    serve_parser.add_argument("--max-nodes", type=int, default=4)
+    serve_parser.add_argument("--slot-seconds", type=float, default=60.0,
+                              help="measurement slot length")
+    serve_parser.add_argument("--interval-seconds", type=float, default=300.0,
+                              help="planning interval (multiple of the slot)")
+    serve_parser.add_argument("--saturation", type=float, default=438.0,
+                              help="per-node saturation rate, txn/s")
+    serve_parser.add_argument("--db-size-mb", type=float, default=1106.0)
+    serve_parser.add_argument("--queue-limit", type=float, default=10.0,
+                              help="admission sheds above this per-node "
+                                   "queue-delay estimate, seconds")
+    serve_parser.add_argument(
+        "--control", choices=("online", "reactive", "none"), default="online",
+        help="online: cold-start reactive then predictive SPAR; "
+             "reactive: E-Store-style; none: fixed allocation",
+    )
+    serve_parser.add_argument(
+        "--spar", default=None, metavar="SPEC",
+        help="SPAR sizing, e.g. 'period=24,periods=2,recent=3,horizon=6' "
+             "(defaults: one day per period at the planning interval)",
+    )
+    serve_parser.add_argument("--refit-every", type=int, default=10080,
+                              help="refit cadence in planning intervals")
+    serve_parser.add_argument(
+        "--require-moves", type=int, default=0, metavar="N",
+        help="exit 1 unless at least N reconfigurations completed",
+    )
+    serve_parser.add_argument(
+        "--no-http", action="store_true",
+        help="skip the HTTP transport: run the deterministic virtual-"
+             "clock session only (requires --duration)",
+    )
+    _add_session_flags(serve_parser)
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen", help="fire an open-loop load profile at a running server"
+    )
+    loadgen_parser.add_argument("--url", default="http://127.0.0.1:8080")
+    loadgen_parser.add_argument("--profile", default="poisson:rate=100")
+    loadgen_parser.add_argument("--duration", type=float, default=60.0)
+    loadgen_parser.add_argument("--seed", type=int, default=0)
+    loadgen_parser.add_argument("--speedup", type=float, default=1.0)
+    loadgen_parser.add_argument("--concurrency", type=int, default=128)
+    _add_session_flags(loadgen_parser)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -209,6 +469,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args.path, args.window)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     return _cmd_run(args.ids, args.fast, args.save, args.faults, args.telemetry)
 
 

@@ -236,6 +236,23 @@ def mixture_quantiles(
     return 0.5 * (lo_b + hi_b)
 
 
+def sample_latencies(
+    components: LatencyComponents, uniforms: np.ndarray
+) -> np.ndarray:
+    """Inverse-CDF sampling: latency (seconds) for each uniform draw.
+
+    The serving layer assigns every admitted request a latency sample by
+    drawing ``u ~ U(0, 1)`` from a seeded generator and inverting the
+    step's mixture CDF — deterministic given the seed, and distributed
+    exactly as the step's latency model.  Uniforms are clipped away from
+    the endpoints so the bisection bracket stays finite.
+    """
+    u = np.clip(np.asarray(uniforms, dtype=np.float64), 1e-9, 1.0 - 1e-9)
+    if u.size == 0:
+        return np.empty(0)
+    return mixture_quantiles(components, u)
+
+
 def mixture_mean(components: LatencyComponents) -> float:
     """Mean of the latency mixture: ``sum_i w_i * (d_i + 1/r_i)``."""
     w, d, r = components.weights, components.delays, components.tail_rates

@@ -33,6 +33,7 @@ from repro.engine.cluster import Cluster
 from repro.engine.migration import Migration, MigrationConfig
 from repro.engine.monitor import LoadMonitor
 from repro.engine.queueing import (
+    LatencyComponents,
     fluid_queue_step,
     latency_components,
     mixture_mean,
@@ -228,6 +229,11 @@ class EngineSimulator:
         self._weights_key: Optional[tuple] = None
         #: Slots served by the steady-slot fast path in :meth:`run`.
         self.fast_slots = 0
+        #: Latency mixture of the most recent computed step.  The serving
+        #: layer samples per-request latencies from it; ``None`` until the
+        #: first step.  (The steady-slot fast path reuses the slot's first
+        #: step, whose components are by definition identical.)
+        self.last_latency_components: Optional[LatencyComponents] = None
         #: Telemetry handle (explicit, or the process default installed
         #: by the CLI's ``--telemetry`` flag).  ``None`` when disabled:
         #: every hot-path instrumentation site guards on that alone, so
@@ -466,6 +472,27 @@ class EngineSimulator:
         self._weights_key = key
         return weights
 
+    def partition_weights(self) -> np.ndarray:
+        """Current arrival-weight per partition (read-only view for
+        routing decisions in the serving layer)."""
+        return self._partition_weights()
+
+    def node_queue_seconds(self) -> np.ndarray:
+        """Estimated queueing delay per node, in seconds of service.
+
+        The mean of each node's partition backlogs divided by their
+        (possibly straggler-degraded) service rates — the delay a new
+        request routed to a random partition of the node expects, and
+        the admission controller's view of queue depth.  The mean (not
+        the sum) keeps the unit consistent with the in-tick pending
+        term ``pending / node_rate``: both grow by ``admitted /
+        node_rate`` seconds when ``admitted`` requests spread evenly
+        over the node's partitions.
+        """
+        p = self.config.partitions_per_node
+        per_partition = self._backlog / np.maximum(self._mu_base, 1e-9)
+        return per_partition.reshape(self.config.max_nodes, p).mean(axis=1)
+
     def _step_core(
         self, offered_rate: float
     ) -> Tuple[float, float, float, float, float, float, bool]:
@@ -521,6 +548,7 @@ class EngineSimulator:
             block_seconds=block_seconds,
             block_weight=block_weight,
         )
+        self.last_latency_components = components
         p50, p95, p99 = mixture_quantiles(components, (0.50, 0.95, 0.99))
         mean = mixture_mean(components)
 

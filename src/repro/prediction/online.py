@@ -49,7 +49,14 @@ class OnlinePredictor(Predictor):
             raise PredictionError("refit_every must be >= 1")
         self.inner = inner
         self.refit_every = refit_every
-        self.min_training = min_training or inner.min_training_length
+        # An explicit min_training of 0 means "attempt the first fit on
+        # the very first observation"; only None falls back to the inner
+        # model's requirement.
+        if min_training is None:
+            min_training = inner.min_training_length
+        if min_training < 0:
+            raise PredictionError("min_training must be >= 0")
+        self.min_training = min_training
         self._history: list = []
         self._slots_since_fit = 0
         self._fitted = False

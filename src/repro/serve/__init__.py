@@ -1,0 +1,43 @@
+"""repro.serve — live serving layer over the engine simulator.
+
+Maps engine ticks onto an event loop (virtual or wall clock), routes
+each submitted transaction through the cluster/queueing model to a
+sampled latency, sheds load above a per-node queue budget, and feeds
+live arrival counts into the online SPAR control loop so predictive
+reconfigurations happen exactly as they do in batch experiments.
+"""
+
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.serve.clock import VirtualClock
+from repro.serve.control import OnlineControlLoop
+from repro.serve.engine import ServerEngine, TxnOutcome
+from repro.serve.loadgen import (
+    LoadGenerator,
+    LoadgenReport,
+    parse_profile,
+    poisson_arrivals,
+    spike_arrivals,
+    trace_arrivals,
+)
+from repro.serve.session import ServeSession
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "VirtualClock",
+    "OnlineControlLoop",
+    "ServerEngine",
+    "TxnOutcome",
+    "LoadGenerator",
+    "LoadgenReport",
+    "parse_profile",
+    "poisson_arrivals",
+    "spike_arrivals",
+    "trace_arrivals",
+    "ServeSession",
+]

@@ -1,0 +1,118 @@
+"""Admission control and backpressure for the serving layer.
+
+The engine's partition queues are fluid and, in the batch simulations,
+bounded only by ``EngineConfig.max_queue_seconds`` (the closed-loop
+client assumption).  A live server cannot rely on clients to stop
+sending: an open-loop flash crowd would push every queue to the cap and
+hold p99 at the SLA ceiling for the whole spike.  Load shedding converts
+that into explicit, fast 503 rejects instead — the overloaded node keeps
+serving the requests it already accepted at survivable latency, and the
+reject carries a ``Retry-After`` hint sized to the estimated drain time.
+
+Policy (per request):
+
+1. the router picks a partition (data-share weighted), giving a node;
+2. the node's estimated queueing delay is its engine backlog (seconds of
+   service) plus the requests already admitted this tick;
+3. if that exceeds ``queue_limit_seconds`` the request is shed.
+
+``queue_limit_seconds`` should sit below the engine's own
+``max_queue_seconds`` cap — then shedding, not the cap, is what bounds
+the queues, which is the behaviour the spike tests pin down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Shedding policy knobs.
+
+    Attributes:
+        queue_limit_seconds: Per-node queueing-delay bound; requests that
+            would land behind a longer queue are rejected.
+        retry_after_floor_s: Minimum ``Retry-After`` hint, seconds.
+    """
+
+    queue_limit_seconds: float = 10.0
+    retry_after_floor_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.queue_limit_seconds <= 0:
+            raise ConfigurationError("queue_limit_seconds must be positive")
+        if self.retry_after_floor_s < 0:
+            raise ConfigurationError("retry_after_floor_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    Attributes:
+        accepted: Whether the request was admitted to the engine.
+        node_id: Node the request was routed to.
+        est_queue_seconds: Estimated queueing delay at decision time.
+        retry_after_s: Backoff hint for rejected requests (0 when
+            accepted); HTTP surfaces it as a ``Retry-After`` header.
+    """
+
+    accepted: bool
+    node_id: int
+    est_queue_seconds: float
+    retry_after_s: float = 0.0
+
+    @property
+    def status(self) -> int:
+        return 200 if self.accepted else 503
+
+    @property
+    def retry_after_whole_seconds(self) -> int:
+        return int(math.ceil(self.retry_after_s))
+
+
+class AdmissionController:
+    """Stateless-per-request shedding decisions with telemetry."""
+
+    def __init__(
+        self, config: Optional[AdmissionConfig] = None, telemetry: Optional[Telemetry] = None
+    ) -> None:
+        self.config = config or AdmissionConfig()
+        self.telemetry = telemetry
+        self.accepted = 0
+        self.rejected = 0
+
+    def decide(self, node_id: int, est_queue_seconds: float) -> AdmissionDecision:
+        """Admit or shed a request bound for ``node_id``.
+
+        Args:
+            node_id: Routed node.
+            est_queue_seconds: The node's current estimated queueing
+                delay, including requests already admitted this tick.
+        """
+        limit = self.config.queue_limit_seconds
+        if est_queue_seconds <= limit:
+            self.accepted += 1
+            if self.telemetry is not None:
+                self.telemetry.counter("serve.admitted").inc()
+            return AdmissionDecision(True, node_id, est_queue_seconds)
+        self.rejected += 1
+        retry_after = max(
+            self.config.retry_after_floor_s, est_queue_seconds - limit
+        )
+        if self.telemetry is not None:
+            self.telemetry.counter("serve.rejected").inc()
+        return AdmissionDecision(False, node_id, est_queue_seconds, retry_after)
+
+    @property
+    def total(self) -> int:
+        return self.accepted + self.rejected
+
+    def reject_rate(self) -> float:
+        return self.rejected / self.total if self.total else 0.0

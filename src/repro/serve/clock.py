@@ -1,0 +1,86 @@
+"""Clocks for the serving layer: virtual (deterministic) and wall.
+
+The serving loop is written against a tiny scheduling interface —
+``now``, ``call_at``/``call_later`` and ``run_until`` — instead of
+``asyncio`` directly, so the same engine/loadgen/control code runs in
+two modes:
+
+* :class:`VirtualClock`: a heap-ordered discrete-event loop.  Time jumps
+  from event to event with **zero real sleeps**, ties break by insertion
+  order, and a seeded run is bit-for-bit reproducible.  This is what the
+  unit tests, the CI smoke and ``repro serve --clock virtual`` use.
+* Wall-clock mode lives in :mod:`repro.serve.http`, where the asyncio
+  event loop plays the scheduler and engine ticks are paced by real
+  ``asyncio.sleep`` calls (optionally compressed by a speedup factor).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class VirtualClock:
+    """Deterministic discrete-event scheduler.
+
+    Events fire in ``(time, insertion order)`` order; callbacks may
+    schedule further events (the tick loop reschedules itself this way).
+    ``run_until`` never sleeps — it is a plain loop over a heap, so a
+    simulated day costs only the callbacks it runs.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._seq = 0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time ``when``."""
+        if when < self._now - 1e-9:
+            raise ConfigurationError(
+                f"cannot schedule event at {when:.3f}s, now is {self._now:.3f}s"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (float(when), self._seq, callback))
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        self.call_at(self._now + delay, callback)
+
+    def run_until(self, deadline: float) -> int:
+        """Run every event due at or before ``deadline``; returns the
+        number of events fired.  The clock ends exactly at ``deadline``
+        even if the heap drains early."""
+        fired = 0
+        while self._heap and self._heap[0][0] <= deadline + 1e-9:
+            when, _, callback = heapq.heappop(self._heap)
+            if when > self._now:
+                self._now = when
+            callback()
+            fired += 1
+        if deadline > self._now:
+            self._now = deadline
+        return fired
+
+    def run(self) -> int:
+        """Drain the heap completely (callbacks may keep it alive)."""
+        fired = 0
+        while self._heap:
+            when, _, callback = heapq.heappop(self._heap)
+            if when > self._now:
+                self._now = when
+            callback()
+            fired += 1
+        return fired

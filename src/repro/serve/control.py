@@ -1,0 +1,205 @@
+"""The live control loop: monitoring -> online SPAR -> planner -> moves.
+
+The batch controllers (:mod:`repro.core.controller`) assume a predictor
+fitted offline before the run.  A live server has no such luxury: it
+starts cold, accumulates measurements, fits the SPAR model the moment
+enough history exists, and refits on a cadence (Section 6's active
+learning, reproduced by :class:`~repro.prediction.online.
+OnlinePredictor`).  :class:`OnlineControlLoop` implements the
+``ElasticityController`` protocol around that lifecycle:
+
+* **cold start** — before the first fit, degrade to the reactive control
+  law (scale out when measured load exceeds the allocation's target
+  capacity) so the cluster is never left stranded;
+* **fitted** — forecast from the accumulated history, inflate, run the
+  shared :class:`~repro.core.policy.PredictivePolicy` (the same DP
+  planner + receding-horizon + scale-in-confirmation logic the batch
+  Predictive Controller uses), and execute the first move;
+* **refit** — every observation is fed to the online predictor, which
+  refits itself on its cadence; refits are counted and surfaced as
+  telemetry events.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.controller import ControllerDecision
+from repro.core.params import SystemParameters
+from repro.core.policy import PredictivePolicy
+from repro.engine.simulator import EngineSimulator
+from repro.errors import ConfigurationError, MigrationError
+from repro.prediction.online import OnlinePredictor
+
+
+class OnlineControlLoop:
+    """Elasticity controller that learns its predictor while serving.
+
+    Args:
+        params: System parameters; ``interval_seconds`` is the planning
+            interval and must be a multiple of the measurement slot.
+        online: The accumulate-fit-refit predictor wrapper (SPAR inner in
+            the paper's configuration).  May start completely unfitted.
+        measurement_slot_seconds: Slot length of the live monitor feed.
+        horizon: Forecast window in planning intervals (capped by the
+            inner model's ``max_horizon``).
+        inflation: Prediction inflation factor (paper: 0.15).
+        max_machines: Cluster-size cap.
+        scale_in_confirmations: Agreeing cycles before a scale-in.
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        online: OnlinePredictor,
+        *,
+        measurement_slot_seconds: Optional[float] = None,
+        horizon: Optional[int] = None,
+        inflation: float = 0.15,
+        max_machines: int = 10,
+        scale_in_confirmations: int = 3,
+    ) -> None:
+        slot = measurement_slot_seconds or params.interval_seconds
+        ratio = params.interval_seconds / slot
+        if abs(ratio - round(ratio)) > 1e-9 or ratio < 1:
+            raise ConfigurationError(
+                "planning interval must be a positive multiple of the "
+                f"measurement slot ({params.interval_seconds}s vs {slot}s)"
+            )
+        if horizon is None:
+            horizon = online.max_horizon or 12
+        if horizon < 1:
+            raise ConfigurationError("horizon must be >= 1")
+        if online.max_horizon and horizon > online.max_horizon:
+            raise ConfigurationError(
+                f"horizon {horizon} exceeds the predictor's max_horizon "
+                f"{online.max_horizon}"
+            )
+        self.params = params
+        self.online = online
+        self.slot_seconds = slot
+        self.slots_per_interval = int(round(ratio))
+        self.horizon = horizon
+        self.inflation = inflation
+        self.max_machines = max_machines
+        self.policy = PredictivePolicy(params, max_machines, scale_in_confirmations)
+        self._slot_buffer: List[float] = []
+        self.moves_requested = 0
+        self.cold_start_decisions = 0
+        self.predictive_decisions = 0
+        self.intervals_observed = 0
+        self.decision_log: List[ControllerDecision] = []
+        self._expected_machines: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def refits(self) -> int:
+        return self.online.refits
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.online.is_fitted
+
+    def _record(
+        self,
+        sim: EngineSimulator,
+        measured_rate: float,
+        target: int,
+        kind: str,
+    ) -> None:
+        self.decision_log.append(
+            ControllerDecision(
+                sim_time=sim.now,
+                measured_rate=measured_rate,
+                machines_before=sim.machines_allocated,
+                target=target,
+                kind=kind,
+            )
+        )
+        tel = sim.telemetry
+        if tel is not None:
+            tel.counter("control.decisions").inc()
+            tel.event(
+                "decision",
+                sim.now,
+                action=kind,
+                measured_rate=measured_rate,
+                machines_before=sim.machines_allocated,
+                target=target,
+            )
+
+    # ------------------------------------------------------------------
+    def on_slot(
+        self, sim: EngineSimulator, slot_index: int, measured_count: float
+    ) -> None:
+        """Accumulate one measurement slot; act when an interval closes."""
+        self._slot_buffer.append(float(measured_count))
+        if len(self._slot_buffer) < self.slots_per_interval:
+            return
+        interval_count = sum(self._slot_buffer)
+        self._slot_buffer.clear()
+        self.intervals_observed += 1
+
+        refitted = self.online.observe(interval_count)
+        tel = sim.telemetry
+        if refitted and tel is not None:
+            tel.counter("control.refits").inc()
+            tel.event(
+                "refit",
+                sim.now,
+                history_slots=len(self.online.observed()),
+                refit_number=self.online.refits,
+            )
+
+        if sim.migration_active:
+            return
+        interval_seconds = self.params.interval_seconds
+        measured_rate = interval_count / interval_seconds
+        current = sim.machines_allocated
+        if self._expected_machines is not None and current != self._expected_machines:
+            # The machine set changed under us (crash, aborted move):
+            # drop confirmation votes accumulated against the old size.
+            self.policy.notify_topology_change()
+        self._expected_machines = current
+        cap = min(self.max_machines, sim.cluster.num_available_nodes)
+
+        if not self.online.is_fitted:
+            # Cold start: reactive scale-out only, never scale-in (we
+            # have no forecast to justify shrinking).
+            needed = max(
+                1,
+                math.ceil(measured_rate * (1.0 + self.inflation) / self.params.q),
+            )
+            needed = min(needed, cap)
+            if needed > current:
+                self.cold_start_decisions += 1
+                self._record(sim, measured_rate, needed, "cold-start-reactive")
+                self._start_move(sim, needed)
+            return
+
+        forecast_counts = self.online.predict_from_observed(self.horizon)
+        load = np.empty(self.horizon + 1)
+        load[0] = measured_rate
+        load[1:] = (forecast_counts / interval_seconds) * (1.0 + self.inflation)
+        decision = self.policy.decide(load, current)
+        if decision.target is None:
+            return
+        target = min(decision.target, cap)
+        if target == current:
+            return
+        self.predictive_decisions += 1
+        self._record(
+            sim, measured_rate, target, "fallback" if decision.fallback else "planned"
+        )
+        self._start_move(sim, target)
+
+    def _start_move(self, sim: EngineSimulator, target: int) -> None:
+        try:
+            sim.start_move(target)
+        except MigrationError:
+            return
+        self._expected_machines = target
+        self.moves_requested += 1

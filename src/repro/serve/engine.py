@@ -1,0 +1,286 @@
+"""The serving driver: requests in, latency samples out, ticks in between.
+
+:class:`ServerEngine` turns the batch :class:`~repro.engine.simulator.
+EngineSimulator` into a request server.  Transport and pacing live
+elsewhere (virtual clock in :mod:`repro.serve.session`, asyncio HTTP in
+:mod:`repro.serve.http`); this class only knows two operations:
+
+* :meth:`submit` — route one incoming transaction through the cluster's
+  data-share weights, run admission control against the target node's
+  queue estimate, and either enqueue it for the current tick or shed it
+  with a retry-after hint;
+* :meth:`tick` — advance the engine by one ``dt`` step offered exactly
+  the admitted arrivals, draw each request's latency from that step's
+  queueing mixture (seeded inverse-CDF sampling, so runs are
+  deterministic), deliver completions, feed the arrival count into the
+  :class:`~repro.engine.monitor.LoadMonitor`, and invoke the elasticity
+  controller whenever a measurement slot closes — exactly the hook the
+  batch ``EngineSimulator.run`` loop gives the offline controllers.
+
+Because rejected requests never reach the engine, shedding (not the
+fluid queue cap) is what bounds the backlog under an open-loop spike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.migration import MigrationConfig
+from repro.engine.monitor import LoadMonitor
+from repro.engine.queueing import sample_latencies
+from repro.engine.simulator import ElasticityController, EngineConfig, EngineSimulator
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.serve.admission import AdmissionConfig, AdmissionController, AdmissionDecision
+from repro.telemetry import Telemetry, resolve_telemetry
+
+
+@dataclass(frozen=True)
+class TxnOutcome:
+    """Terminal state of one submitted transaction.
+
+    Attributes:
+        accepted: False when admission control shed the request.
+        status: HTTP-style status code (200 or 503).
+        node_id: Node the request was routed to.
+        submitted_at: Engine time at submission, seconds.
+        completed_at: Engine time at completion (submission time for
+            rejects — they fail fast).
+        latency_ms: Sampled service latency (0 for rejects).
+        retry_after_s: Backoff hint carried by rejects.
+    """
+
+    accepted: bool
+    status: int
+    node_id: int
+    submitted_at: float
+    completed_at: float
+    latency_ms: float
+    retry_after_s: float = 0.0
+
+
+OnComplete = Callable[[TxnOutcome], None]
+
+
+class ServerEngine:
+    """Serves transactions against the simulated engine, one tick at a time.
+
+    Args:
+        engine_config: Engine parameters (``dt_seconds`` is the tick).
+        initial_nodes: Machines active at start.
+        slot_seconds: Measurement-slot length fed to the load monitor
+            (must be a multiple of the tick).
+        admission: Shedding policy; defaults shed well below the engine's
+            own queue cap.
+        controller: Optional elasticity controller implementing the same
+            ``on_slot(sim, slot_index, measured_count)`` protocol the
+            batch runs use (:class:`~repro.core.controller.
+            PredictiveController`, :class:`~repro.serve.control.
+            OnlineControlLoop`, ...).
+        seed: Seed for routing and latency sampling.
+    """
+
+    def __init__(
+        self,
+        engine_config: Optional[EngineConfig] = None,
+        *,
+        initial_nodes: int = 1,
+        slot_seconds: float = 60.0,
+        admission: Optional[AdmissionConfig] = None,
+        controller: Optional[ElasticityController] = None,
+        seed: int = 0,
+        migration_config: Optional[MigrationConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        config = engine_config or EngineConfig()
+        ticks = slot_seconds / config.dt_seconds
+        if abs(ticks - round(ticks)) > 1e-9 or ticks < 1:
+            raise ConfigurationError(
+                f"slot_seconds {slot_seconds}s must be a positive multiple "
+                f"of the tick ({config.dt_seconds}s)"
+            )
+        self.telemetry = resolve_telemetry(telemetry)
+        self.sim = EngineSimulator(
+            config,
+            initial_nodes=initial_nodes,
+            migration_config=migration_config,
+            fault_injector=fault_injector,
+            telemetry=self.telemetry,
+        )
+        self.monitor = LoadMonitor(slot_seconds)
+        self.controller = controller
+        self.admission = AdmissionController(admission, self.telemetry)
+        self._rng = np.random.default_rng(seed)
+        self._pending: List[Tuple[int, float, Optional[OnComplete]]] = []
+        self._pending_per_node = np.zeros(config.max_nodes)
+        self._slot_index = 0
+        self.ticks = 0
+        self.completed = 0
+        self.rejected_last_tick = 0
+        #: Worst per-node queue estimate seen at any tick boundary — the
+        #: spike tests assert shedding keeps this bounded.
+        self.max_node_queue_seconds = 0.0
+        self.latency_sum_ms = 0.0
+        self._refresh_routing()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _refresh_routing(self) -> None:
+        """Re-derive the routing CDF and per-node capacity after a tick
+        (routing weights only change at tick boundaries)."""
+        weights = self.sim.partition_weights()
+        self._route_cdf = np.cumsum(weights)
+        p = self.sim.config.partitions_per_node
+        mu = self.sim._mu_base
+        self._node_rate = mu.reshape(self.sim.config.max_nodes, p).sum(axis=1)
+        self._node_queue = self.sim.node_queue_seconds()
+
+    def route(self) -> int:
+        """Pick the partition for one request (data-share weighted)."""
+        u = self._rng.random()
+        return int(np.searchsorted(self._route_cdf, u * self._route_cdf[-1]))
+
+    def submit(
+        self,
+        on_complete: Optional[OnComplete] = None,
+        *,
+        now: Optional[float] = None,
+    ) -> AdmissionDecision:
+        """Route and admit (or shed) one transaction.
+
+        Accepted requests complete on the next :meth:`tick`; rejected
+        ones complete immediately.  ``on_complete`` receives the
+        :class:`TxnOutcome` either way.
+        """
+        submitted_at = self.sim.now if now is None else float(now)
+        partition = self.route()
+        node_id = partition // self.sim.config.partitions_per_node
+        rate = max(float(self._node_rate[node_id]), 1e-9)
+        estimate = float(
+            self._node_queue[node_id] + self._pending_per_node[node_id] / rate
+        )
+        decision = self.admission.decide(node_id, estimate)
+        if decision.accepted:
+            self._pending_per_node[node_id] += 1.0
+            self._pending.append((node_id, submitted_at, on_complete))
+        else:
+            self.rejected_last_tick += 1
+            if on_complete is not None:
+                on_complete(
+                    TxnOutcome(
+                        accepted=False,
+                        status=503,
+                        node_id=node_id,
+                        submitted_at=submitted_at,
+                        completed_at=submitted_at,
+                        latency_ms=0.0,
+                        retry_after_s=decision.retry_after_s,
+                    )
+                )
+        return decision
+
+    # ------------------------------------------------------------------
+    # Tick path
+    # ------------------------------------------------------------------
+    def tick(self) -> Dict[str, float]:
+        """Advance one engine step serving the admitted arrivals.
+
+        Returns the engine step record, extended with the tick's
+        admitted/rejected counts.
+        """
+        dt = self.sim.config.dt_seconds
+        pending = self._pending
+        self._pending = []
+        self._pending_per_node[:] = 0.0
+        admitted = len(pending)
+        rejected = self.rejected_last_tick
+        self.rejected_last_tick = 0
+
+        record = self.sim.step(admitted / dt)
+        tel = self.telemetry
+
+        if admitted:
+            uniforms = self._rng.random(admitted)
+            latencies_s = sample_latencies(self.sim.last_latency_components, uniforms)
+            latency_hist = tel.histogram("serve.latency_ms") if tel is not None else None
+            for (node_id, submitted_at, on_complete), latency_s in zip(
+                pending, latencies_s
+            ):
+                latency_ms = float(latency_s) * 1000.0
+                self.completed += 1
+                self.latency_sum_ms += latency_ms
+                if latency_hist is not None:
+                    latency_hist.observe(latency_ms)
+                if on_complete is not None:
+                    on_complete(
+                        TxnOutcome(
+                            accepted=True,
+                            status=200,
+                            node_id=node_id,
+                            submitted_at=submitted_at,
+                            completed_at=submitted_at + float(latency_s),
+                            latency_ms=latency_ms,
+                        )
+                    )
+
+        self.ticks += 1
+        self._refresh_routing()
+        queue_peak = float(self._node_queue.max())
+        if queue_peak > self.max_node_queue_seconds:
+            self.max_node_queue_seconds = queue_peak
+        if tel is not None:
+            tel.counter("serve.ticks").inc()
+            tel.gauge("serve.node_queue_seconds").set(queue_peak)
+            tel.gauge("serve.machines").set(float(self.sim.machines_allocated))
+
+        closed = self.monitor.record(float(admitted), dt)
+        if closed:
+            history = self.monitor.history()
+            for value in history[len(history) - closed :]:
+                if self.controller is not None:
+                    self.controller.on_slot(self.sim, self._slot_index, float(value))
+                self._slot_index += 1
+
+        record["admitted"] = float(admitted)
+        record["rejected"] = float(rejected)
+        return record
+
+    # ------------------------------------------------------------------
+    # Introspection (the admin endpoints read these)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def moves_completed(self) -> int:
+        """Reconfigurations that ran to completion so far."""
+        in_flight = 1 if self.sim.migration_active else 0
+        return self.sim.moves_started - self.sim.migrations_aborted - in_flight
+
+    def mean_latency_ms(self) -> float:
+        return self.latency_sum_ms / self.completed if self.completed else 0.0
+
+    def healthz(self) -> Dict[str, object]:
+        """Liveness/readiness snapshot for the ``/healthz`` endpoint."""
+        overloaded = (
+            float(self._node_queue.max()) > self.admission.config.queue_limit_seconds
+        )
+        return {
+            "status": "shedding" if overloaded else "ok",
+            "now": self.sim.now,
+            "machines": self.sim.machines_allocated,
+            "migration_active": self.sim.migration_active,
+            "ticks": self.ticks,
+            "accepted": self.admission.accepted,
+            "rejected": self.admission.rejected,
+            "completed": self.completed,
+            "moves_started": self.sim.moves_started,
+            "moves_completed": self.moves_completed,
+            "max_node_queue_seconds": round(self.max_node_queue_seconds, 3),
+        }

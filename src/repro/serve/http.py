@@ -1,0 +1,372 @@
+"""Asyncio HTTP front-end for the serving layer (``repro serve``).
+
+A deliberately dependency-free HTTP/1.1 server over ``asyncio`` streams
+(the container bakes in no web framework, and the endpoints are tiny):
+
+* ``POST /txn`` (``GET`` also accepted) — submit one transaction.  The
+  response resolves on the next engine tick: ``200`` with the sampled
+  latency, or ``503`` with a ``Retry-After`` header when admission
+  control sheds the request.
+* ``GET /healthz`` — liveness/readiness JSON (see
+  :meth:`repro.serve.engine.ServerEngine.healthz`).
+* ``GET /metrics`` — Prometheus text exposition of the telemetry
+  registry (:func:`repro.telemetry.export.render_prometheus`).
+* ``POST /shutdown`` — end the linger phase early (used by the CI smoke
+  to exit cleanly after probing).
+
+The engine tick loop runs as an asyncio task in one of two modes:
+
+* **wall** — one tick every ``dt / speedup`` real seconds;
+* **virtual** — zero sleeps between ticks (one cooperative yield per
+  tick keeps request handling responsive), so a simulated day races by
+  in however long the steps take while the admin endpoints stay live.
+
+An optional embedded open-loop arrival schedule is fired in engine time
+just before each tick — that is how the CI smoke load-tests a virtual
+run without a wall-clock client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Dict, Optional
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.serve.engine import ServerEngine, TxnOutcome
+from repro.serve.loadgen import LoadgenReport
+from repro.telemetry.export import render_prometheus
+
+_MAX_HEADER_LINES = 64
+
+
+def _http_response(
+    status: int,
+    body: str,
+    content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    reason = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}.get(
+        status, "Error"
+    )
+    payload = body.encode("utf-8")
+    headers = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
+    for key, value in (extra_headers or {}).items():
+        headers.append(f"{key}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + payload
+
+
+class ServeApp:
+    """HTTP transport + tick pacing around a :class:`ServerEngine`.
+
+    Args:
+        engine: The serving driver.
+        host/port: Bind address (port 0 picks a free port).
+        virtual: Tick as fast as the event loop allows (no sleeps).
+        speedup: Wall mode only — real seconds per tick are
+            ``dt / speedup``.
+        duration_s: Stop ticking once this much engine time has passed
+            (``None`` = serve until shut down).
+        linger_s: Keep the admin endpoints alive this many real seconds
+            after the run completes (so probes can land), unless
+            ``/shutdown`` arrives first.
+        arrivals: Optional embedded open-loop schedule (engine-time
+            timestamps); outcomes accumulate in :attr:`loadgen_report`.
+    """
+
+    def __init__(
+        self,
+        engine: ServerEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        virtual: bool = False,
+        speedup: float = 1.0,
+        duration_s: Optional[float] = None,
+        linger_s: float = 0.0,
+        arrivals: Optional[np.ndarray] = None,
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.virtual = virtual
+        self.speedup = max(float(speedup), 1e-9)
+        self.duration_s = duration_s
+        self.linger_s = max(float(linger_s), 0.0)
+        self._arrivals = (
+            np.asarray(arrivals, dtype=np.float64) if arrivals is not None else None
+        )
+        self._arrival_index = 0
+        self.loadgen_report = LoadgenReport()
+        self.run_complete = False
+        self._stop = asyncio.Event()
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------
+    # Tick loop
+    # ------------------------------------------------------------------
+    def _fire_embedded(self, until: float) -> None:
+        if self._arrivals is None:
+            return
+        while (
+            self._arrival_index < len(self._arrivals)
+            and self._arrivals[self._arrival_index] < until
+        ):
+            when = float(self._arrivals[self._arrival_index])
+            self._arrival_index += 1
+            self.engine.submit(self.loadgen_report.record, now=when)
+
+    async def _ticker(self) -> None:
+        dt = self.engine.sim.config.dt_seconds
+        try:
+            while not self._stop.is_set():
+                if self.duration_s is not None and (
+                    self.engine.now >= self.duration_s - 1e-9
+                ):
+                    break
+                if self.virtual:
+                    await asyncio.sleep(0)
+                else:
+                    await asyncio.sleep(dt / self.speedup)
+                self._fire_embedded(until=self.engine.now + dt)
+                self.engine.tick()
+            self.run_complete = True
+            if self.duration_s is not None:
+                self.loadgen_report.duration_s = min(self.duration_s, self.engine.now)
+            if self.linger_s > 0 and not self._stop.is_set():
+                try:
+                    await asyncio.wait_for(self._stop.wait(), timeout=self.linger_s)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            self.run_complete = True
+            self._stop.set()
+
+    # ------------------------------------------------------------------
+    # HTTP handling
+    # ------------------------------------------------------------------
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Dict[str, str]]:
+        line = await reader.readline()
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        request = {"method": parts[0].upper(), "path": parts[1]}
+        content_length = 0
+        for _ in range(_MAX_HEADER_LINES):
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        if content_length > 0:
+            await reader.readexactly(min(content_length, 1 << 20))
+        return request
+
+    async def _submit_txn(self) -> bytes:
+        draining = _http_response(
+            503, json.dumps({"error": "server is draining"}),
+            extra_headers={"Retry-After": "1"},
+        )
+        if self.run_complete or self._stop.is_set():
+            # No more ticks are coming; fail fast instead of hanging.
+            return draining
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[TxnOutcome]" = loop.create_future()
+
+        def complete(outcome: TxnOutcome) -> None:
+            if not future.done():
+                future.set_result(outcome)
+
+        self.engine.submit(complete, now=self.engine.now)
+        # The tick that resolves the future may never come if the run
+        # ends first — race it against the stop event.
+        stop_waiter = asyncio.ensure_future(self._stop.wait())
+        done, _ = await asyncio.wait(
+            {future, stop_waiter}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if future not in done:
+            return draining
+        stop_waiter.cancel()
+        outcome = future.result()
+        if outcome.accepted:
+            body = json.dumps(
+                {
+                    "status": "ok",
+                    "latency_ms": round(outcome.latency_ms, 3),
+                    "node": outcome.node_id,
+                    "submitted_at": outcome.submitted_at,
+                }
+            )
+            return _http_response(200, body)
+        body = json.dumps(
+            {
+                "status": "shed",
+                "retry_after_s": outcome.retry_after_s,
+                "node": outcome.node_id,
+            }
+        )
+        return _http_response(
+            503, body,
+            extra_headers={"Retry-After": str(int(outcome.retry_after_s) + 1)},
+        )
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(self._read_request(reader), timeout=30.0)
+            if request is None:
+                return
+            path = request["path"].split("?", 1)[0]
+            if path == "/healthz":
+                health = dict(self.engine.healthz())
+                health["run_complete"] = self.run_complete
+                response = _http_response(200, json.dumps(health))
+            elif path == "/metrics":
+                text = (
+                    render_prometheus(self.engine.telemetry)
+                    if self.engine.telemetry is not None
+                    else "# no telemetry registry installed\n"
+                )
+                response = _http_response(
+                    200, text, content_type="text/plain; version=0.0.4"
+                )
+            elif path == "/txn":
+                response = await self._submit_txn()
+            elif path == "/shutdown" and request["method"] == "POST":
+                response = _http_response(200, json.dumps({"status": "stopping"}))
+                self._stop.set()
+            else:
+                response = _http_response(404, json.dumps({"error": "not found"}))
+            writer.write(response)
+            await writer.drain()
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - peer already gone
+                pass
+
+    # ------------------------------------------------------------------
+    async def run(self, on_ready: Optional[Callable[["ServeApp"], None]] = None) -> None:
+        """Serve until the run (plus linger) completes or /shutdown."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        if on_ready is not None:
+            on_ready(self)
+        ticker = asyncio.create_task(self._ticker())
+        try:
+            await self._stop.wait()
+        finally:
+            ticker.cancel()
+            try:
+                await ticker
+            except asyncio.CancelledError:
+                pass
+            self._server.close()
+            await self._server.wait_closed()
+
+
+# ----------------------------------------------------------------------
+# Wall-clock HTTP load-generation client (``repro loadgen``)
+# ----------------------------------------------------------------------
+async def run_loadgen_client(
+    url: str,
+    arrivals: np.ndarray,
+    *,
+    speedup: float = 1.0,
+    concurrency: int = 128,
+) -> LoadgenReport:
+    """Fire an arrival schedule at a running server over HTTP.
+
+    Open-loop: request launch times follow the schedule (compressed by
+    ``speedup``) regardless of completions, with a concurrency cap as
+    the only safety valve.  Returns the aggregated report.
+    """
+    split = urlsplit(url if "//" in url else f"http://{url}")
+    host = split.hostname or "127.0.0.1"
+    port = split.port or 80
+    report = LoadgenReport()
+    semaphore = asyncio.Semaphore(concurrency)
+    loop = asyncio.get_running_loop()
+
+    async def one(when: float) -> None:
+        async with semaphore:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                report.record(
+                    TxnOutcome(False, 503, -1, when, when, 0.0, retry_after_s=1.0)
+                )
+                return
+            try:
+                writer.write(
+                    b"POST /txn HTTP/1.1\r\nHost: %b\r\nContent-Length: 0\r\n"
+                    b"Connection: close\r\n\r\n" % host.encode("ascii")
+                )
+                await writer.drain()
+                status_line = await reader.readline()
+                status = int(status_line.split()[1])
+                retry_after = 0.0
+                while True:
+                    header = await reader.readline()
+                    if header in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = header.decode("latin-1").partition(":")
+                    if name.strip().lower() == "retry-after":
+                        retry_after = float(value.strip())
+                body = await reader.read()
+                latency_ms = 0.0
+                if status == 200:
+                    try:
+                        latency_ms = float(json.loads(body).get("latency_ms", 0.0))
+                    except (ValueError, AttributeError):
+                        latency_ms = 0.0
+                report.record(
+                    TxnOutcome(
+                        accepted=status == 200,
+                        status=status,
+                        node_id=-1,
+                        submitted_at=when,
+                        completed_at=when,
+                        latency_ms=latency_ms,
+                        retry_after_s=retry_after,
+                    )
+                )
+            except (OSError, ValueError, IndexError, asyncio.IncompleteReadError):
+                report.record(
+                    TxnOutcome(False, 503, -1, when, when, 0.0, retry_after_s=1.0)
+                )
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except ConnectionError:  # pragma: no cover
+                    pass
+
+    start = loop.time()
+    tasks = []
+    for when in np.asarray(arrivals, dtype=np.float64):
+        delay = float(when) / max(speedup, 1e-9) - (loop.time() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.create_task(one(float(when))))
+    if tasks:
+        await asyncio.gather(*tasks)
+    report.duration_s = float(arrivals[-1]) if len(arrivals) else 0.0
+    return report

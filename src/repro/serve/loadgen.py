@@ -1,0 +1,274 @@
+"""Open-loop load generation: Poisson, trace replay and spike profiles.
+
+An arrival *schedule* is just a sorted array of timestamps (seconds).
+Open-loop means arrivals never wait for completions — precisely the
+regime where admission control matters, because a saturated server keeps
+receiving work.  All schedules are seeded and deterministic:
+
+* :func:`poisson_arrivals` — homogeneous Poisson process at a fixed
+  rate (exponential inter-arrival gaps);
+* :func:`trace_arrivals` — inhomogeneous replay of any
+  :class:`~repro.workloads.trace.LoadTrace`: per-slot Poisson counts
+  placed uniformly inside their slot (thinning-free and exact);
+* :func:`spike_arrivals` — a flat base rate with a
+  :class:`~repro.workloads.spikes.FlashCrowd` multiplied in, the
+  unpredicted-surge shape of Figure 11.
+
+:func:`parse_profile` turns the CLI's compact ``kind:key=value,...``
+spec into a schedule; :class:`LoadGenerator` fires a schedule at a
+:class:`~repro.serve.engine.ServerEngine` over a virtual clock and
+collects a :class:`LoadgenReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serve.clock import VirtualClock
+from repro.serve.engine import ServerEngine, TxnOutcome
+from repro.workloads.spikes import FlashCrowd, inject_flash_crowd
+from repro.workloads.trace import LoadTrace
+
+
+# ----------------------------------------------------------------------
+# Arrival schedules
+# ----------------------------------------------------------------------
+def poisson_arrivals(
+    rate_per_s: float, duration_s: float, seed: int = 0, start_s: float = 0.0
+) -> np.ndarray:
+    """Homogeneous Poisson arrival timestamps over ``[start, start+duration)``."""
+    if rate_per_s < 0 or duration_s < 0:
+        raise ConfigurationError("rate and duration must be non-negative")
+    if rate_per_s == 0 or duration_s == 0:
+        return np.empty(0)
+    rng = np.random.default_rng(seed)
+    # Draw ~expected + 6 sigma gaps, extend in the unlikely shortfall.
+    expected = rate_per_s * duration_s
+    n = int(expected + 6.0 * np.sqrt(expected) + 16)
+    gaps = rng.exponential(1.0 / rate_per_s, n)
+    times = start_s + np.cumsum(gaps)
+    while times[-1] < start_s + duration_s:
+        more = rng.exponential(1.0 / rate_per_s, n)
+        times = np.concatenate([times, times[-1] + np.cumsum(more)])
+    return times[times < start_s + duration_s]
+
+
+def trace_arrivals(
+    trace: LoadTrace, seed: int = 0, scale: float = 1.0, start_s: float = 0.0
+) -> np.ndarray:
+    """Inhomogeneous replay: per-slot Poisson counts, uniform placement."""
+    if scale < 0:
+        raise ConfigurationError("scale must be non-negative")
+    rng = np.random.default_rng(seed)
+    slot = trace.slot_seconds
+    out: List[np.ndarray] = []
+    for index, count in enumerate(trace.values * scale):
+        n = int(rng.poisson(count))
+        if n == 0:
+            continue
+        offsets = np.sort(rng.random(n)) * slot
+        out.append(start_s + index * slot + offsets)
+    if not out:
+        return np.empty(0)
+    return np.concatenate(out)
+
+
+def spike_arrivals(
+    base_rate_per_s: float,
+    duration_s: float,
+    spike: FlashCrowd,
+    seed: int = 0,
+    slot_seconds: float = 10.0,
+) -> np.ndarray:
+    """Flat base load with a flash crowd multiplied in (Figure 11 shape)."""
+    if duration_s <= 0:
+        raise ConfigurationError("duration must be positive")
+    slots = max(1, int(round(duration_s / slot_seconds)))
+    flat = LoadTrace(
+        np.full(slots, base_rate_per_s * slot_seconds),
+        slot_seconds=slot_seconds,
+        name="flat",
+    )
+    return trace_arrivals(inject_flash_crowd(flat, spike), seed=seed)
+
+
+def parse_profile(
+    spec: str, duration_s: float, seed: int = 0
+) -> np.ndarray:
+    """Build an arrival schedule from a compact CLI spec.
+
+    Formats (all keys optional unless noted)::
+
+        poisson:rate=200
+        spike:rate=150,at=1800,magnitude=3,ramp=120,plateau=600,decay=600
+        trace:kind=b2w,days=1,scale=1.0,slot=60
+
+    ``trace`` replays a synthetic B2W-shaped day (the repo's seeded
+    generator), rescaled so its *mean* rate equals ``rate`` when given.
+    """
+    kind, _, rest = spec.partition(":")
+    options: Dict[str, str] = {}
+    if rest:
+        for token in rest.split(","):
+            key, eq, value = token.partition("=")
+            if not eq:
+                raise ConfigurationError(f"bad profile token {token!r} in {spec!r}")
+            options[key.strip()] = value.strip()
+
+    def fget(key: str, default: float) -> float:
+        return float(options.pop(key, default))
+
+    if kind == "poisson":
+        rate = fget("rate", 100.0)
+        _reject_unknown(kind, options)
+        return poisson_arrivals(rate, duration_s, seed=seed)
+    if kind == "spike":
+        rate = fget("rate", 100.0)
+        spike = FlashCrowd(
+            start_seconds=fget("at", duration_s / 3.0),
+            ramp_seconds=fget("ramp", 120.0),
+            plateau_seconds=fget("plateau", 600.0),
+            decay_seconds=fget("decay", 600.0),
+            magnitude=fget("magnitude", 3.0),
+        )
+        _reject_unknown(kind, options)
+        return spike_arrivals(rate, duration_s, spike, seed=seed)
+    if kind == "trace":
+        trace_kind = options.pop("kind", "b2w")
+        if trace_kind != "b2w":
+            raise ConfigurationError(f"unknown trace kind {trace_kind!r}")
+        from repro.workloads.b2w import generate_b2w_trace
+
+        days = max(1, int(fget("days", 1)))
+        slot = fget("slot", 60.0)
+        trace = generate_b2w_trace(days, slot_seconds=slot, seed=seed)
+        rate = options.pop("rate", None)
+        scale = fget("scale", 1.0)
+        if rate is not None:
+            mean_rate = trace.mean() / trace.slot_seconds
+            scale *= float(rate) / max(mean_rate, 1e-9)
+        _reject_unknown(kind, options)
+        times = trace_arrivals(trace, seed=seed, scale=scale)
+        return times[times < duration_s]
+    raise ConfigurationError(
+        f"unknown load profile {kind!r}; use poisson, spike or trace"
+    )
+
+
+def _reject_unknown(kind: str, leftover: Dict[str, str]) -> None:
+    if leftover:
+        raise ConfigurationError(
+            f"unknown {kind} profile option(s): {', '.join(sorted(leftover))}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass
+class LoadgenReport:
+    """Aggregated outcome of one load-generation run."""
+
+    duration_s: float = 0.0
+    offered: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    retry_after_s: List[float] = field(default_factory=list)
+
+    def record(self, outcome: TxnOutcome) -> None:
+        self.offered += 1
+        if outcome.accepted:
+            self.accepted += 1
+            self.latencies_ms.append(outcome.latency_ms)
+        else:
+            self.rejected += 1
+            self.retry_after_s.append(outcome.retry_after_s)
+
+    # ------------------------------------------------------------------
+    @property
+    def reject_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0
+
+    @property
+    def throughput_per_s(self) -> float:
+        return self.accepted / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "offered": float(self.offered),
+            "accepted": float(self.accepted),
+            "rejected": float(self.rejected),
+            "reject_rate": round(self.reject_rate, 4),
+            "throughput_per_s": round(self.throughput_per_s, 2),
+            "p50_ms": round(self.latency_percentile(50.0), 2),
+            "p95_ms": round(self.latency_percentile(95.0), 2),
+            "p99_ms": round(self.latency_percentile(99.0), 2),
+            "max_retry_after_s": max(self.retry_after_s, default=0.0),
+        }
+
+    def format_report(self) -> str:
+        s = self.summary()
+        lines = [
+            f"offered {self.offered} | accepted {self.accepted} | "
+            f"rejected {self.rejected} ({100.0 * self.reject_rate:.1f}%)",
+            f"throughput {s['throughput_per_s']:.1f} txn/s over {self.duration_s:.0f}s",
+            f"latency p50/p95/p99: {s['p50_ms']:.1f} / {s['p95_ms']:.1f} / "
+            f"{s['p99_ms']:.1f} ms",
+        ]
+        if self.rejected:
+            lines.append(f"max retry-after hint: {s['max_retry_after_s']:.1f}s")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+class LoadGenerator:
+    """Fires an arrival schedule at a :class:`ServerEngine` open-loop.
+
+    Arrivals are chained one event at a time on the clock (constant heap
+    pressure regardless of schedule length); outcomes accumulate into
+    :attr:`report`.
+    """
+
+    def __init__(
+        self,
+        engine: ServerEngine,
+        arrivals: np.ndarray,
+        clock: VirtualClock,
+    ) -> None:
+        self.engine = engine
+        self.arrivals = np.asarray(arrivals, dtype=np.float64)
+        if len(self.arrivals) > 1 and np.any(np.diff(self.arrivals) < 0):
+            raise ConfigurationError("arrival times must be sorted")
+        self.clock = clock
+        self.report = LoadgenReport()
+        self._next = 0
+        self._armed = False
+
+    def start(self) -> None:
+        """Arm the arrival chain (idempotent across session runs)."""
+        if not self._armed:
+            self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self._next >= len(self.arrivals):
+            self._armed = False
+            return
+        self.clock.call_at(float(self.arrivals[self._next]), self._fire)
+        self._armed = True
+
+    def _fire(self) -> None:
+        self._next += 1
+        self.engine.submit(self.report.record, now=self.clock.now)
+        self._schedule_next()

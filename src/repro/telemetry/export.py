@@ -121,6 +121,47 @@ def read_csv_ticks(path: PathLike) -> List[Dict[str, float]]:
 
 
 # ----------------------------------------------------------------------
+# Prometheus exposition (the serving layer's /metrics endpoint)
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """Metric names here use dots; Prometheus wants ``[a-zA-Z0-9_:]``."""
+    return "repro_" + "".join(
+        ch if (ch.isalnum() or ch == "_") else "_" for ch in name
+    )
+
+
+def render_prometheus(telemetry: "Telemetry") -> str:
+    """Render the metrics registry in Prometheus text exposition format.
+
+    Counters and gauges become single samples; histograms become the
+    conventional cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+    ``_count``.  Traces and the timeline are not exposed here — they are
+    run-scoped artifacts, exported via JSONL instead.
+    """
+    metrics = telemetry.metrics
+    lines: List[str] = []
+    for _, counter in sorted(metrics.counters().items()):
+        name = _prom_name(counter.name) + "_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {counter.value:g}")
+    for _, gauge in sorted(metrics.gauges().items()):
+        name = _prom_name(gauge.name)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {gauge.value:g}")
+    for _, histogram in sorted(metrics.histograms().items()):
+        name = _prom_name(histogram.name)
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(histogram.buckets, histogram.counts):
+            cumulative += count
+            lines.append(f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{name}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{name}_sum {histogram.total:g}")
+        lines.append(f"{name}_count {histogram.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
 def export(telemetry: "Telemetry", path: PathLike) -> int:
     """Suffix-dispatched export: ``.csv`` -> tick table, else JSONL."""
     if str(path).endswith(".csv"):

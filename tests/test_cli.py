@@ -120,6 +120,88 @@ class TestBenchSubcommand:
         assert "REGRESSION" in out
 
 
+class TestServeSubcommand:
+    SERVE_ARGS = [
+        "serve", "--no-http", "--clock", "virtual", "--duration", "300",
+        "--saturation", "12", "--db-size-mb", "5", "--max-nodes", "4",
+        "--interval-seconds", "60", "--queue-limit", "5",
+        "--spar", "period=12,periods=2,recent=2,horizon=4",
+    ]
+
+    def test_no_http_virtual_run(self, capsys):
+        code = main(self.SERVE_ARGS + ["--profile", "poisson:rate=6", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "embedded loadgen:" in out
+        assert "offered" in out and "machines now:" in out
+        assert "reconfigurations completed:" in out
+
+    def test_require_moves_fails_on_idle_run(self, capsys):
+        # Nearly no load: the controller never reconfigures.
+        code = main(
+            self.SERVE_ARGS
+            + ["--profile", "poisson:rate=1", "--require-moves", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "required >= 1" in captured.err
+
+    def test_require_moves_passes_when_scaling(self, capsys):
+        code = main(
+            self.SERVE_ARGS
+            + ["--profile", "poisson:rate=12", "--require-moves", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cold-start-reactive" in out
+
+    def test_http_virtual_run_exits_cleanly(self, capsys):
+        code = main([
+            "serve", "--clock", "virtual", "--port", "0", "--duration", "120",
+            "--saturation", "12", "--db-size-mb", "5", "--control", "none",
+            "--profile", "poisson:rate=4", "--linger", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving on http://127.0.0.1:" in out
+        assert "reconfigurations completed:" in out
+
+    def test_profile_requires_duration(self, capsys):
+        code = main(["serve", "--no-http", "--profile", "poisson:rate=5"])
+        assert code == 2
+        assert "--profile requires --duration" in capsys.readouterr().err
+
+    def test_telemetry_dump_includes_serve_metrics(self, tmp_path, capsys):
+        dump = tmp_path / "serve.jsonl"
+        code = main(
+            self.SERVE_ARGS
+            + ["--profile", "poisson:rate=6", "--telemetry", str(dump)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        parsed = read_jsonl(dump)
+        assert parsed.counters["serve.ticks"] == 300
+        assert parsed.counters["serve.admitted"] > 0
+
+    def test_bad_spar_spec_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(self.SERVE_ARGS[:-1] + ["period=oops"])
+
+
+class TestLoadgenSubcommand:
+    def test_unreachable_server_exits_nonzero(self, capsys):
+        code = main([
+            "loadgen", "--url", "http://127.0.0.1:1",
+            "--profile", "poisson:rate=3", "--duration", "2",
+            "--speedup", "100",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "firing" in out and "rejected" in out
+
+
 class TestReportHelpers:
     def test_format_table_alignment(self):
         text = format_table(("a", "bbb"), [(1, 2), (33, 44)], title="T")

@@ -69,6 +69,41 @@ class TestRefitCadence:
             OnlinePredictor(spar(), refit_every=0)
 
 
+class LevelPredictor:
+    """Minimal inner model: fits on any non-empty history."""
+
+    min_history = 1
+    max_horizon = 8
+    min_training_length = 1
+
+    def fit(self, training):
+        self.level = float(np.mean(training))
+        return self
+
+    def predict(self, history, horizon):
+        return np.full(horizon, self.level)
+
+
+class TestExplicitMinTraining:
+    def test_zero_is_honoured_not_treated_as_unset(self):
+        online = OnlinePredictor(LevelPredictor(), refit_every=100, min_training=0)
+        assert online.min_training == 0
+        # With an explicit 0 the very first observation triggers the fit;
+        # a falsy-check bug would silently substitute the inner default.
+        assert online.observe(5.0)
+        assert online.is_fitted
+        assert np.allclose(online.predict_from_observed(3), 5.0)
+
+    def test_none_falls_back_to_inner_requirement(self):
+        model = spar()
+        online = OnlinePredictor(model, min_training=None)
+        assert online.min_training == model.min_training_length
+
+    def test_negative_rejected(self):
+        with pytest.raises(PredictionError):
+            OnlinePredictor(LevelPredictor(), min_training=-1)
+
+
 class TestDelegation:
     def test_min_history_tracks_inner(self):
         model = spar()

@@ -1,0 +1,201 @@
+"""Tests for the asyncio HTTP transport (`repro serve` / `repro loadgen`).
+
+Each test boots a real :class:`ServeApp` on a free localhost port inside
+``asyncio.run`` and talks to it over actual sockets; wall-clock runs use
+aggressive speedups so the whole module stays fast.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.engine.simulator import EngineConfig
+from repro.serve import ServerEngine, poisson_arrivals
+from repro.serve.admission import AdmissionConfig
+from repro.serve.http import ServeApp, run_loadgen_client
+from repro.telemetry import Telemetry
+
+
+def make_engine(**kwargs):
+    defaults = dict(
+        engine_config=EngineConfig(max_nodes=4, saturation_rate_per_node=60.0),
+        initial_nodes=2,
+        telemetry=Telemetry(),
+    )
+    defaults.update(kwargs)
+    return ServerEngine(**defaults)
+
+
+async def http_request(port, method="GET", path="/", host="127.0.0.1"):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        "Content-Length: 0\r\nConnection: close\r\n\r\n".encode("ascii")
+    )
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return status, headers, body
+
+
+async def start_app(app):
+    """Run the app in a background task; returns once the port is bound."""
+    ready = asyncio.Event()
+    task = asyncio.create_task(app.run(on_ready=lambda _: ready.set()))
+    await asyncio.wait_for(ready.wait(), timeout=10)
+    return task
+
+
+class TestAdminEndpoints:
+    def test_healthz_and_metrics(self):
+        async def scenario():
+            app = ServeApp(
+                make_engine(), virtual=True, duration_s=120.0, linger_s=30.0
+            )
+            task = await start_app(app)
+            # The virtual run finishes almost immediately; then it lingers.
+            for _ in range(200):
+                status, _, body = await http_request(app.port, path="/healthz")
+                assert status == 200
+                health = json.loads(body)
+                if health["run_complete"]:
+                    break
+                await asyncio.sleep(0.05)
+            assert health["run_complete"] and health["ticks"] == 120
+            assert health["status"] == "ok"
+
+            status, headers, body = await http_request(app.port, path="/metrics")
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            text = body.decode()
+            assert "repro_serve_ticks_total 120" in text
+            assert "# TYPE repro_serve_machines gauge" in text
+
+            status, _, _ = await http_request(app.port, path="/unknown")
+            assert status == 404
+
+            status, _, _ = await http_request(
+                app.port, method="POST", path="/shutdown"
+            )
+            assert status == 200
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+    def test_txn_round_trip_and_shed(self):
+        async def scenario():
+            # Tight admission: the node queue estimate exceeds the limit
+            # as soon as a couple of requests stack up in one tick.
+            engine = make_engine(
+                initial_nodes=1,
+                admission=AdmissionConfig(queue_limit_seconds=0.01),
+            )
+            app = ServeApp(engine, speedup=20.0, duration_s=600.0, linger_s=30.0)
+            task = await start_app(app)
+
+            results = await asyncio.gather(
+                *(http_request(app.port, method="POST", path="/txn")
+                  for _ in range(8))
+            )
+            statuses = sorted(status for status, _, _ in results)
+            assert statuses[0] == 200, "an empty server must accept work"
+            assert statuses[-1] == 503, "stacked submissions must shed"
+            for status, headers, body in results:
+                payload = json.loads(body)
+                if status == 200:
+                    assert payload["status"] == "ok"
+                    assert payload["latency_ms"] > 0
+                else:
+                    assert payload["status"] == "shed"
+                    assert int(headers["retry-after"]) >= 1
+
+            await http_request(app.port, method="POST", path="/shutdown")
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+    def test_txn_after_run_completes_is_draining(self):
+        async def scenario():
+            app = ServeApp(
+                make_engine(), virtual=True, duration_s=30.0, linger_s=30.0
+            )
+            task = await start_app(app)
+            for _ in range(200):
+                _, _, body = await http_request(app.port, path="/healthz")
+                if json.loads(body)["run_complete"]:
+                    break
+                await asyncio.sleep(0.05)
+            status, headers, body = await http_request(
+                app.port, method="POST", path="/txn"
+            )
+            assert status == 503
+            assert json.loads(body)["error"] == "server is draining"
+            assert headers["retry-after"] == "1"
+            await http_request(app.port, method="POST", path="/shutdown")
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+
+class TestEmbeddedLoadgen:
+    def test_virtual_run_reports_offered_traffic(self):
+        async def scenario():
+            arrivals = poisson_arrivals(30.0, 60.0, seed=4)
+            app = ServeApp(
+                make_engine(),
+                virtual=True,
+                duration_s=60.0,
+                arrivals=arrivals,
+            )
+            task = await start_app(app)
+            await asyncio.wait_for(task, timeout=30)
+            report = app.loadgen_report
+            assert report.offered == len(arrivals)
+            assert report.accepted == report.offered
+            assert report.duration_s == pytest.approx(60.0)
+            assert report.latency_percentile(50.0) > 0
+
+        asyncio.run(scenario())
+
+
+class TestLoadgenClient:
+    def test_open_loop_client_round_trip(self):
+        async def scenario():
+            app = ServeApp(
+                make_engine(), speedup=20.0, duration_s=600.0, linger_s=30.0
+            )
+            task = await start_app(app)
+            arrivals = poisson_arrivals(8.0, 10.0, seed=6)
+            report = await run_loadgen_client(
+                f"http://127.0.0.1:{app.port}", arrivals, speedup=20.0
+            )
+            assert report.offered == len(arrivals)
+            assert report.accepted > 0
+            assert report.latency_percentile(50.0) > 0
+            await http_request(app.port, method="POST", path="/shutdown")
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+    def test_client_survives_unreachable_server(self):
+        async def scenario():
+            arrivals = poisson_arrivals(5.0, 1.0, seed=1)
+            report = await run_loadgen_client(
+                "http://127.0.0.1:1", arrivals, speedup=100.0
+            )
+            assert report.offered == len(arrivals)
+            assert report.accepted == 0
+            assert report.rejected == report.offered
+
+        asyncio.run(scenario())
