@@ -2,28 +2,44 @@
 # Serving-layer smoke test (CI `serve-smoke` job / `make serve-smoke`).
 #
 # Boots `repro serve` on the virtual clock with an embedded spike
-# profile, waits for the bounded run to finish while the admin endpoints
-# stay up, then asserts over HTTP that:
+# profile — request tracing, SLO burn-rate monitoring and a debug
+# bundle all enabled — waits for the bounded run to finish while the
+# admin endpoints stay up, then asserts over HTTP that:
 #   * /healthz answers and reports the run complete,
-#   * /metrics is non-empty Prometheus text,
+#   * /metrics is non-empty Prometheus text with the labelled
+#     per-node admission counters,
 #   * admission control shed load during the spike (rejected > 0 — the
-#     210 txn/s spike peak exceeds the 2-node capacity ceiling, so
+#     150 txn/s spike peak exceeds the 2-node capacity ceiling, so
 #     queues hit --queue-limit no matter how fast scale-out runs),
 #   * at least one reconfiguration completed (exit code via
 #     --require-moves 1).
+# After shutdown it round-trips the exported debug bundle: the manifest
+# digests must verify and `repro.cli explain` must render the planner
+# decision audit (the run outlives the SPAR fit slot), the SLO alert
+# fired during the spike, and the request-trace summary.  CI uploads
+# the bundle as an artifact.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 OUT=$(mktemp)
+BUNDLE="${BUNDLE_DIR:-out/serve-smoke-bundle}"
+rm -rf "$BUNDLE"
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$OUT"' EXIT
 
+# 4800 s of virtual time: the small SPAR (period=12, recent=2) first
+# fits at interval 62, so the audit trail has predictive replans to
+# explain; the unpredicted spike at t=300 exercises shedding, the SLO
+# alert and the reactive scale-out long before the model exists.
 python -m repro.cli serve \
-    --clock virtual --port 0 --duration 1200 \
-    --profile "spike:rate=35,at=300,magnitude=6,ramp=60,plateau=300,decay=120" \
+    --clock virtual --port 0 --duration 4800 \
+    --profile "spike:rate=15,at=300,magnitude=10,ramp=60,plateau=300,decay=120" \
     --saturation 60 --db-size-mb 20 --nodes 1 --max-nodes 2 \
     --interval-seconds 60 --spar "period=12,periods=2,recent=2,horizon=4" \
-    --queue-limit 5 --linger 120 --require-moves 1 >"$OUT" 2>&1 &
+    --queue-limit 5 --linger 120 --require-moves 1 \
+    --trace-requests \
+    --slo "objective=0.9,latency=60000,fast=120,slow=600,burn=2" \
+    --debug-bundle "$BUNDLE" >"$OUT" 2>&1 &
 SERVER_PID=$!
 
 PORT=""
@@ -43,7 +59,7 @@ done
 echo "server healthy on port $PORT"
 
 # Wait for the virtual run itself to complete (healthz flips run_complete).
-for _ in $(seq 1 120); do
+for _ in $(seq 1 180); do
     HEALTH=$(curl -sf "http://127.0.0.1:$PORT/healthz" || true)
     case "$HEALTH" in *'"run_complete": true'*) break ;; esac
     sleep 1
@@ -56,11 +72,19 @@ esac
 case "$HEALTH" in
     *'"rejected": 0,'*) echo "expected shed load during the spike" >&2; exit 1 ;;
 esac
+case "$HEALTH" in
+    *'"slo"'*) ;;
+    *) echo "healthz is missing the SLO state" >&2; exit 1 ;;
+esac
 
 METRICS=$(curl -sf "http://127.0.0.1:$PORT/metrics")
 [ -n "$METRICS" ] || { echo "/metrics is empty" >&2; exit 1; }
 echo "$METRICS" | grep -q '^repro_serve_admitted_total ' \
     || { echo "/metrics is missing serve counters" >&2; exit 1; }
+echo "$METRICS" | grep -q '^repro_serve_admit_shed_total{node=' \
+    || { echo "/metrics is missing labelled admission counters" >&2; exit 1; }
+echo "$METRICS" | grep -q '^repro_slo_fast_burn ' \
+    || { echo "/metrics is missing SLO burn gauges" >&2; exit 1; }
 echo "/metrics: $(echo "$METRICS" | wc -l) lines"
 
 curl -sf -X POST "http://127.0.0.1:$PORT/shutdown" >/dev/null
@@ -68,4 +92,21 @@ wait "$SERVER_PID"
 STATUS=$?
 cat "$OUT"
 # --require-moves 1 makes a run without a completed reconfiguration exit 1.
-exit "$STATUS"
+[ "$STATUS" -eq 0 ] || exit "$STATUS"
+
+# Round-trip the debug bundle: digests verify, explain renders the
+# decision audit, the SLO alert and the request traces.
+[ -f "$BUNDLE/MANIFEST.json" ] || { echo "no debug bundle at $BUNDLE" >&2; exit 1; }
+python -c "from repro.telemetry.bundle import verify_bundle; verify_bundle('$BUNDLE')" \
+    || { echo "bundle manifest failed verification" >&2; exit 1; }
+EXPLAIN=$(python -m repro.cli explain "$BUNDLE")
+echo "$EXPLAIN"
+echo "$EXPLAIN" | grep -q 'replans audited' \
+    || { echo "explain found no audited planner decisions" >&2; exit 1; }
+echo "$EXPLAIN" | grep -q 'SLO burn-rate alerts' \
+    || { echo "explain is missing the SLO alert section" >&2; exit 1; }
+echo "$EXPLAIN" | grep -q 'fire' \
+    || { echo "expected the SLO alert to fire during the spike" >&2; exit 1; }
+echo "$EXPLAIN" | grep -q 'traced requests' \
+    || { echo "explain is missing the request-trace summary" >&2; exit 1; }
+echo "debug bundle verified and explained: $BUNDLE"

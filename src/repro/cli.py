@@ -8,8 +8,11 @@ Usage::
     python -m repro.cli run all --fast --save results/
     python -m repro.cli run fig9-elasticity --telemetry out.jsonl
     python -m repro.cli report out.jsonl
+    python -m repro.cli explain out.jsonl
     python -m repro.cli bench --quick --compare BENCH_2026-08-06.json
     repro serve --clock virtual --duration 3600 --profile poisson:rate=200
+    repro serve --clock virtual --duration 3600 --profile spike:rate=150 \\
+        --trace-requests --slo --debug-bundle out/bundle
     repro loadgen --url http://127.0.0.1:8080 --profile spike:rate=150
 
 (``repro`` is the installed console script for this module; see
@@ -44,14 +47,32 @@ def _cmd_list() -> int:
     return 0
 
 
+def _args_config(args: argparse.Namespace) -> dict:
+    """The resolved invocation as a JSON-safe dict (bundle config.json)."""
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if not key.startswith("_")
+    }
+
+
 @contextlib.contextmanager
 def _session(
-    faults: Optional[str], telemetry_path: Optional[str]
+    faults: Optional[str],
+    telemetry_path: Optional[str],
+    bundle_dir: Optional[str] = None,
+    bundle_config: Optional[dict] = None,
+    bundle_report: Optional[dict] = None,
 ) -> Iterator[Optional[Telemetry]]:
     """Install the scoped fault-plan/telemetry defaults for one command.
 
     On exit the telemetry dump is written to ``telemetry_path`` and both
     process-wide defaults are restored to whatever they were before.
+    ``--debug-bundle`` implies telemetry: when ``bundle_dir`` is given a
+    registry is installed even without ``--telemetry``, and the bundle
+    (dump + metrics + config + report) is exported on exit.
+    ``bundle_report`` may be filled by the command body after the yield;
+    it is read only at export time.
     """
     with contextlib.ExitStack() as stack:
         if faults is not None:
@@ -59,16 +80,28 @@ def _session(
             stack.enter_context(fault_plan_session(plan))
             print(f"fault plan in force: {plan.counts()}")
         telemetry: Optional[Telemetry] = None
-        if telemetry_path is not None:
+        if telemetry_path is not None or bundle_dir is not None:
             telemetry = Telemetry()
             stack.enter_context(telemetry_session(telemetry))
         try:
             yield telemetry
         finally:
-            if telemetry is not None and telemetry_path is not None:
+            if telemetry is not None:
                 telemetry.tracer.finish_all()
-                count = export_telemetry(telemetry, telemetry_path)
-                print(f"telemetry: {count} records -> {telemetry_path}")
+                if telemetry_path is not None:
+                    count = export_telemetry(telemetry, telemetry_path)
+                    print(f"telemetry: {count} records -> {telemetry_path}")
+                if bundle_dir is not None:
+                    from repro.telemetry.bundle import write_debug_bundle
+
+                    manifest = write_debug_bundle(
+                        telemetry,
+                        bundle_dir,
+                        config=bundle_config,
+                        report=bundle_report if bundle_report else None,
+                    )
+                    files = manifest["files"]
+                    print(f"debug bundle: {len(files)} files -> {bundle_dir}")
 
 
 def _cmd_run(
@@ -77,6 +110,7 @@ def _cmd_run(
     save_dir: Optional[str] = None,
     faults: Optional[str] = None,
     telemetry_path: Optional[str] = None,
+    bundle_dir: Optional[str] = None,
 ) -> int:
     if experiment_ids == ["all"]:
         experiment_ids = [spec.experiment_id for spec in registry.list_experiments()]
@@ -84,7 +118,20 @@ def _cmd_run(
     if save_dir is not None:
         out_dir = Path(save_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
-    with _session(faults, telemetry_path):
+    bundle_config = {
+        "command": "run",
+        "ids": list(experiment_ids),
+        "fast": fast,
+        "faults": faults,
+    }
+    bundle_report: dict = {}
+    with _session(
+        faults,
+        telemetry_path,
+        bundle_dir=bundle_dir,
+        bundle_config=bundle_config,
+        bundle_report=bundle_report,
+    ):
         for experiment_id in experiment_ids:
             try:
                 spec = registry.get(experiment_id)
@@ -96,6 +143,7 @@ def _cmd_run(
             with experiment_telemetry(spec.experiment_id):
                 result = spec.runner(fast=fast)
             report = result.format_report()
+            bundle_report.setdefault("experiments", []).append(spec.experiment_id)
             print(report)
             print(f"-- completed in {time.time() - started:.1f}s\n")
             if out_dir is not None:
@@ -114,6 +162,20 @@ def _cmd_report(path: str, window: int) -> int:
         print(f"no such telemetry dump: {path}", file=sys.stderr)
         return 2
     print(render_report(str(target), window=window))
+    return 0
+
+
+def _cmd_explain(path: str, max_details: int) -> int:
+    """Explain a run from its audit trail: planner decisions with
+    predicted-vs-actual load, SLO burn-rate alerts, per-node shedding
+    and request-trace counts."""
+    from repro.telemetry.report import render_explain
+
+    target = Path(path)
+    if not target.exists():
+        print(f"no such telemetry dump or bundle: {path}", file=sys.stderr)
+        return 2
+    print(render_explain(str(target), max_details=max_details))
     return 0
 
 
@@ -137,7 +199,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.compare is not None:
         bench_argv.extend(["--compare", args.compare])
         bench_argv.extend(["--tolerance", str(args.tolerance)])
-    with _session(args.faults, args.telemetry):
+    with _session(
+        args.faults,
+        args.telemetry,
+        bundle_dir=args.debug_bundle,
+        bundle_config=_args_config(args),
+    ):
         return bench_main(bench_argv)
 
 
@@ -169,6 +236,42 @@ def _parse_spar_spec(spec: Optional[str], interval_seconds: float) -> dict:
         "n_recent": options["recent"],
         "max_horizon": min(options["horizon"], options["period"]),
     }
+
+
+def _parse_slo_spec(spec: str):
+    """Parse ``objective=...,latency=...,fast=...,slow=...,burn=...,
+    samples=...`` into an :class:`~repro.telemetry.slo.SLOConfig`
+    (empty = defaults)."""
+    from repro.errors import ConfigurationError
+    from repro.telemetry.slo import SLOConfig
+
+    keys = {
+        "objective": "objective",
+        "latency": "latency_threshold_ms",
+        "fast": "fast_window_s",
+        "slow": "slow_window_s",
+        "burn": "burn_threshold",
+        "samples": "min_samples",
+    }
+    kwargs = {}
+    if spec:
+        for token in spec.split(","):
+            key, eq, value = token.partition("=")
+            key = key.strip()
+            if not eq or key not in keys:
+                raise ConfigurationError(
+                    f"bad --slo token {token!r}; keys: {', '.join(keys)}"
+                )
+            try:
+                parsed = float(value)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"--slo {key} must be a number, got {value!r}"
+                ) from exc
+            kwargs[keys[key]] = (
+                int(parsed) if keys[key] == "min_samples" else parsed
+            )
+    return SLOConfig(**kwargs)
 
 
 def _build_serve_engine(args: argparse.Namespace, telemetry: Telemetry):
@@ -214,6 +317,8 @@ def _build_serve_engine(args: argparse.Namespace, telemetry: Telemetry):
         controller=controller,
         seed=args.seed,
         telemetry=telemetry,
+        trace_requests=args.trace_requests,
+        slo=_parse_slo_spec(args.slo) if args.slo is not None else None,
     )
 
 
@@ -226,6 +331,15 @@ def _print_serve_outcome(engine, report) -> None:
         f"{health['moves_started']} | completed {health['moves_completed']} | "
         f"peak node queue {health['max_node_queue_seconds']}s"
     )
+    if engine.slo_monitor is not None:
+        state = engine.slo_monitor.status()
+        firing = " (FIRING)" if state["alerting"] else ""
+        print(
+            f"SLO {state['objective']:.3%}: good fraction "
+            f"{state['good_fraction']:.3%} | burn fast/slow "
+            f"{state['fast_burn']:.2f}/{state['slow_burn']:.2f} | "
+            f"alerts fired {state['alerts_fired']}{firing}"
+        )
     log = getattr(engine.controller, "decision_log", None)
     if log:
         print("decisions:")
@@ -241,7 +355,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServeSession
     from repro.serve.loadgen import parse_profile
 
-    with _session(args.faults, args.telemetry) as session_telemetry:
+    bundle_report: dict = {}
+    with _session(
+        args.faults,
+        args.telemetry,
+        bundle_dir=args.debug_bundle,
+        bundle_config=_args_config(args),
+        bundle_report=bundle_report,
+    ) as session_telemetry:
         # /metrics needs a registry even without --telemetry.
         telemetry = session_telemetry if session_telemetry is not None else Telemetry()
         engine = _build_serve_engine(args, telemetry)
@@ -284,6 +405,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             report = app.loadgen_report
         _print_serve_outcome(engine, report)
+        bundle_report.update(report.summary())
+        bundle_report.update(engine.healthz())
         moves = engine.moves_completed
         print(f"reconfigurations completed: {moves}")
         if args.require_moves and moves < args.require_moves:
@@ -302,7 +425,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.serve.http import run_loadgen_client
     from repro.serve.loadgen import parse_profile
 
-    with _session(args.faults, args.telemetry):
+    with _session(
+        args.faults,
+        args.telemetry,
+        bundle_dir=args.debug_bundle,
+        bundle_config=_args_config(args),
+    ):
         arrivals = parse_profile(args.profile, args.duration, seed=args.seed)
         print(
             f"firing {len(arrivals)} arrivals over {args.duration:.0f}s "
@@ -333,6 +461,13 @@ def _add_session_flags(parser: argparse.ArgumentParser) -> None:
              "(.jsonl = full dump, .csv = tick table; see "
              "docs/OBSERVABILITY.md)",
     )
+    parser.add_argument(
+        "--debug-bundle", metavar="DIR", default=None,
+        help="export a reproducible debug bundle (telemetry dump, "
+             "Prometheus snapshot, config, report, manifest) to DIR; "
+             "implies telemetry recording.  Inspect with "
+             "'repro.cli explain DIR'",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -361,6 +496,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     report_parser.add_argument(
         "--window", type=int, default=0,
         help="forecast samples per error window (0 = auto, <= 12 windows)",
+    )
+
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="explain a run's planner decisions, SLO alerts and shedding "
+             "from a telemetry dump or --debug-bundle directory",
+    )
+    explain_parser.add_argument(
+        "path", help="JSONL dump or debug-bundle directory"
+    )
+    explain_parser.add_argument(
+        "--max-details", type=int, default=5,
+        help="decision-detail blocks to render (most recent first)",
     )
 
     bench_parser = subparsers.add_parser(
@@ -449,6 +597,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the HTTP transport: run the deterministic virtual-"
              "clock session only (requires --duration)",
     )
+    serve_parser.add_argument(
+        "--trace-requests", action="store_true",
+        help="record a span tree per request (admission decision, queue "
+             "estimate, concurrent migration) on the telemetry tracer",
+    )
+    serve_parser.add_argument(
+        "--slo", nargs="?", const="", default=None, metavar="SPEC",
+        help="enable burn-rate SLO monitoring; SPEC e.g. "
+             "'objective=0.999,latency=500,fast=300,slow=3600,burn=10' "
+             "(bare --slo uses those defaults)",
+    )
     _add_session_flags(serve_parser)
 
     loadgen_parser = subparsers.add_parser(
@@ -467,13 +626,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "report":
         return _cmd_report(args.path, args.window)
+    if args.command == "explain":
+        return _cmd_explain(args.path, args.max_details)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
-    return _cmd_run(args.ids, args.fast, args.save, args.faults, args.telemetry)
+    return _cmd_run(
+        args.ids, args.fast, args.save, args.faults, args.telemetry,
+        args.debug_bundle,
+    )
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.audit import DecisionAudit, audit_event_fields
 from repro.core.params import SystemParameters
 from repro.core.policy import PredictivePolicy
 from repro.errors import ConfigurationError, MigrationError
@@ -258,7 +259,22 @@ class PredictiveController:
         if tel is not None:
             tel.gauge("controller.predicted_rate").set(self._pending_forecast)
 
-        decision = self.policy.decide(load, current)
+        audit = DecisionAudit() if tel is not None else None
+        decision = self.policy.decide(load, current, audit=audit)
+        if tel is not None and audit is not None:
+            tel.counter("controller.replans").inc()
+            tel.event(
+                "audit",
+                sim.now,
+                **audit_event_fields(
+                    audit,
+                    interval=len(self.history) - 1,
+                    measured_rate=measured_rate,
+                    predicted_rate=self._pending_forecast,
+                    window_intervals=self.horizon,
+                    interval_seconds=interval_seconds,
+                ),
+            )
         if decision.target is None:
             return
         target = min(decision.target, cap)

@@ -179,6 +179,7 @@ class Planner:
         initial_machines: int,
         *,
         required_final_machines: Optional[int] = None,
+        candidates_out: Optional[List["PlanCandidate"]] = None,
     ) -> MovePlan:
         """Find the minimum-cost feasible series of moves (Algorithm 1).
 
@@ -188,6 +189,11 @@ class Planner:
             initial_machines: Machines allocated now (``N0``).
             required_final_machines: If given, force the plan to end with
                 exactly this many machines instead of the fewest feasible.
+            candidates_out: If given, receives one
+                :class:`~repro.core.audit.PlanCandidate` per candidate
+                final machine count with its DP cost (``inf`` when
+                infeasible) — the decision-audit trail.  Filled on the
+                infeasible path too, before the raise.
 
         Returns:
             A :class:`MovePlan` ordered by starting time whose moves tile
@@ -234,6 +240,14 @@ class Planner:
             candidates = [required_final_machines]
         else:
             candidates = range(1, z + 1)
+
+        if candidates_out is not None:
+            from repro.core.audit import PlanCandidate
+
+            candidates_out.extend(
+                PlanCandidate(final, float(cost[horizon][final]))
+                for final in candidates
+            )
 
         for final in candidates:
             if math.isfinite(cost[horizon][final]):

@@ -17,8 +17,16 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.audit import (
+    REASON_FALLBACK,
+    REASON_MOVE,
+    REASON_PLATEAU,
+    REASON_RECEDING_HOLD,
+    REASON_SCALE_IN_PENDING,
+    DecisionAudit,
+)
 from repro.core.params import SystemParameters
-from repro.core.planner import Planner
+from repro.core.planner import MovePlan, Planner
 from repro.errors import ConfigurationError, InfeasiblePlanError
 
 
@@ -99,7 +107,28 @@ class PredictivePolicy:
             load[bad] = current
         return load
 
-    def decide(self, load: np.ndarray, current_machines: int) -> Decision:
+    @staticmethod
+    def _audit_plan(audit: DecisionAudit, plan: MovePlan) -> None:
+        """Record the chosen plan and the runner-up it beat."""
+        audit.chosen_machines = plan.final_machines
+        audit.plan_cost = plan.cost
+        audit.schedule = [str(move) for move in plan.coalesced()]
+        for candidate in audit.candidates:
+            if candidate.feasible and candidate.machines != plan.final_machines:
+                audit.runner_up = candidate
+                audit.rejection = (
+                    f"{candidate.machines} machines feasible at cost "
+                    f"{candidate.cost:g} vs {plan.cost:g} machine-intervals; "
+                    f"fewest-machines tie-break prefers {plan.final_machines}"
+                )
+                break
+
+    def decide(
+        self,
+        load: np.ndarray,
+        current_machines: int,
+        audit: Optional[DecisionAudit] = None,
+    ) -> Decision:
         """One planning cycle.
 
         Args:
@@ -108,6 +137,10 @@ class PredictivePolicy:
                 negative predictions are sanitized (see
                 :meth:`sanitize_forecast`).
             current_machines: Machines allocated now (no move in flight).
+            audit: Optional :class:`~repro.core.audit.DecisionAudit`
+                filled in place with what this cycle considered — the
+                candidate finals and costs, the chosen schedule and the
+                reason for the outcome.
 
         Returns:
             The :class:`Decision` for this cycle.
@@ -120,34 +153,61 @@ class PredictivePolicy:
             # Every interval of the horizon needs exactly the current
             # machine count; "hold" is provably optimal.
             self._scale_in_votes = 0
+            if audit is not None:
+                audit.reason = REASON_PLATEAU
+                audit.chosen_machines = current_machines
             return Decision(target=None)
 
         self.plans_computed += 1
+        candidates: Optional[list] = [] if audit is not None else None
         try:
-            plan = self.planner.best_moves(load, current_machines)
-        except InfeasiblePlanError:
+            plan = self.planner.best_moves(
+                load, current_machines, candidates_out=candidates
+            )
+        except InfeasiblePlanError as exc:
             # Unpredicted spike (Section 4.3.1): reactively scale out to
             # the needed size.
             self.fallback_scale_outs += 1
             self._scale_in_votes = 0
             target = self._clamp(needed_max)
+            if audit is not None:
+                audit.reason = REASON_FALLBACK
+                audit.candidates = candidates or []
+                audit.infeasible_detail = str(exc)
+                audit.chosen_machines = target
+                audit.target = None if target == current_machines else target
             if target == current_machines:
                 return Decision(target=None, fallback=True, planned=True)
             return Decision(target=target, fallback=True, planned=True)
+
+        if audit is not None:
+            audit.candidates = candidates or []
+            self._audit_plan(audit, plan)
 
         first = plan.first_real_move()
         if first is None or first.start > 0:
             # Hold, or the move is scheduled for later: re-plan next
             # cycle with fresher predictions (receding horizon).
             self._scale_in_votes = 0
+            if audit is not None:
+                audit.reason = REASON_RECEDING_HOLD
             return Decision(target=None, planned=True)
 
         if first.after < current_machines:
             self._scale_in_votes += 1
             if self._scale_in_votes < self.scale_in_confirmations:
+                if audit is not None:
+                    audit.reason = REASON_SCALE_IN_PENDING
+                    audit.scale_in_votes = self._scale_in_votes
                 return Decision(target=None, planned=True)
             self._scale_in_votes = 0
+            if audit is not None:
+                audit.reason = REASON_MOVE
+                audit.target = self._clamp(first.after)
             return Decision(target=self._clamp(first.after), planned=True)
 
         self._scale_in_votes = 0
+        if audit is not None:
+            audit.reason = REASON_MOVE
+            audit.target = self._clamp(first.after)
         return Decision(target=self._clamp(first.after), planned=True)

@@ -305,6 +305,17 @@ class EngineSimulator:
     def moves_started(self) -> int:
         return self._moves_started
 
+    @property
+    def migration_span_id(self) -> Optional[int]:
+        """Span id of the in-flight migration, if one is being traced —
+        request traces carry it so overlapping requests can be joined
+        against the reconfiguration they rode through."""
+        return (
+            self._migration_span.span_id
+            if self._migration_span is not None
+            else None
+        )
+
     # ------------------------------------------------------------------
     # Fault handling (repro.faults; recovery semantics in
     # docs/ROBUSTNESS.md)

@@ -29,6 +29,7 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.telemetry import Telemetry
+from repro.telemetry.metrics import labeled
 
 
 @dataclass(frozen=True)
@@ -97,17 +98,21 @@ class AdmissionController:
                 delay, including requests already admitted this tick.
         """
         limit = self.config.queue_limit_seconds
+        tel = self.telemetry
         if est_queue_seconds <= limit:
             self.accepted += 1
-            if self.telemetry is not None:
-                self.telemetry.counter("serve.admitted").inc()
+            if tel is not None:
+                tel.counter("serve.admitted").inc()
+                tel.counter(labeled("serve.admit.accepted", node=node_id)).inc()
             return AdmissionDecision(True, node_id, est_queue_seconds)
         self.rejected += 1
         retry_after = max(
             self.config.retry_after_floor_s, est_queue_seconds - limit
         )
-        if self.telemetry is not None:
-            self.telemetry.counter("serve.rejected").inc()
+        if tel is not None:
+            tel.counter("serve.rejected").inc()
+            tel.counter(labeled("serve.admit.shed", node=node_id)).inc()
+            tel.gauge("serve.admit.retry_after_s").set(retry_after)
         return AdmissionDecision(False, node_id, est_queue_seconds, retry_after)
 
     @property

@@ -27,6 +27,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.audit import DecisionAudit, audit_event_fields
 from repro.core.controller import ControllerDecision
 from repro.core.params import SystemParameters
 from repro.core.policy import PredictivePolicy
@@ -93,6 +94,11 @@ class OnlineControlLoop:
         self.intervals_observed = 0
         self.decision_log: List[ControllerDecision] = []
         self._expected_machines: Optional[int] = None
+        #: Last cycle's one-interval-ahead forecast (raw txn/s), scored
+        #: against the next measured interval as a ``forecast`` event —
+        #: the predicted-vs-actual feedback ``repro.cli explain`` joins
+        #: with the audit trail.
+        self._pending_forecast: Optional[float] = None
 
     # ------------------------------------------------------------------
     @property
@@ -144,7 +150,21 @@ class OnlineControlLoop:
         self.intervals_observed += 1
 
         refitted = self.online.observe(interval_count)
+        interval_seconds = self.params.interval_seconds
+        measured_rate = interval_count / interval_seconds
         tel = sim.telemetry
+        if tel is not None:
+            tel.gauge("control.measured_rate").set(measured_rate)
+            if self._pending_forecast is not None:
+                tel.event(
+                    "forecast",
+                    sim.now,
+                    interval=self.intervals_observed - 1,
+                    predicted=self._pending_forecast,
+                    actual=measured_rate,
+                )
+                tel.counter("control.forecasts_scored").inc()
+        self._pending_forecast = None
         if refitted and tel is not None:
             tel.counter("control.refits").inc()
             tel.event(
@@ -156,8 +176,6 @@ class OnlineControlLoop:
 
         if sim.migration_active:
             return
-        interval_seconds = self.params.interval_seconds
-        measured_rate = interval_count / interval_seconds
         current = sim.machines_allocated
         if self._expected_machines is not None and current != self._expected_machines:
             # The machine set changed under us (crash, aborted move):
@@ -184,7 +202,24 @@ class OnlineControlLoop:
         load = np.empty(self.horizon + 1)
         load[0] = measured_rate
         load[1:] = (forecast_counts / interval_seconds) * (1.0 + self.inflation)
-        decision = self.policy.decide(load, current)
+        self._pending_forecast = float(forecast_counts[0]) / interval_seconds
+        audit = DecisionAudit() if tel is not None else None
+        decision = self.policy.decide(load, current, audit=audit)
+        if tel is not None and audit is not None:
+            tel.gauge("control.predicted_rate").set(self._pending_forecast)
+            tel.counter("control.replans").inc()
+            tel.event(
+                "audit",
+                sim.now,
+                **audit_event_fields(
+                    audit,
+                    interval=self.intervals_observed - 1,
+                    measured_rate=measured_rate,
+                    predicted_rate=self._pending_forecast,
+                    window_intervals=self.horizon,
+                    interval_seconds=interval_seconds,
+                ),
+            )
         if decision.target is None:
             return
         target = min(decision.target, cap)

@@ -36,6 +36,8 @@ from repro.errors import ConfigurationError
 from repro.faults.injector import FaultInjector
 from repro.serve.admission import AdmissionConfig, AdmissionController, AdmissionDecision
 from repro.telemetry import Telemetry, resolve_telemetry
+from repro.telemetry.requesttrace import RequestTracer, TraceContext
+from repro.telemetry.slo import SLOConfig, SLOMonitor
 
 
 @dataclass(frozen=True)
@@ -51,6 +53,7 @@ class TxnOutcome:
             rejects — they fail fast).
         latency_ms: Sampled service latency (0 for rejects).
         retry_after_s: Backoff hint carried by rejects.
+        trace_id: Request trace id when tracing is enabled, else None.
     """
 
     accepted: bool
@@ -60,6 +63,7 @@ class TxnOutcome:
     completed_at: float
     latency_ms: float
     retry_after_s: float = 0.0
+    trace_id: Optional[int] = None
 
 
 OnComplete = Callable[[TxnOutcome], None]
@@ -81,6 +85,13 @@ class ServerEngine:
             PredictiveController`, :class:`~repro.serve.control.
             OnlineControlLoop`, ...).
         seed: Seed for routing and latency sampling.
+        trace_requests: Record a per-request span tree on the telemetry
+            tracer (requires enabled telemetry).  Tracing never touches
+            the routing/latency RNG, so engine results are bit-identical
+            with it on or off.
+        slo: Enable burn-rate SLO monitoring with this configuration;
+            the monitor's state shows up on ``/healthz`` (a firing
+            alert degrades the status) and in the run reports.
     """
 
     def __init__(
@@ -95,6 +106,8 @@ class ServerEngine:
         migration_config: Optional[MigrationConfig] = None,
         fault_injector: Optional[FaultInjector] = None,
         telemetry: Optional[Telemetry] = None,
+        trace_requests: bool = False,
+        slo: Optional[SLOConfig] = None,
     ) -> None:
         config = engine_config or EngineConfig()
         ticks = slot_seconds / config.dt_seconds
@@ -114,8 +127,19 @@ class ServerEngine:
         self.monitor = LoadMonitor(slot_seconds)
         self.controller = controller
         self.admission = AdmissionController(admission, self.telemetry)
+        if trace_requests and self.telemetry is None:
+            raise ConfigurationError(
+                "trace_requests needs telemetry enabled on the engine"
+            )
+        self.request_tracer: Optional[RequestTracer] = (
+            RequestTracer(self.telemetry) if trace_requests else None
+        )
+        self.slo_monitor: Optional[SLOMonitor] = (
+            SLOMonitor(slo, self.telemetry) if slo is not None else None
+        )
         self._rng = np.random.default_rng(seed)
-        self._pending: List[Tuple[int, float, Optional[OnComplete]]] = []
+        # (node, submitted_at, callback, trace triple or None)
+        self._pending: List[Tuple[int, float, Optional[OnComplete], Optional[tuple]]] = []
         self._pending_per_node = np.zeros(config.max_nodes)
         self._slot_index = 0
         self.ticks = 0
@@ -150,12 +174,15 @@ class ServerEngine:
         on_complete: Optional[OnComplete] = None,
         *,
         now: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> AdmissionDecision:
         """Route and admit (or shed) one transaction.
 
         Accepted requests complete on the next :meth:`tick`; rejected
         ones complete immediately.  ``on_complete`` receives the
-        :class:`TxnOutcome` either way.
+        :class:`TxnOutcome` either way.  ``trace`` carries the context
+        minted at the edge (loadgen/HTTP); when tracing is on and none
+        is supplied, one is minted here with origin ``engine``.
         """
         submitted_at = self.sim.now if now is None else float(now)
         partition = self.route()
@@ -165,9 +192,30 @@ class ServerEngine:
             self._node_queue[node_id] + self._pending_per_node[node_id] / rate
         )
         decision = self.admission.decide(node_id, estimate)
+
+        trace_id: Optional[int] = None
+        trace_entry: Optional[tuple] = None
+        tracer = self.request_tracer
+        if tracer is not None:
+            ctx = trace if trace is not None else tracer.mint()
+            trace_id = ctx.trace_id
+            root = tracer.begin_request(
+                ctx,
+                submitted_at,
+                node=node_id,
+                partition=partition,
+                queue_estimate=estimate,
+                migration_span_id=self.sim.migration_span_id,
+            )
+            if decision.accepted:
+                serve_span = tracer.record_admitted(root, submitted_at)
+                trace_entry = (trace_id, root, serve_span)
+            else:
+                tracer.record_shed(root, submitted_at, decision.retry_after_s)
+
         if decision.accepted:
             self._pending_per_node[node_id] += 1.0
-            self._pending.append((node_id, submitted_at, on_complete))
+            self._pending.append((node_id, submitted_at, on_complete, trace_entry))
         else:
             self.rejected_last_tick += 1
             if on_complete is not None:
@@ -180,6 +228,7 @@ class ServerEngine:
                         completed_at=submitted_at,
                         latency_ms=0.0,
                         retry_after_s=decision.retry_after_s,
+                        trace_id=trace_id,
                     )
                 )
         return decision
@@ -203,19 +252,33 @@ class ServerEngine:
 
         record = self.sim.step(admitted / dt)
         tel = self.telemetry
+        slo = self.slo_monitor
+        slo_good = 0
+        slo_bad = rejected  # a 503 burns budget like an over-SLA reply
 
         if admitted:
             uniforms = self._rng.random(admitted)
             latencies_s = sample_latencies(self.sim.last_latency_components, uniforms)
             latency_hist = tel.histogram("serve.latency_ms") if tel is not None else None
-            for (node_id, submitted_at, on_complete), latency_s in zip(
+            tracer = self.request_tracer
+            for (node_id, submitted_at, on_complete, trace_entry), latency_s in zip(
                 pending, latencies_s
             ):
                 latency_ms = float(latency_s) * 1000.0
+                completed_at = submitted_at + float(latency_s)
                 self.completed += 1
                 self.latency_sum_ms += latency_ms
                 if latency_hist is not None:
                     latency_hist.observe(latency_ms)
+                if slo is not None:
+                    if slo.classify(latency_ms):
+                        slo_good += 1
+                    else:
+                        slo_bad += 1
+                trace_id: Optional[int] = None
+                if trace_entry is not None and tracer is not None:
+                    trace_id, root, serve_span = trace_entry
+                    tracer.finish_served(root, serve_span, completed_at, latency_ms)
                 if on_complete is not None:
                     on_complete(
                         TxnOutcome(
@@ -223,10 +286,16 @@ class ServerEngine:
                             status=200,
                             node_id=node_id,
                             submitted_at=submitted_at,
-                            completed_at=submitted_at + float(latency_s),
+                            completed_at=completed_at,
                             latency_ms=latency_ms,
+                            trace_id=trace_id,
                         )
                     )
+
+        if slo is not None:
+            # Empty ticks still advance the windows (alerts must resolve
+            # once the errors age out, even with no traffic).
+            slo.observe(self.sim.now, slo_good, slo_bad)
 
         self.ticks += 1
         self._refresh_routing()
@@ -267,12 +336,20 @@ class ServerEngine:
         return self.latency_sum_ms / self.completed if self.completed else 0.0
 
     def healthz(self) -> Dict[str, object]:
-        """Liveness/readiness snapshot for the ``/healthz`` endpoint."""
+        """Liveness/readiness snapshot for the ``/healthz`` endpoint.
+
+        A firing SLO burn-rate alert reports ``degraded`` — it outranks
+        ``shedding`` because it means user-visible error budget is
+        burning, not merely that backpressure is engaged.
+        """
         overloaded = (
             float(self._node_queue.max()) > self.admission.config.queue_limit_seconds
         )
-        return {
-            "status": "shedding" if overloaded else "ok",
+        status = "shedding" if overloaded else "ok"
+        if self.slo_monitor is not None and self.slo_monitor.alerting:
+            status = "degraded"
+        health: Dict[str, object] = {
+            "status": status,
             "now": self.sim.now,
             "machines": self.sim.machines_allocated,
             "migration_active": self.sim.migration_active,
@@ -284,3 +361,6 @@ class ServerEngine:
             "moves_completed": self.moves_completed,
             "max_node_queue_seconds": round(self.max_node_queue_seconds, 3),
         }
+        if self.slo_monitor is not None:
+            health["slo"] = self.slo_monitor.status()
+        return health

@@ -121,7 +121,9 @@ class ServeApp:
         ):
             when = float(self._arrivals[self._arrival_index])
             self._arrival_index += 1
-            self.engine.submit(self.loadgen_report.record, now=when)
+            tracer = self.engine.request_tracer
+            trace = tracer.mint("loadgen") if tracer is not None else None
+            self.engine.submit(self.loadgen_report.record, now=when, trace=trace)
 
     async def _ticker(self) -> None:
         dt = self.engine.sim.config.dt_seconds
@@ -190,7 +192,9 @@ class ServeApp:
             if not future.done():
                 future.set_result(outcome)
 
-        self.engine.submit(complete, now=self.engine.now)
+        tracer = self.engine.request_tracer
+        trace = tracer.mint("http") if tracer is not None else None
+        self.engine.submit(complete, now=self.engine.now, trace=trace)
         # The tick that resolves the future may never come if the run
         # ends first — race it against the stop event.
         stop_waiter = asyncio.ensure_future(self._stop.wait())
@@ -202,22 +206,23 @@ class ServeApp:
         stop_waiter.cancel()
         outcome = future.result()
         if outcome.accepted:
-            body = json.dumps(
-                {
-                    "status": "ok",
-                    "latency_ms": round(outcome.latency_ms, 3),
-                    "node": outcome.node_id,
-                    "submitted_at": outcome.submitted_at,
-                }
-            )
-            return _http_response(200, body)
-        body = json.dumps(
-            {
-                "status": "shed",
-                "retry_after_s": outcome.retry_after_s,
+            payload: Dict[str, object] = {
+                "status": "ok",
+                "latency_ms": round(outcome.latency_ms, 3),
                 "node": outcome.node_id,
+                "submitted_at": outcome.submitted_at,
             }
-        )
+            if outcome.trace_id is not None:
+                payload["trace_id"] = outcome.trace_id
+            return _http_response(200, json.dumps(payload))
+        shed: Dict[str, object] = {
+            "status": "shed",
+            "retry_after_s": outcome.retry_after_s,
+            "node": outcome.node_id,
+        }
+        if outcome.trace_id is not None:
+            shed["trace_id"] = outcome.trace_id
+        body = json.dumps(shed)
         return _http_response(
             503, body,
             extra_headers={"Retry-After": str(int(outcome.retry_after_s) + 1)},

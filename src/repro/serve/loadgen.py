@@ -270,5 +270,7 @@ class LoadGenerator:
 
     def _fire(self) -> None:
         self._next += 1
-        self.engine.submit(self.report.record, now=self.clock.now)
+        tracer = self.engine.request_tracer
+        trace = tracer.mint("loadgen") if tracer is not None else None
+        self.engine.submit(self.report.record, now=self.clock.now, trace=trace)
         self._schedule_next()

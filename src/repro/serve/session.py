@@ -85,6 +85,16 @@ class ServeSession:
             f"{health['moves_started']} | completed {health['moves_completed']}",
             f"peak node queue: {health['max_node_queue_seconds']}s",
         ]
+        slo = self.engine.slo_monitor
+        if slo is not None:
+            state = slo.status()
+            lines.append(
+                f"SLO {state['objective']:.3%}: good fraction "
+                f"{state['good_fraction']:.3%} | burn fast/slow "
+                f"{state['fast_burn']:.2f}/{state['slow_burn']:.2f} | "
+                f"alerts fired {state['alerts_fired']}"
+                + (" (FIRING)" if state["alerting"] else "")
+            )
         controller = self.engine.controller
         log = getattr(controller, "decision_log", None)
         if log:

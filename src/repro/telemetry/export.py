@@ -130,34 +130,71 @@ def _prom_name(name: str) -> str:
     )
 
 
+def _label_suffix(labels, extra: str = "") -> str:
+    """Render ``((key, value), ...)`` (plus an optional pre-formatted
+    ``extra`` pair such as ``le="..."``) as a ``{...}`` sample suffix."""
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
 def render_prometheus(telemetry: "Telemetry") -> str:
     """Render the metrics registry in Prometheus text exposition format.
 
     Counters and gauges become single samples; histograms become the
     conventional cumulative ``_bucket{le=...}`` series plus ``_sum`` and
-    ``_count``.  Traces and the timeline are not exposed here — they are
-    run-scoped artifacts, exported via JSONL instead.
+    ``_count``.  Registry names carrying canonical labels (see
+    :func:`repro.telemetry.metrics.labeled`) are emitted as real
+    ``{node="..."}``-labelled samples of one family — one ``# TYPE``
+    line per family, series sorted by label values, so the output stays
+    byte-stable across runs.  Traces and the timeline are not exposed
+    here — they are run-scoped artifacts, exported via JSONL instead.
     """
+    from repro.telemetry.metrics import split_labels
+
     metrics = telemetry.metrics
     lines: List[str] = []
-    for _, counter in sorted(metrics.counters().items()):
-        name = _prom_name(counter.name) + "_total"
-        lines.append(f"# TYPE {name} counter")
-        lines.append(f"{name} {counter.value:g}")
-    for _, gauge in sorted(metrics.gauges().items()):
-        name = _prom_name(gauge.name)
-        lines.append(f"# TYPE {name} gauge")
-        lines.append(f"{name} {gauge.value:g}")
-    for _, histogram in sorted(metrics.histograms().items()):
-        name = _prom_name(histogram.name)
-        lines.append(f"# TYPE {name} histogram")
+
+    def emit(family_type: str, samples) -> None:
+        # samples: (prom base name, labels tuple, [(suffix, value), ...])
+        seen_type = None
+        for base, labels, series in sorted(samples, key=lambda s: (s[0], s[1])):
+            if base != seen_type:
+                lines.append(f"# TYPE {base} {family_type}")
+                seen_type = base
+            for name_suffix, label_extra, value in series:
+                suffix = _label_suffix(labels, label_extra)
+                lines.append(f"{base}{name_suffix}{suffix} {value}")
+
+    counters = []
+    for name, counter in metrics.counters().items():
+        base, labels = split_labels(name)
+        counters.append(
+            (_prom_name(base) + "_total", labels, [("", "", f"{counter.value:g}")])
+        )
+    emit("counter", counters)
+
+    gauges = []
+    for name, gauge in metrics.gauges().items():
+        base, labels = split_labels(name)
+        gauges.append((_prom_name(base), labels, [("", "", f"{gauge.value:g}")]))
+    emit("gauge", gauges)
+
+    histograms = []
+    for name, histogram in metrics.histograms().items():
+        base, labels = split_labels(name)
+        series = []
         cumulative = 0
         for bound, count in zip(histogram.buckets, histogram.counts):
             cumulative += count
-            lines.append(f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
-        lines.append(f'{name}_bucket{{le="+Inf"}} {histogram.count}')
-        lines.append(f"{name}_sum {histogram.total:g}")
-        lines.append(f"{name}_count {histogram.count}")
+            series.append(("_bucket", f'le="{bound:g}"', str(cumulative)))
+        series.append(("_bucket", 'le="+Inf"', str(histogram.count)))
+        series.append(("_sum", "", f"{histogram.total:g}"))
+        series.append(("_count", "", str(histogram.count)))
+        histograms.append((_prom_name(base), labels, series))
+    emit("histogram", histograms)
+
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -21,6 +21,40 @@ DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
 )
 
 
+def labeled(name: str, **labels: object) -> str:
+    """Canonical labelled-metric name: ``name{key="value",...}``.
+
+    The registry stores one metric per *full* name, so a labelled family
+    (``serve.admit.shed{node="2"}``) is just a naming convention — but a
+    canonical one: keys are sorted and values stringified, so the same
+    labels always produce the same registry key, and
+    :func:`repro.telemetry.export.render_prometheus` re-emits them as
+    real Prometheus labels instead of mangled flat names.
+    """
+    if not labels:
+        return name
+    if "{" in name:
+        raise ConfigurationError(f"metric {name!r} already carries labels")
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_labels(name: str) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    """Inverse of :func:`labeled`: ``(base_name, ((key, value), ...))``."""
+    base, brace, rest = name.partition("{")
+    if not brace:
+        return name, ()
+    if not rest.endswith("}"):
+        raise ConfigurationError(f"malformed labelled metric name {name!r}")
+    pairs = []
+    for token in rest[:-1].split(","):
+        key, eq, value = token.partition("=")
+        if not eq or not value.startswith('"') or not value.endswith('"'):
+            raise ConfigurationError(f"malformed label {token!r} in {name!r}")
+        pairs.append((key, value[1:-1]))
+    return base, tuple(pairs)
+
+
 @dataclass
 class Counter:
     """A monotone event count."""

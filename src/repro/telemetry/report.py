@@ -208,3 +208,158 @@ def render_report(path: str, window: int = 0) -> str:
     from repro.telemetry.export import read_jsonl
 
     return format_summary(summarize(read_jsonl(path), window=window))
+
+
+# ----------------------------------------------------------------------
+# Decision-audit explanation (``repro.cli explain``)
+# ----------------------------------------------------------------------
+def _fmt_rate(value: object) -> str:
+    return f"{float(value):.1f}" if value is not None else "-"
+
+
+def format_explain(dump: TelemetryDump, *, max_details: int = 5) -> str:
+    """Explain a run from its audit trail: every planner decision with
+    predicted-vs-actual load, the alternatives the DP weighed, SLO
+    burn-rate alerts and the per-node shed distribution.
+
+    The predicted/actual join: the ``audit`` event at interval ``i``
+    carries the one-ahead prediction for interval ``i + 1``; the
+    ``forecast`` event at interval ``i + 1`` scores that prediction
+    against the measurement, so each decision row shows what the
+    planner believed next to what actually arrived.
+    """
+    from repro.telemetry.metrics import split_labels
+
+    sections: List[str] = []
+    audits = dump.events_of("audit")
+    forecasts = {int(e["interval"]): e for e in dump.events_of("forecast")}
+
+    if audits:
+        rows = []
+        for event in audits:
+            interval = int(event["interval"])
+            scored = forecasts.get(interval + 1)
+            target = event.get("target")
+            rows.append(
+                (
+                    f"{float(event['t']):.0f}",
+                    interval,
+                    str(event.get("reason", "?")),
+                    _fmt_rate(event.get("measured_rate")),
+                    _fmt_rate(event.get("predicted_rate")),
+                    _fmt_rate(scored["actual"]) if scored else "-",
+                    "hold" if target is None else str(target),
+                )
+            )
+        sections.append(
+            format_table(
+                (
+                    "t s",
+                    "interval",
+                    "reason",
+                    "measured/s",
+                    "predicted/s",
+                    "actual/s",
+                    "action",
+                ),
+                rows,
+                title=f"Planner decisions ({len(audits)} replans audited)",
+            )
+        )
+
+        details = [
+            e
+            for e in audits
+            if e.get("target") is not None or e.get("reason") == "fallback"
+        ][-max_details:]
+        for event in details:
+            lines = [
+                f"Decision detail @ t={float(event['t']):.0f}s "
+                f"(interval {int(event['interval'])}, {event.get('reason')})"
+            ]
+            candidates = event.get("candidates") or []
+            if candidates:
+                shown = ", ".join(
+                    f"{c['machines']}m="
+                    + (f"{float(c['cost']):g}" if c.get("cost") is not None else "inf")
+                    for c in candidates
+                )
+                lines.append(f"  candidates (machine-intervals): {shown}")
+            for move in event.get("schedule") or []:
+                lines.append(f"  schedule: {move}")
+            if event.get("rejection"):
+                lines.append(f"  runner-up rejected: {event['rejection']}")
+            if event.get("machine_hours_delta") is not None:
+                lines.append(
+                    "  machine-hours saved vs runner-up: "
+                    f"{float(event['machine_hours_delta']):.3f}"
+                )
+            if event.get("infeasible_detail"):
+                lines.append(f"  infeasible: {event['infeasible_detail']}")
+            sections.append("\n".join(lines))
+    else:
+        sections.append("Planner decisions\n(no audit events recorded)")
+
+    alerts = dump.events_of("slo_alert")
+    if alerts:
+        sections.append(
+            format_table(
+                ("t s", "state", "fast burn", "slow burn", "objective"),
+                [
+                    (
+                        f"{float(e['t']):.0f}",
+                        str(e.get("state", "?")),
+                        f"{float(e.get('fast_burn', 0.0)):.2f}",
+                        f"{float(e.get('slow_burn', 0.0)):.2f}",
+                        f"{float(e.get('objective', 0.0)):.3%}",
+                    )
+                    for e in alerts
+                ],
+                title="SLO burn-rate alerts",
+            )
+        )
+    else:
+        sections.append("SLO burn-rate alerts\n(none fired)")
+
+    shed_rows = []
+    for name, value in sorted(dump.counters.items()):
+        base, labels = split_labels(name)
+        if base == "serve.admit.shed":
+            node = dict(labels).get("node", "?")
+            accepted = dump.counters.get(
+                f'serve.admit.accepted{{node="{node}"}}', 0.0
+            )
+            shed_rows.append((node, int(value), int(accepted)))
+    if shed_rows:
+        sections.append(
+            format_table(
+                ("node", "shed", "accepted"),
+                shed_rows,
+                title="Admission by node",
+            )
+        )
+
+    requests = dump.spans_named("request")
+    if requests:
+        shed = sum(1 for s in requests if s.get("status") == "shed")
+        over_migration = sum(
+            1
+            for s in requests
+            if (s.get("attrs") or {}).get("migration_span") is not None
+        )
+        sections.append(
+            "Request traces\n"
+            f"  {len(requests)} traced requests | {shed} shed | "
+            f"{over_migration} overlapped a migration"
+        )
+
+    return "\n\n".join(sections)
+
+
+def render_explain(path: str, *, max_details: int = 5) -> str:
+    """Read a dump or debug bundle and render its explanation."""
+    from repro.telemetry.bundle import resolve_dump_path
+    from repro.telemetry.export import read_jsonl
+
+    dump = read_jsonl(resolve_dump_path(path))
+    return format_explain(dump, max_details=max_details)

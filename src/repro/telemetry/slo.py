@@ -1,0 +1,206 @@
+"""SLO burn-rate monitoring for the serving path.
+
+An SLO here is a *good-fraction* objective over served requests: a
+request is **good** when it is admitted and completes under the latency
+threshold; it is **bad** when it is shed or completes over the
+threshold.  The error budget is ``1 - objective`` (a 99.9% objective
+leaves a 0.1% budget), and the **burn rate** of a window is::
+
+    burn = (bad / total in window) / (1 - objective)
+
+Burn rate 1 means the budget is being consumed exactly as provisioned;
+burn rate 10 means ten times too fast.  Following the multi-window
+alerting idiom (Google SRE workbook), :class:`SLOMonitor` tracks a
+*fast* and a *slow* rolling window and fires only when **both** exceed
+the threshold — the fast window makes alerts responsive, the slow
+window keeps a transient blip from paging.  Alert transitions are
+emitted as telemetry ``slo_alert`` events; the current state is
+exported on ``/healthz`` (a firing alert degrades the health status)
+and in the run reports.
+
+The monitor runs on simulated time fed by the engine tick — no wall
+clock — so its alerts, like everything else in the telemetry layer,
+are deterministic and byte-reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Objective and alerting knobs.
+
+    Attributes:
+        objective: Target good fraction in ``(0, 1)`` (paper-flavoured
+            default: 99.9% of requests served under the SLA).
+        latency_threshold_ms: Latency bound defining a good request;
+            defaults to the paper's 500 ms SLA.
+        fast_window_s: Short alerting window, seconds.
+        slow_window_s: Long alerting window, seconds.
+        burn_threshold: Fire when *both* windows burn at or above this
+            multiple of the provisioned budget rate.
+        min_samples: Requests the slow window must contain before an
+            alert may fire.  At the start of a run (or under near-zero
+            traffic) both windows hold the same handful of requests and
+            a single bad one saturates them — the guard keeps that from
+            paging.
+    """
+
+    objective: float = 0.999
+    latency_threshold_ms: float = 500.0
+    fast_window_s: float = 300.0
+    slow_window_s: float = 3600.0
+    burn_threshold: float = 10.0
+    min_samples: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ConfigurationError("objective must be in (0, 1)")
+        if self.latency_threshold_ms <= 0:
+            raise ConfigurationError("latency_threshold_ms must be positive")
+        if self.fast_window_s <= 0 or self.slow_window_s <= 0:
+            raise ConfigurationError("SLO windows must be positive")
+        if self.fast_window_s > self.slow_window_s:
+            raise ConfigurationError(
+                "fast_window_s must not exceed slow_window_s"
+            )
+        if self.burn_threshold <= 0:
+            raise ConfigurationError("burn_threshold must be positive")
+        if self.min_samples < 1:
+            raise ConfigurationError("min_samples must be >= 1")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+
+class _Window:
+    """Rolling (t, good, bad) aggregate over the trailing ``seconds``."""
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+        self._samples: Deque[Tuple[float, int, int]] = deque()
+        self._good = 0
+        self._bad = 0
+
+    def add(self, t: float, good: int, bad: int) -> None:
+        self._samples.append((t, good, bad))
+        self._good += good
+        self._bad += bad
+        cutoff = t - self.seconds
+        while self._samples and self._samples[0][0] <= cutoff:
+            _, g, b = self._samples.popleft()
+            self._good -= g
+            self._bad -= b
+
+    def error_rate(self) -> float:
+        total = self._good + self._bad
+        return self._bad / total if total else 0.0
+
+    @property
+    def total(self) -> int:
+        return self._good + self._bad
+
+
+class SLOMonitor:
+    """Evaluates the burn rate each tick and tracks alert state.
+
+    Args:
+        config: Objective and window configuration.
+        telemetry: Optional handle; alert transitions become
+            ``slo_alert`` events and the burn rates live gauges.
+    """
+
+    def __init__(
+        self, config: Optional[SLOConfig] = None, telemetry: Optional[Telemetry] = None
+    ) -> None:
+        self.config = config or SLOConfig()
+        self.telemetry = telemetry
+        self._fast = _Window(self.config.fast_window_s)
+        self._slow = _Window(self.config.slow_window_s)
+        self.alerting = False
+        self.alerts_fired = 0
+        self.good_total = 0
+        self.bad_total = 0
+        self.fast_burn = 0.0
+        self.slow_burn = 0.0
+
+    # ------------------------------------------------------------------
+    def classify(self, latency_ms: float) -> bool:
+        """Good/bad verdict for one *completed* request."""
+        return latency_ms <= self.config.latency_threshold_ms
+
+    def observe(self, t: float, good: int, bad: int) -> None:
+        """Fold one tick's good/bad counts in and re-evaluate the alert.
+
+        Shed requests count as bad — from the client's point of view a
+        503 burns the budget exactly like an over-SLA completion.
+        """
+        self.good_total += good
+        self.bad_total += bad
+        self._fast.add(t, good, bad)
+        self._slow.add(t, good, bad)
+        budget = self.config.error_budget
+        self.fast_burn = self._fast.error_rate() / budget
+        self.slow_burn = self._slow.error_rate() / budget
+
+        tel = self.telemetry
+        if tel is not None:
+            tel.gauge("slo.fast_burn").set(round(self.fast_burn, 6))
+            tel.gauge("slo.slow_burn").set(round(self.slow_burn, 6))
+
+        threshold = self.config.burn_threshold
+        should_fire = (
+            self._slow.total >= self.config.min_samples
+            and self.fast_burn >= threshold
+            and self.slow_burn >= threshold
+        )
+        if should_fire and not self.alerting:
+            self.alerting = True
+            self.alerts_fired += 1
+            if tel is not None:
+                tel.counter("slo.alerts_fired").inc()
+                tel.event(
+                    "slo_alert",
+                    t,
+                    state="fire",
+                    fast_burn=round(self.fast_burn, 4),
+                    slow_burn=round(self.slow_burn, 4),
+                    objective=self.config.objective,
+                )
+        elif self.alerting and self.fast_burn < threshold:
+            # Resolve on the fast window alone: once the recent error
+            # rate is back under control the page should clear, even
+            # while the slow window still remembers the incident.
+            self.alerting = False
+            if tel is not None:
+                tel.event(
+                    "slo_alert",
+                    t,
+                    state="resolve",
+                    fast_burn=round(self.fast_burn, 4),
+                    slow_burn=round(self.slow_burn, 4),
+                    objective=self.config.objective,
+                )
+
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        """Current state for ``/healthz`` and the run reports."""
+        total = self.good_total + self.bad_total
+        return {
+            "objective": self.config.objective,
+            "good_fraction": (
+                round(self.good_total / total, 6) if total else 1.0
+            ),
+            "fast_burn": round(self.fast_burn, 4),
+            "slow_burn": round(self.slow_burn, 4),
+            "alerting": self.alerting,
+            "alerts_fired": self.alerts_fired,
+        }

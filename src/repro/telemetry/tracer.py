@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 
 @dataclass
@@ -36,6 +36,11 @@ class Span:
     end: Optional[float] = None
     status: str = "open"
     attrs: Dict[str, object] = field(default_factory=dict)
+    #: The owning tracer's sequence clock; lets :meth:`finish` close a
+    #: stepped span with no timestamp at a time *after* its start.
+    clock: Optional[Callable[[], float]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def closed(self) -> bool:
@@ -46,10 +51,18 @@ class Span:
         return (self.end - self.start) if self.end is not None else 0.0
 
     def finish(self, at: Optional[float] = None, status: str = "ok") -> "Span":
-        """Close the span (idempotent: a second finish is a no-op)."""
+        """Close the span (idempotent: a second finish is a no-op).
+
+        With no timestamp the span ends at the tracer's sequence clock
+        (clamped to never precede its own start, since spans started on
+        the simulated clock sit far ahead of the sequence counter); a
+        span created without a tracer falls back to its start.
+        """
         if self.closed:
             return self
-        self.end = self.start if at is None else float(at)
+        if at is None:
+            at = self.clock() if self.clock is not None else self.start
+        self.end = max(float(at), self.start)
         self.status = status
         return self
 
@@ -76,11 +89,15 @@ class Tracer:
         self._next_id = 1
         self._seq = 0.0
 
+    def _tick_clock(self) -> float:
+        """Advance and return the deterministic sequence clock."""
+        self._seq += 1.0
+        return self._seq
+
     def _timestamp(self, at: Optional[float]) -> float:
         if at is not None:
             return float(at)
-        self._seq += 1.0
-        return self._seq
+        return self._tick_clock()
 
     # ------------------------------------------------------------------
     def begin(self, name: str, at: Optional[float] = None, **attrs: object) -> Span:
@@ -93,10 +110,39 @@ class Tracer:
             parent_id=parent.span_id if parent else None,
             depth=len(self._stack),
             attrs=dict(attrs),
+            clock=self._tick_clock,
         )
         self._next_id += 1
         self.spans.append(span)
         self._stack.append(span)
+        return span
+
+    def begin_detached(
+        self,
+        name: str,
+        at: Optional[float] = None,
+        parent: Optional[Span] = None,
+        **attrs: object,
+    ) -> Span:
+        """Open a span with an *explicit* parent, off the nesting stack.
+
+        Request tracing needs this: hundreds of request spans are open
+        at once and interleave freely with the stepped migration span,
+        so stack-based nesting would attach them to whatever happens to
+        be in flight.  Detached spans are closed with
+        :meth:`Span.finish`; :meth:`end` and the stack never see them.
+        """
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            start=self._timestamp(at),
+            parent_id=parent.span_id if parent is not None else None,
+            depth=parent.depth + 1 if parent is not None else 0,
+            attrs=dict(attrs),
+            clock=self._tick_clock,
+        )
+        self._next_id += 1
+        self.spans.append(span)
         return span
 
     def end(self, span: Span, at: Optional[float] = None, status: str = "ok") -> Span:
@@ -133,12 +179,19 @@ class Tracer:
 
     def finish_all(self, at: Optional[float] = None) -> None:
         """Close every span still open (end of run / aborted run).  With
-        no timestamp each span ends at its own start: the tracer cannot
-        know how far the span's clock advanced."""
+        no timestamp each span ends at the sequence clock, clamped to its
+        own start — a simulated-time span the tracer cannot date reports
+        zero duration rather than a mixed-clock one."""
         while self._stack:
             top = self._stack.pop()
             top.finish(max(at, top.start) if at is not None else None,
                        status="abandoned")
+        for span in self.spans:
+            if not span.closed:  # detached request spans
+                span.finish(
+                    max(at, span.start) if at is not None else None,
+                    status="abandoned",
+                )
 
     def named(self, name: str) -> List[Span]:
         return [s for s in self.spans if s.name == name]
