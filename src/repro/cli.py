@@ -9,7 +9,7 @@ Usage::
     python -m repro.cli run fig9-elasticity --telemetry out.jsonl
     python -m repro.cli report out.jsonl
     python -m repro.cli explain out.jsonl
-    python -m repro.cli bench --quick --compare BENCH_2026-08-06.json
+    python -m repro.cli bench --quick --compare BENCH_2026-08-07.json
     repro serve --clock virtual --duration 3600 --profile poisson:rate=200
     repro serve --clock virtual --duration 3600 --profile spike:rate=150 \\
         --trace-requests --slo --debug-bundle out/bundle
@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import inspect
 import sys
 import time
 from pathlib import Path
@@ -111,6 +112,7 @@ def _cmd_run(
     faults: Optional[str] = None,
     telemetry_path: Optional[str] = None,
     bundle_dir: Optional[str] = None,
+    workers: int = 1,
 ) -> int:
     if experiment_ids == ["all"]:
         experiment_ids = [spec.experiment_id for spec in registry.list_experiments()]
@@ -140,8 +142,11 @@ def _cmd_run(
                 return 2
             started = time.time()
             print(f"== {spec.paper_reference}: {spec.title} ==")
+            kwargs = {"fast": fast}
+            if workers > 1 and "workers" in inspect.signature(spec.runner).parameters:
+                kwargs["workers"] = workers
             with experiment_telemetry(spec.experiment_id):
-                result = spec.runner(fast=fast)
+                result = spec.runner(**kwargs)
             report = result.format_report()
             bundle_report.setdefault("experiments", []).append(spec.experiment_id)
             print(report)
@@ -199,6 +204,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.compare is not None:
         bench_argv.extend(["--compare", args.compare])
         bench_argv.extend(["--tolerance", str(args.tolerance)])
+    if args.profile is not None:
+        bench_argv.extend(["--profile", args.profile])
+        bench_argv.extend(["--profile-lines", str(args.profile_lines)])
     with _session(
         args.faults,
         args.telemetry,
@@ -487,6 +495,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--save", metavar="DIR", default=None,
         help="also write each report to DIR/<id>.txt",
     )
+    run_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="shard independent sweep cells across this many processes "
+             "(experiments that support it; results identical to serial)",
+    )
     _add_session_flags(run_parser)
 
     report_parser = subparsers.add_parser(
@@ -531,6 +544,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench_parser.add_argument(
         "--tolerance", type=float, default=1.5,
         help="allowed median slowdown factor vs the baseline (default 1.5)",
+    )
+    bench_parser.add_argument(
+        "--profile", metavar="KERNEL", default=None,
+        help="profile one kernel with cProfile and print the hottest "
+             "functions (no timing run)",
+    )
+    bench_parser.add_argument(
+        "--profile-lines", type=int, default=25,
+        help="rows of pstats output with --profile (default 25)",
     )
     _add_session_flags(bench_parser)
 
@@ -636,7 +658,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_loadgen(args)
     return _cmd_run(
         args.ids, args.fast, args.save, args.faults, args.telemetry,
-        args.debug_bundle,
+        args.debug_bundle, args.workers,
     )
 
 

@@ -7,11 +7,21 @@ partitioning key; keys hash to virtual buckets; a
 nodes.  Within a node, a bucket maps deterministically to the local
 partition ``bucket % P``, so routing is a pure function of the key and
 the current plan.
+
+Hot state lives in flat numpy arrays (struct-of-arrays): node
+activity/failure flags, the bucket→node assignment and per-node bucket
+counts.  The :class:`~repro.engine.node.Node` objects in ``nodes`` are
+views over those arrays, and the immutable
+:class:`~repro.core.partition_plan.PartitionPlan` is materialised lazily
+from the assignment array — per-bucket flips during a migration round
+are O(1) array writes instead of O(num_buckets) plan rebuilds.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.core.partition_plan import DEFAULT_NUM_BUCKETS, PartitionPlan
 from repro.engine.hashing import Key
@@ -54,15 +64,14 @@ class Cluster:
         self.partitions_per_node = partitions_per_node
         self.num_buckets = num_buckets
         self.max_nodes = max_nodes
-        self.nodes: List[Node] = []
-        for node_id in range(max_nodes):
-            partitions = [
-                Partition(node_id * partitions_per_node + local, node_id, schema)
-                for local in range(partitions_per_node)
-            ]
-            self.nodes.append(
-                Node(node_id, partitions, active=node_id < initial_nodes)
-            )
+        # Struct-of-arrays node state; the Node objects below are views.
+        self._active = np.zeros(max_nodes, dtype=bool)
+        self._active[:initial_nodes] = True
+        self._failed = np.zeros(max_nodes, dtype=bool)
+        self._num_active = initial_nodes
+        self.nodes: List[Node] = [
+            Node(node_id, cluster=self) for node_id in range(max_nodes)
+        ]
         if partitioner is None:
             from repro.engine.partitioning import HashPartitioner
 
@@ -72,52 +81,66 @@ class Cluster:
                 "partitioner bucket count must match the cluster's num_buckets"
             )
         self.partitioner = partitioner
-        self.plan = PartitionPlan.balanced(initial_nodes, num_buckets)
-        self._bucket_counts = self._recount_buckets()
+        initial_plan = PartitionPlan.balanced(initial_nodes, num_buckets)
+        self._assignment = np.array(initial_plan.as_tuple(), dtype=np.int64)
+        self._plan_num_nodes = initial_plan.num_nodes
+        self._bucket_counts = np.bincount(self._assignment, minlength=max_nodes)
         self._routing_version = 0
-        self._node_weights_cache: "Optional[list[float]]" = None
+        self._plan_cache: Optional[PartitionPlan] = initial_plan
+        self._plan_cache_version = 0
+        self._node_weights_cache: Optional[np.ndarray] = None
         #: Telemetry handle, installed by the owning simulator (None when
         #: instrumentation is off; every use below guards on that).
         self.telemetry = None
 
-    def _recount_buckets(self) -> "list[int]":
-        counts = [0] * self.max_nodes
-        for bucket in range(self.num_buckets):
-            counts[self.plan.node_of(bucket)] += 1
-        return counts
+    def _build_partitions(self, node_id: int) -> List[Partition]:
+        """Materialise one node's Partition objects (lazy; see Node)."""
+        p = self.partitions_per_node
+        return [
+            Partition(node_id * p + local, node_id, self.schema)
+            for local in range(p)
+        ]
 
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
     @property
     def num_active_nodes(self) -> int:
-        return sum(1 for node in self.nodes if node.active)
+        return self._num_active
 
     def active_nodes(self) -> List[Node]:
-        return [node for node in self.nodes if node.active]
+        return [self.nodes[i] for i in np.flatnonzero(self._active)]
+
+    def _set_active_flag(self, node_id: int, active: bool) -> None:
+        """Write-through for the Node views: flips the flag and keeps the
+        active-node counter consistent.  No failed-state validation —
+        that belongs to :meth:`set_active`."""
+        if bool(self._active[node_id]) != active:
+            self._active[node_id] = active
+            self._num_active += 1 if active else -1
 
     def set_active(self, node_id: int, active: bool) -> None:
         if not 0 <= node_id < self.max_nodes:
             raise EngineError(f"node {node_id} out of range")
-        if active and self.nodes[node_id].failed:
+        if active and self._failed[node_id]:
             raise NodeFailedError(
                 f"node {node_id} has failed and cannot be activated"
             )
-        self.nodes[node_id].active = active
+        self._set_active_flag(node_id, active)
 
     @property
     def num_available_nodes(self) -> int:
         """Node slots that could be allocated: everything not failed."""
-        return sum(1 for node in self.nodes if not node.failed)
+        return int(self.max_nodes - self._failed.sum())
 
     def failed_nodes(self) -> List[int]:
-        return [node.node_id for node in self.nodes if node.failed]
+        return [int(i) for i in np.flatnonzero(self._failed)]
 
     def partitions(self, only_active: bool = True) -> List[Partition]:
         out: List[Partition] = []
-        for node in self.nodes:
-            if node.active or not only_active:
-                out.extend(node.partitions)
+        for node_id in range(self.max_nodes):
+            if self._active[node_id] or not only_active:
+                out.extend(self.nodes[node_id].partitions)
         return out
 
     # ------------------------------------------------------------------
@@ -127,20 +150,40 @@ class Cluster:
         return self.partitioner.bucket_of(key)
 
     def node_of_bucket(self, bucket: int) -> int:
-        return self.plan.node_of(bucket)
+        return int(self._assignment[bucket])
+
+    def bucket_assignment(self) -> np.ndarray:
+        """The bucket→node assignment as a read-only array view — the
+        authoritative routing state the plan is derived from."""
+        view = self._assignment.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def plan(self) -> PartitionPlan:
+        """The current :class:`PartitionPlan`, materialised lazily from
+        the assignment array and cached until the next routing change."""
+        if (
+            self._plan_cache is None
+            or self._plan_cache_version != self._routing_version
+        ):
+            self._plan_cache = PartitionPlan(
+                self._assignment.tolist(), self._plan_num_nodes
+            )
+            self._plan_cache_version = self._routing_version
+        return self._plan_cache
 
     def partition_of_bucket(self, bucket: int) -> Partition:
-        node_id = self.plan.node_of(bucket)
-        node = self.nodes[node_id]
-        if node.failed:
+        node_id = int(self._assignment[bucket])
+        if self._failed[node_id]:
             raise NodeFailedError(
                 f"bucket {bucket} routed to failed node {node_id}"
             )
-        if not node.active:
+        if not self._active[node_id]:
             raise EngineError(
                 f"bucket {bucket} routed to inactive node {node_id}"
             )
-        return node.partitions[bucket % self.partitions_per_node]
+        return self.nodes[node_id].partitions[bucket % self.partitions_per_node]
 
     def route(self, key: Key) -> Partition:
         """The partition responsible for ``key`` under the current plan."""
@@ -156,17 +199,16 @@ class Cluster:
         subsystem as each bucket's final chunk lands; routing switches to
         the new owner atomically with the data.
         """
-        old_node = self.plan.node_of(bucket)
+        old_node = int(self._assignment[bucket])
         if old_node == new_node:
             return 0
-        if self.nodes[new_node].failed:
+        if self._failed[new_node]:
             raise NodeFailedError(f"cannot move bucket to failed node {new_node}")
-        if not self.nodes[new_node].active:
+        if not self._active[new_node]:
             raise EngineError(f"cannot move bucket to inactive node {new_node}")
         moved = self._relocate_bucket_rows(bucket, old_node, new_node)
-        assignment = list(self.plan.as_tuple())
-        assignment[bucket] = new_node
-        self.plan = PartitionPlan(assignment, max(self.plan.num_nodes, new_node + 1))
+        self._assignment[bucket] = new_node
+        self._plan_num_nodes = max(self._plan_num_nodes, new_node + 1)
         self._bucket_counts[old_node] -= 1
         self._bucket_counts[new_node] += 1
         self._invalidate_routing()
@@ -210,36 +252,34 @@ class Cluster:
         """
         if not 0 <= node_id < self.max_nodes:
             raise EngineError(f"node {node_id} out of range")
-        node = self.nodes[node_id]
-        if node.failed:
+        if self._failed[node_id]:
             raise NodeFailedError(f"node {node_id} has already failed")
-        if node.active and self.num_active_nodes <= 1:
+        if self._active[node_id] and self._num_active <= 1:
             raise EngineError("cannot fail the last active node")
-        was_active = node.active
-        node.failed = True
-        node.active = False
+        was_active = bool(self._active[node_id])
+        self._failed[node_id] = True
+        self._set_active_flag(node_id, False)
         if not was_active:
             return 0
-        survivors = [n.node_id for n in self.nodes if n.active]
-        assignment = list(self.plan.as_tuple())
-        owned = [b for b, owner in enumerate(assignment) if owner == node_id]
-        for i, bucket in enumerate(owned):
-            receiver = survivors[(i + node_id) % len(survivors)]
+        survivors = np.flatnonzero(self._active)
+        owned = np.flatnonzero(self._assignment == node_id)
+        receivers = survivors[(np.arange(len(owned)) + node_id) % len(survivors)]
+        for bucket, receiver in zip(owned.tolist(), receivers.tolist()):
             self._relocate_bucket_rows(bucket, node_id, receiver)
-            assignment[bucket] = receiver
-            self._bucket_counts[node_id] -= 1
-            self._bucket_counts[receiver] += 1
-        if owned:
+        self._assignment[owned] = receivers
+        self._bucket_counts[node_id] -= len(owned)
+        np.add.at(self._bucket_counts, receivers, 1)
+        if len(owned):
             # Survivors can include nodes above the plan's current width
             # (a crash during a scale-out, after new machines activated).
-            self.plan = PartitionPlan(
-                assignment, max(self.plan.num_nodes, max(assignment) + 1)
+            self._plan_num_nodes = max(
+                self._plan_num_nodes, int(receivers.max()) + 1
             )
         self._invalidate_routing()
         if self.telemetry is not None:
             self.telemetry.counter("cluster.nodes_failed").inc()
             self.telemetry.counter("cluster.buckets_rerouted").inc(len(owned))
-        return len(owned)
+        return int(len(owned))
 
     def recover_node(self, node_id: int) -> None:
         """A failed node comes back — as an empty, *inactive* spare.
@@ -249,10 +289,9 @@ class Cluster:
         """
         if not 0 <= node_id < self.max_nodes:
             raise EngineError(f"node {node_id} out of range")
-        node = self.nodes[node_id]
-        if not node.failed:
+        if not self._failed[node_id]:
             raise EngineError(f"node {node_id} has not failed")
-        node.failed = False
+        self._failed[node_id] = False
         if self.telemetry is not None:
             self.telemetry.counter("cluster.nodes_recovered").inc()
 
@@ -261,22 +300,21 @@ class Cluster:
 
         All buckets must already live on nodes below ``num_nodes``.
         """
-        assignment = self.plan.as_tuple()
-        stray = [b for b, n in enumerate(assignment) if n >= num_nodes]
-        if stray:
+        stray = np.flatnonzero(self._assignment >= num_nodes)
+        if len(stray):
             raise EngineError(
-                f"cannot compact to {num_nodes} nodes: buckets {stray[:5]} "
-                "still on departing nodes"
+                f"cannot compact to {num_nodes} nodes: buckets "
+                f"{stray[:5].tolist()} still on departing nodes"
             )
-        self.plan = PartitionPlan(assignment, num_nodes)
+        self._plan_num_nodes = num_nodes
         self._invalidate_routing()
 
     def data_fractions(self) -> Dict[int, float]:
         """Fraction of buckets per node (``f_n`` of Equation 6)."""
+        holders = np.flatnonzero(self._bucket_counts)
         return {
-            node: count / self.num_buckets
-            for node, count in enumerate(self._bucket_counts)
-            if count > 0
+            int(node): float(self._bucket_counts[node]) / self.num_buckets
+            for node in holders
         }
 
     def _invalidate_routing(self) -> None:
@@ -294,18 +332,18 @@ class Cluster:
         """
         return self._routing_version
 
-    def node_weights(self) -> "list[float]":
+    def node_weights(self) -> np.ndarray:
         """Bucket-count weight of every node slot (zeros for empty/idle).
 
         The simulator routes offered load proportionally to these weights
-        (uniform-workload assumption of Section 4.2).  The result is
-        cached until the next routing change; callers must not mutate it.
+        (uniform-workload assumption of Section 4.2).  Returns a
+        read-only float array, cached until the next routing change —
+        mutation attempts raise instead of silently corrupting routing.
         """
         if self._node_weights_cache is None:
-            total = self.num_buckets
-            self._node_weights_cache = [
-                count / total for count in self._bucket_counts
-            ]
+            weights = self._bucket_counts / float(self.num_buckets)
+            weights.setflags(write=False)
+            self._node_weights_cache = weights
         return self._node_weights_cache
 
     def total_rows(self) -> int:

@@ -22,8 +22,10 @@ round by round against a :class:`~repro.engine.cluster.Cluster`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.core.partition_plan import PartitionPlan, plan_move
 from repro.core.schedule import MoveSchedule, build_move_schedule
@@ -104,15 +106,41 @@ class MigrationConfig:
 class MigrationStep:
     """Per-step effects of an in-flight migration on the cluster.
 
-    ``blocked_partitions`` maps global partition id to
-    ``(block_seconds, blocked_fraction)`` for this step.
+    Chunk-blocking effects are precomputed dense arrays over *all*
+    global partition ids (``None`` when nothing was blocked):
+    ``block_seconds[pid]`` is the longest single block affecting the
+    partition this step and ``block_weight[pid]`` the fraction of the
+    step it spent blocked — exactly the arrays the simulator's latency
+    model consumes, so the hot path does no per-step dict building.
+    ``blocked_partitions`` derives the legacy sparse mapping on demand.
     """
 
     active: bool
     completed: bool
     machines_allocated: int
-    blocked_partitions: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    block_seconds: Optional[np.ndarray] = None
+    block_weight: Optional[np.ndarray] = None
     fraction_completed: float = 0.0
+
+    @property
+    def blocked(self) -> bool:
+        """True when any partition was chunk-blocked this step."""
+        return self.block_seconds is not None
+
+    @property
+    def blocked_partitions(self) -> Dict[int, Tuple[float, float]]:
+        """Sparse view: global partition id → ``(block_seconds,
+        blocked_fraction)`` for partitions blocked this step."""
+        if self.block_seconds is None or self.block_weight is None:
+            return {}
+        ids = np.flatnonzero(self.block_seconds > 0)
+        return {
+            int(pid): (
+                float(self.block_seconds[pid]),
+                float(self.block_weight[pid]),
+            )
+            for pid in ids
+        }
 
 
 class Migration:
@@ -190,6 +218,10 @@ class Migration:
         self.current_round = 0
         self._elapsed_in_round = 0.0
         self._chunk_accumulator = 0.0
+        #: Per-round cache of the blocked-partition index array (and the
+        #: total partition-id space it scatters into).
+        self._round_ids_cache: Optional[np.ndarray] = None
+        self._num_partition_ids = cluster.max_nodes * cluster.partitions_per_node
         self.completed = self.schedule.num_rounds == 0
         #: Fault bookkeeping (see repro.faults): pending pause seconds
         #: (stall windows + retry backoff), retry/stall counters.
@@ -241,18 +273,24 @@ class Migration:
             if node.active != desired:
                 self.cluster.set_active(node.node_id, desired)
 
-    def _active_partition_ids(self) -> Set[int]:
-        """Global partition ids participating in the current round."""
-        ids: Set[int] = set()
-        if self.completed:
-            return ids
-        p = self.cluster.partitions_per_node
-        for transfer in self.schedule.rounds[self.current_round].transfers:
-            for slot in (transfer.sender, transfer.receiver):
-                node = self._phys[slot]
-                for local in range(p):
-                    ids.add(node * p + local)
-        return ids
+    def _round_block_ids(self) -> np.ndarray:
+        """Global partition ids participating in the current round, as a
+        sorted index array — computed once per round and reused by every
+        step instead of rebuilding a set per step."""
+        if self._round_ids_cache is not None:
+            return self._round_ids_cache
+        ids = set()
+        if not self.completed:
+            p = self.cluster.partitions_per_node
+            for transfer in self.schedule.rounds[self.current_round].transfers:
+                for slot in (transfer.sender, transfer.receiver):
+                    node = self._phys[slot]
+                    for local in range(p):
+                        ids.add(node * p + local)
+        self._round_ids_cache = np.fromiter(
+            sorted(ids), dtype=np.intp, count=len(ids)
+        )
+        return self._round_ids_cache
 
     def _check_round_nodes(self) -> None:
         """Every endpoint of the current round must still be usable.
@@ -288,6 +326,7 @@ class Migration:
                     ) from exc
         self.current_round += 1
         self._elapsed_in_round = 0.0
+        self._round_ids_cache = None
         if self.telemetry is not None:
             self.telemetry.counter("migration.rounds_completed").inc()
         if self.current_round >= self.schedule.num_rounds:
@@ -374,7 +413,7 @@ class Migration:
         if dt <= 0:
             raise MigrationError("dt must be positive")
         if self.completed:
-            return MigrationStep(False, True, self.after, {}, 1.0)
+            return MigrationStep(False, True, self.after, None, None, 1.0)
         self._check_round_nodes()
 
         effective_dt = dt
@@ -390,7 +429,8 @@ class Migration:
                 self._cleared_stalls += self._pending_stall_recoveries
                 self._pending_stall_recoveries = 0
 
-        blocked: Dict[int, Tuple[float, float]] = {}
+        block_seconds: Optional[np.ndarray] = None
+        block_weight: Optional[np.ndarray] = None
         cfg = self.config
         if effective_dt > 0.0:
             # Chunk pauses: every chunk_period seconds, each active
@@ -401,8 +441,12 @@ class Migration:
             block_total = min(chunks_this_step * cfg.chunk_block_s, dt)
             single_block = min(cfg.chunk_block_s, dt) if chunks_this_step else 0.0
             if block_total > 0:
-                for pid in self._active_partition_ids():
-                    blocked[pid] = (single_block, block_total / dt)
+                ids = self._round_block_ids()
+                if len(ids):
+                    block_seconds = np.zeros(self._num_partition_ids)
+                    block_weight = np.zeros(self._num_partition_ids)
+                    block_seconds[ids] = single_block
+                    block_weight[ids] = block_total / dt
 
         remaining = effective_dt
         while remaining > 0 and not self.completed:
@@ -423,6 +467,7 @@ class Migration:
             active=not self.completed,
             completed=self.completed,
             machines_allocated=allocated,
-            blocked_partitions=blocked,
+            block_seconds=block_seconds,
+            block_weight=block_weight,
             fraction_completed=self.fraction_completed,
         )

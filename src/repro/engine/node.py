@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.engine.partition import Partition
 
 
-@dataclass
 class Node:
     """One machine hosting a fixed number of logical partitions.
 
@@ -19,13 +17,81 @@ class Node:
 
     A *failed* node is stronger than a deallocated one: it crashed (see
     :mod:`repro.faults`) and cannot be re-activated until it recovers.
+
+    Since the struct-of-arrays cluster refactor a cluster-owned node is a
+    *view*: ``active``/``failed`` read and write the cluster's flat
+    numpy flag arrays (the authoritative state the hot stepping path
+    uses), and the :class:`Partition` objects are built lazily on first
+    access — a fleet-scale rate-based run never materialises them.  A
+    free-standing ``Node(...)`` (no cluster) keeps plain attributes, so
+    unit tests can still build one directly.
     """
 
-    node_id: int
-    partitions: List[Partition] = field(default_factory=list)
-    active: bool = True
-    failed: bool = False
+    __slots__ = ("node_id", "_cluster", "_partitions", "_active", "_failed")
 
+    def __init__(
+        self,
+        node_id: int,
+        partitions: Optional[List[Partition]] = None,
+        active: bool = True,
+        failed: bool = False,
+        cluster: "Optional[object]" = None,
+    ) -> None:
+        self.node_id = node_id
+        self._cluster = cluster
+        self._partitions = partitions
+        if cluster is None:
+            self._active = active
+            self._failed = failed
+        else:
+            self._active = None
+            self._failed = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Node(node_id={self.node_id}, active={self.active}, "
+            f"failed={self.failed})"
+        )
+
+    # ------------------------------------------------------------------
+    # Flag views (cluster-backed when owned, plain attributes otherwise)
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        if self._cluster is not None:
+            return bool(self._cluster._active[self.node_id])
+        return self._active
+
+    @active.setter
+    def active(self, value: bool) -> None:
+        if self._cluster is not None:
+            self._cluster._set_active_flag(self.node_id, bool(value))
+        else:
+            self._active = bool(value)
+
+    @property
+    def failed(self) -> bool:
+        if self._cluster is not None:
+            return bool(self._cluster._failed[self.node_id])
+        return self._failed
+
+    @failed.setter
+    def failed(self, value: bool) -> None:
+        if self._cluster is not None:
+            self._cluster._failed[self.node_id] = bool(value)
+        else:
+            self._failed = bool(value)
+
+    @property
+    def partitions(self) -> List[Partition]:
+        if self._partitions is None:
+            if self._cluster is None:
+                self._partitions = []
+            else:
+                self._partitions = self._cluster._build_partitions(self.node_id)
+        return self._partitions
+
+    # ------------------------------------------------------------------
     def row_count(self) -> int:
         return sum(p.row_count() for p in self.partitions)
 

@@ -59,6 +59,51 @@ def fluid_queue_step(
     return new_backlog, served
 
 
+def fluid_queue_batch(
+    backlog: np.ndarray,
+    offered: np.ndarray,
+    service_rate: np.ndarray,
+    dt: float,
+    steps: int,
+    max_backlog: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Advance the fluid queues ``steps`` times under constant rates.
+
+    The recurrence is inherently sequential in time, so this runs the
+    same per-step ufunc expressions as :func:`fluid_queue_step` (plus the
+    simulator's backlog clamp) over an ``(S, P)`` record — every row is
+    bit-identical to what ``steps`` individual calls would produce, which
+    is what lets the engine's batched slot kernel honour the exact-
+    stepping contract (tests/test_fast_path.py).
+
+    Args:
+        backlog: Backlog per partition at the start of the batch.
+        offered: Arrival rate per partition, txn/s (constant over batch).
+        service_rate: Effective service rate per partition, txn/s.
+        dt: Step length, seconds.
+        steps: Number of steps to advance (``S``).
+        max_backlog: Optional per-partition backlog clamp applied after
+            every step (the simulator's closed-loop queue bound).
+
+    Returns:
+        ``(pre, served, final)`` — ``pre[s]`` is the backlog *before*
+        step ``s`` (shape ``(S, P)``), ``served[s]`` the transactions
+        served in step ``s``, and ``final`` the backlog after the last
+        step.
+    """
+    num = len(backlog)
+    pre = np.empty((steps, num))
+    served = np.empty((steps, num))
+    b = backlog
+    for s in range(steps):
+        pre[s] = b
+        b, sv = fluid_queue_step(b, offered, service_rate, dt)
+        if max_backlog is not None:
+            np.minimum(b, max_backlog, out=b)
+        served[s] = sv
+    return pre, served, b
+
+
 @dataclass
 class LatencyComponents:
     """Per-partition shifted-exponential latency parameters for one step.
@@ -129,12 +174,44 @@ def latency_components(
     return LatencyComponents(all_weights, all_delays, all_rates)
 
 
+def latency_components_steps(
+    backlogs: np.ndarray,
+    offered: np.ndarray,
+    service_rate: np.ndarray,
+    *,
+    base_service_s: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Latency mixtures for many steps sharing arrival and service rates.
+
+    The batched slot kernel evaluates a whole migration-free slot at
+    once: rates are constant, only the backlog varies per step.  Returns
+    ``(weights, delays, tail_rates)`` where ``weights`` and
+    ``tail_rates`` have shape ``(P,)`` and ``delays`` has shape
+    ``(S, P)`` — row ``s`` holds exactly the values
+    :func:`latency_components` would produce for ``backlogs[s]``
+    (elementwise ufuncs are shape-independent, so the broadcast is
+    bit-identical to per-step evaluation).  Blocking is not supported:
+    blocked steps must go through the exact path.
+    """
+    mu = np.maximum(service_rate, 1e-9)
+    queue_delay = backlogs / mu
+    delays = base_service_s + queue_delay
+    slack = mu - offered
+    tail_rates = np.maximum(slack, MIN_TAIL_FRACTION * mu)
+    total = float(offered.sum())
+    if total <= 0:
+        weights = np.full(len(offered), 1.0 / max(len(offered), 1))
+    else:
+        weights = offered / total
+    return weights, delays, tail_rates
+
+
 #: Bisection iterations; the bracket shrinks by 2^-40, ~1e-11 absolute on
 #: second-scale latencies.
 _BISECT_ITERS = 40
 #: Below this many (component, quantile) pairs a scalar bisection beats
 #: the vectorized one (numpy call overhead dominates tiny arrays).
-_SCALAR_WORK_LIMIT = 32
+_SCALAR_BISECTION_THRESHOLD = 32
 
 
 def merge_components(
@@ -146,25 +223,31 @@ def merge_components(
     migration sender, migration receiver), so the quantile search only
     ever sees a tiny mixture.  Keys are rounded to 9 decimals; when no
     two components collide the originals are returned untouched.
+
+    Vectorized: the rounded ``(delay, rate)`` pairs are packed into one
+    complex key so a single ``np.unique`` does the group-and-sort (the
+    lexicographic complex sort matches sorting the key tuples), and
+    ``np.bincount`` sums each class's weights in ascending index order.
+    A fleet-uniform cluster (every partition in one class) short-circuits
+    before the sort.
     """
     n = len(weights)
     if n <= 1:
         return weights, delays, tail_rates
-    dl = delays.tolist()
-    rl = tail_rates.tolist()
-    wl = weights.tolist()
-    groups: dict = {}
-    for i in range(n):
-        key = (round(dl[i], 9), round(rl[i], 9))
-        groups[key] = groups.get(key, 0.0) + wl[i]
-    if len(groups) == n:
+    dk = np.round(delays, 9)
+    rk = np.round(tail_rates, 9)
+    if dk[0] == dk[-1] and rk[0] == rk[-1]:
+        # Cheap uniform-cluster fast path: one class covers everything.
+        if (dk == dk[0]).all() and (rk == rk[0]).all():
+            merged_w = np.bincount(np.zeros(n, dtype=np.intp), weights=weights)
+            return merged_w, dk[:1], rk[:1]
+    key = dk + 1j * rk
+    classes, inverse = np.unique(key, return_inverse=True)
+    m = len(classes)
+    if m == n:
         return weights, delays, tail_rates
-    keys = sorted(groups)
-    m = len(keys)
-    merged_w = np.fromiter((groups[k] for k in keys), np.float64, m)
-    merged_d = np.fromiter((k[0] for k in keys), np.float64, m)
-    merged_r = np.fromiter((k[1] for k in keys), np.float64, m)
-    return merged_w, merged_d, merged_r
+    merged_w = np.bincount(inverse, weights=weights, minlength=m)
+    return merged_w, np.ascontiguousarray(classes.real), np.ascontiguousarray(classes.imag)
 
 
 def _scalar_bisect(
@@ -191,6 +274,41 @@ def _scalar_bisect(
     return out
 
 
+def _upper_bracket(d: np.ndarray, r: np.ndarray, q_max: float) -> float:
+    """Bisection upper bound: every component's own ``q_max``-quantile is
+    a bound when all mass were in it; take the max over components."""
+    return float(np.max(d - np.log(max(1.0 - q_max, 1e-12)) / r)) + 1e-9
+
+
+def _bisect_many(
+    w2: np.ndarray,
+    d2: np.ndarray,
+    r2: np.ndarray,
+    qs: np.ndarray,
+    hi: np.ndarray,
+) -> np.ndarray:
+    """Vectorized bisection over ``K`` mixtures with a common class count.
+
+    ``w2``/``d2``/``r2`` have shape ``(K, C)``, ``hi`` shape ``(K,)``;
+    returns ``(K, Q)``.  Every operation is an elementwise ufunc or a
+    last-axis reduction, so a ``K == 1`` call and a batched call produce
+    bit-identical rows — the batched slot kernel relies on this.
+    """
+    lo_b = np.zeros((len(hi), len(qs)))
+    hi_b = np.broadcast_to(hi[:, None], lo_b.shape).copy()
+    for _ in range(_BISECT_ITERS):
+        mid = 0.5 * (lo_b + hi_b)
+        gap = mid[:, :, None] - d2[:, None, :]
+        mass = np.where(
+            gap > 0, 1.0 - np.exp(-r2[:, None, :] * np.maximum(gap, 0.0)), 0.0
+        )
+        cdf = (mass * w2[:, None, :]).sum(-1)
+        below = cdf < qs
+        lo_b = np.where(below, mid, lo_b)
+        hi_b = np.where(below, hi_b, mid)
+    return 0.5 * (lo_b + hi_b)
+
+
 def mixture_quantiles(
     components: LatencyComponents, quantiles: Sequence[float]
 ) -> np.ndarray:
@@ -214,26 +332,66 @@ def mixture_quantiles(
         # Single shifted exponential: closed-form quantile.
         return np.array([d[0] - math.log(1.0 - q) / r[0] for q in quantiles])
 
-    # Upper bracket: every component's own q-quantile is a bound when all
-    # mass were in it; take the max over components at the highest q.
-    q_max = max(quantiles)
-    hi = float(np.max(d - np.log(max(1.0 - q_max, 1e-12)) / r)) + 1e-9
+    hi = _upper_bracket(d, r, max(quantiles))
 
-    if len(w) * len(quantiles) <= _SCALAR_WORK_LIMIT:
+    if len(w) * len(quantiles) <= _SCALAR_BISECTION_THRESHOLD:
         return _scalar_bisect(w.tolist(), d.tolist(), r.tolist(), quantiles, hi)
 
     qs = np.asarray(quantiles, dtype=np.float64)
-    lo_b = np.zeros(len(qs))
-    hi_b = np.full(len(qs), hi)
-    for _ in range(_BISECT_ITERS):
-        mid = 0.5 * (lo_b + hi_b)
-        gap = mid[:, None] - d[None, :]
-        mass = np.where(gap > 0, 1.0 - np.exp(-r[None, :] * np.maximum(gap, 0.0)), 0.0)
-        cdf = mass @ w
-        below = cdf < qs
-        lo_b = np.where(below, mid, lo_b)
-        hi_b = np.where(below, hi_b, mid)
-    return 0.5 * (lo_b + hi_b)
+    return _bisect_many(w[None, :], d[None, :], r[None, :], qs, np.full(1, hi))[0]
+
+
+def mixture_quantiles_steps(
+    weights: np.ndarray,
+    delays: np.ndarray,
+    tail_rates: np.ndarray,
+    quantiles: Sequence[float],
+) -> np.ndarray:
+    """Quantiles for ``S`` per-step mixtures sharing weights and rates.
+
+    ``delays`` has shape ``(S, P)`` (one row per step of a batched slot,
+    from :func:`latency_components_steps`); the result has shape
+    ``(S, Q)`` where row ``s`` is bit-identical to
+    ``mixture_quantiles(LatencyComponents(weights, delays[s],
+    tail_rates), quantiles)``:
+
+    * each row is merged by the same :func:`merge_components`;
+    * rows under ``_SCALAR_BISECTION_THRESHOLD`` use the same scalar
+      bisection the exact path would pick;
+    * the remaining rows are grouped by merged class count and solved in
+      one :func:`_bisect_many` call per group — the cross-step
+      vectorization that makes wide mixtures cheap.
+    """
+    qs = tuple(quantiles)
+    for q in qs:
+        if not 0 < q < 1:
+            raise ConfigurationError(f"quantile must be in (0, 1), got {q}")
+    steps = len(delays)
+    out = np.empty((steps, len(qs)))
+    q_max = max(qs)
+    qs_arr = np.asarray(qs, dtype=np.float64)
+    by_count: dict = {}
+    for s in range(steps):
+        w, d, r = merge_components(weights, delays[s], tail_rates)
+        m = len(w)
+        if m == 0:
+            out[s] = 0.0
+        elif m == 1:
+            out[s] = [d[0] - math.log(1.0 - q) / r[0] for q in qs]
+        elif m * len(qs) <= _SCALAR_BISECTION_THRESHOLD:
+            hi = _upper_bracket(d, r, q_max)
+            out[s] = _scalar_bisect(w.tolist(), d.tolist(), r.tolist(), qs, hi)
+        else:
+            by_count.setdefault(m, []).append((s, w, d, r))
+    for rows in by_count.values():
+        w2 = np.stack([w for _, w, _, _ in rows])
+        d2 = np.stack([d for _, _, d, _ in rows])
+        r2 = np.stack([r for _, _, _, r in rows])
+        hi = (d2 - np.log(max(1.0 - q_max, 1e-12)) / r2).max(-1) + 1e-9
+        solved = _bisect_many(w2, d2, r2, qs_arr, hi)
+        for i, (s, _, _, _) in enumerate(rows):
+            out[s] = solved[i]
+    return out
 
 
 def sample_latencies(

@@ -34,10 +34,13 @@ from repro.engine.migration import Migration, MigrationConfig
 from repro.engine.monitor import LoadMonitor
 from repro.engine.queueing import (
     LatencyComponents,
+    fluid_queue_batch,
     fluid_queue_step,
     latency_components,
+    latency_components_steps,
     mixture_mean,
     mixture_quantiles,
+    mixture_quantiles_steps,
 )
 from repro.engine.table import DatabaseSchema
 from repro.errors import ConfigurationError, EngineError, MigrationError
@@ -229,6 +232,14 @@ class EngineSimulator:
         self._weights_key: Optional[tuple] = None
         #: Slots served by the steady-slot fast path in :meth:`run`.
         self.fast_slots = 0
+        #: Slots served by the batched (S x P) slot kernel in :meth:`run`
+        #: (quiet slots whose backlog is still draining or filling).
+        self.batched_slots = 0
+        # Quantile memo for repeated identical steps outside :meth:`run`
+        # (driver loops calling :meth:`step` directly).  Purely a cache:
+        # a hit returns exactly what recomputation would, so results are
+        # bit-identical with the memo disabled.
+        self._quant_memo: Optional[tuple] = None
         #: Latency mixture of the most recent computed step.  The serving
         #: layer samples per-request latencies from it; ``None`` until the
         #: first step.  (The steady-slot fast path reuses the slot's first
@@ -468,6 +479,7 @@ class EngineSimulator:
             p = self.config.partitions_per_node
             node_weights = np.asarray(self.cluster.node_weights())
             self._base_weights = np.repeat(node_weights / p, p)
+            self._base_weights.setflags(write=False)
             self._base_weights_version = version
         weights = self._base_weights
         if active:
@@ -479,6 +491,9 @@ class EngineSimulator:
         total = weights.sum()
         if total > 0:
             weights = weights / total
+        # Cached arrays are handed to the serving layer; freeze them so a
+        # caller can't silently corrupt the routing cache.
+        weights.setflags(write=False)
         self._weights_cache = weights
         self._weights_key = key
         return weights
@@ -530,14 +545,11 @@ class EngineSimulator:
                     self.fault_injector.stats.stalls_recovered += (
                         self.migration.take_recovered_stalls()
                     )
-                reconfiguring = mig_step.active or bool(mig_step.blocked_partitions)
-                if mig_step.blocked_partitions:
-                    num_partitions = len(self._backlog)
-                    block_seconds = np.zeros(num_partitions)
-                    block_weight = np.zeros(num_partitions)
-                    for pid, (single, frac) in mig_step.blocked_partitions.items():
-                        block_seconds[pid] = single
-                        block_weight[pid] = frac
+                reconfiguring = mig_step.active or mig_step.blocked
+                # The migration precomputes dense per-partition block
+                # arrays (engine/migration.py); consume them as-is.
+                block_seconds = mig_step.block_seconds
+                block_weight = mig_step.block_weight
                 if mig_step.completed:
                     self.migration = None
                     if self.telemetry is not None:
@@ -551,17 +563,45 @@ class EngineSimulator:
         else:
             mu_eff = mu_base * (1.0 - block_weight)
 
-        components = latency_components(
-            self._backlog,
-            offered,
-            mu_eff,
-            base_service_s=self.config.base_service_ms / 1000.0,
-            block_seconds=block_seconds,
-            block_weight=block_weight,
-        )
-        self.last_latency_components = components
-        p50, p95, p99 = mixture_quantiles(components, (0.50, 0.95, 0.99))
-        mean = mixture_mean(components)
+        # Quantile memo: repeated steps at the same operating point (same
+        # offered rate, routing weights, service rates and backlog, no
+        # migration blocking) would recompute identical quantiles, so the
+        # bisection is skipped.  Keys compare weights/mu by object
+        # identity (both caches rebind on change) and the backlog by
+        # value; the stored pre-step backlog is safe to keep by reference
+        # because the fluid step rebinds ``self._backlog`` rather than
+        # mutating it.
+        memo = self._quant_memo
+        if (
+            block_weight is None
+            and memo is not None
+            and memo[0] == offered_rate
+            and memo[1] is weights
+            and memo[2] is mu_eff
+            and np.array_equal(memo[3], self._backlog)
+        ):
+            p50, p95, p99, mean, components = memo[4]
+            self.last_latency_components = components
+        else:
+            components = latency_components(
+                self._backlog,
+                offered,
+                mu_eff,
+                base_service_s=self.config.base_service_ms / 1000.0,
+                block_seconds=block_seconds,
+                block_weight=block_weight,
+            )
+            self.last_latency_components = components
+            p50, p95, p99 = mixture_quantiles(components, (0.50, 0.95, 0.99))
+            mean = mixture_mean(components)
+            if block_weight is None:
+                self._quant_memo = (
+                    offered_rate,
+                    weights,
+                    mu_eff,
+                    self._backlog,
+                    (p50, p95, p99, mean, components),
+                )
 
         self._backlog, served = fluid_queue_step(self._backlog, offered, mu_eff, dt)
         if self.config.max_queue_seconds > 0:
@@ -630,6 +670,100 @@ class EngineSimulator:
             if start < event.start_seconds <= last or start < event.end_seconds <= last:
                 return False
         return True
+
+    def _run_slot_batched(
+        self, rate: float, remaining: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Advance ``remaining`` quiet steps as one ``(S, P)`` kernel.
+
+        Covers the slots the steady fast path bails on: no migration, no
+        fault activity, no skew transition — but a backlog that is still
+        draining or filling, so every step differs.  The fluid recurrence
+        runs inside numpy (:func:`fluid_queue_batch`), consecutive
+        duplicate backlog rows collapse to one latency evaluation, and
+        quantiles for the distinct rows are bisected in one vectorized
+        call.  Bit-identical to the exact loop (tests/test_fast_path.py).
+
+        Returns per-step ``(times, served_rates, p50_ms, p95_ms, p99_ms,
+        mean_ms)`` rows; the caller scatters them into the run columns.
+        """
+        dt = self.config.dt_seconds
+        weights = self._partition_weights()
+        mu_eff = self._mu_base
+        offered = rate * weights
+        max_backlog = (
+            self._mu_full * self.config.max_queue_seconds
+            if self.config.max_queue_seconds > 0
+            else None
+        )
+        pre, served, final = fluid_queue_batch(
+            self._backlog, offered, mu_eff, dt, remaining, max_backlog=max_backlog
+        )
+        served_rates = served.sum(axis=1) / dt
+
+        # A draining queue converges: once consecutive backlog rows are
+        # bit-equal, their latency mixtures are too.
+        reps = np.empty(remaining, dtype=np.intp)
+        distinct = [0]
+        reps[0] = 0
+        for s in range(1, remaining):
+            if np.array_equal(pre[s], pre[distinct[-1]]):
+                reps[s] = len(distinct) - 1
+            else:
+                distinct.append(s)
+                reps[s] = len(distinct) - 1
+        w, delays, tails = latency_components_steps(
+            pre[np.asarray(distinct, dtype=np.intp)],
+            offered,
+            mu_eff,
+            base_service_s=self.config.base_service_ms / 1000.0,
+        )
+        q_rows = mixture_quantiles_steps(w, delays, tails, (0.50, 0.95, 0.99))
+        means = np.empty(len(distinct))
+        for k in range(len(distinct)):
+            means[k] = mixture_mean(LatencyComponents(w, delays[k], tails))
+        q_all = q_rows[reps] * 1000.0
+        mean_ms = means[reps] * 1000.0
+
+        # Repeated addition reproduces the exact path's time accumulation.
+        times = np.empty(remaining)
+        now = self.now
+        for s in range(remaining):
+            now += dt
+            times[s] = now
+        self.now = now
+        self._backlog = final
+        self.last_latency_components = LatencyComponents(
+            w, delays[reps[remaining - 1]], tails
+        )
+        self.batched_slots += 1
+
+        tel = self.telemetry
+        if tel is not None:
+            # Replicate the exact path's per-step instrumentation so an
+            # enabled timeline matches it record for record.
+            tel.counter("engine.batched_slots").inc()
+            steps_counter = tel.counter("engine.steps")
+            p99_hist = tel.histogram("engine.p99_ms")
+            machines = float(self.machines_allocated)
+            capacity = float(mu_eff.sum())
+            for s in range(remaining):
+                steps_counter.inc()
+                p99_hist.observe(q_all[s, 2])
+                post = pre[s + 1] if s + 1 < remaining else final
+                tel.timeline.tick(
+                    t=times[s],
+                    offered=rate,
+                    served=float(served_rates[s]),
+                    p50_ms=q_all[s, 0],
+                    p95_ms=q_all[s, 1],
+                    p99_ms=q_all[s, 2],
+                    machines=machines,
+                    reconfiguring=False,
+                    queue_depth=float(post.sum()),
+                    capacity=capacity,
+                )
+        return times, served_rates, q_all[:, 0], q_all[:, 1], q_all[:, 2], mean_ms
 
     # ------------------------------------------------------------------
     def run(
@@ -703,21 +837,18 @@ class EngineSimulator:
 
             remaining = steps_per_slot - 1
             if remaining > 0:
-                steady = (
+                last_t = slot_start + (steps_per_slot - 1) * dt
+                quiet = (
                     fast_allowed
                     and not was_migrating
                     and not self.migration_active
-                    and self._skew_constant_over(
-                        slot_start, slot_start + (steps_per_slot - 1) * dt
-                    )
+                    and self._skew_constant_over(slot_start, last_t)
                     and (
                         self.fault_injector is None
-                        or self.fault_injector.quiet_over(
-                            slot_start, slot_start + (steps_per_slot - 1) * dt
-                        )
+                        or self.fault_injector.quiet_over(slot_start, last_t)
                     )
-                    and np.array_equal(self._backlog, pre_backlog)
                 )
+                steady = quiet and np.array_equal(self._backlog, pre_backlog)
                 if steady:
                     end = idx + remaining
                     offered_col[idx:end] = rate
@@ -756,6 +887,23 @@ class EngineSimulator:
                             ticks.append(
                                 dict(template, t=time_col[end - remaining + j])
                             )
+                elif quiet:
+                    times, srates, p50r, p95r, p99r, meanr = self._run_slot_batched(
+                        rate, remaining
+                    )
+                    end = idx + remaining
+                    time_col[idx:end] = times
+                    offered_col[idx:end] = rate
+                    served_col[idx:end] = srates
+                    p50_col[idx:end] = p50r
+                    p95_col[idx:end] = p95r
+                    p99_col[idx:end] = p99r
+                    mean_col[idx:end] = meanr
+                    machines_col[idx:end] = float(self.machines_allocated)
+                    # recon_col stays False: quiet slots never reconfigure.
+                    for s in range(remaining):
+                        slot_served += float(srates[s]) * dt
+                    idx = end
                 else:
                     for _ in range(remaining):
                         served, p50, p95, p99, mean, machines, reconfiguring = (

@@ -39,6 +39,7 @@ from repro.core.params import PAPER_SATURATION_RATE, SystemParameters
 from repro.core.planner import Planner
 from repro.core.schedule import build_move_schedule, naive_block_round_count
 from repro.experiments.common import format_table
+from repro.parallel import parallel_map
 from repro.prediction.spar import SPARPredictor
 from repro.simulation.capacity_sim import CapacitySimulator
 from repro.strategies import PStoreStrategy
@@ -180,8 +181,39 @@ class PolicyAblation:
         return conf + "\n\n" + infl
 
 
-def run_policy_ablation(fast: bool = False, seed: int = 4242) -> PolicyAblation:
-    """Capacity-simulate P-Store variants over a multi-week trace."""
+def _policy_cell(args) -> PolicySweepPoint:
+    """One policy-sweep cell; module-level so ``parallel_map`` can
+    pickle it.  Builds its own strategy, so cells share no mutable
+    state and the grid is order-independent."""
+    simulator, spar, eval_trace, train, kind, value = args
+    if kind == "confirmation":
+        label = str(value)
+        strategy = PStoreStrategy(
+            spar,
+            horizon=12,
+            scale_in_confirmations=value,
+            training_prefix=train,
+        )
+    else:
+        label = f"{value:.0%}"
+        strategy = PStoreStrategy(
+            spar, horizon=12, inflation=value, training_prefix=train
+        )
+    result = simulator.run(eval_trace, strategy)
+    return PolicySweepPoint(
+        label, result.cost, result.pct_time_insufficient, result.moves
+    )
+
+
+def run_policy_ablation(
+    fast: bool = False, seed: int = 4242, workers: int = 1
+) -> PolicyAblation:
+    """Capacity-simulate P-Store variants over a multi-week trace.
+
+    The six sweep cells are independent; ``workers > 1`` shards them
+    across processes (repro.parallel) with results identical to the
+    serial run.
+    """
     num_days = 35 if fast else 63
     slot = 300.0
     intervals_per_day = int(86400 / slot)
@@ -202,35 +234,13 @@ def run_policy_ablation(fast: bool = False, seed: int = 4242) -> PolicyAblation:
         period=intervals_per_day, n_periods=7, n_recent=12, max_horizon=12
     ).fit(train)
 
-    confirmation: List[PolicySweepPoint] = []
-    for confirmations in (1, 3, 6):
-        strategy = PStoreStrategy(
-            spar,
-            horizon=12,
-            scale_in_confirmations=confirmations,
-            training_prefix=train,
-        )
-        result = simulator.run(eval_trace, strategy)
-        confirmation.append(
-            PolicySweepPoint(
-                str(confirmations), result.cost, result.pct_time_insufficient,
-                result.moves,
-            )
-        )
-
-    inflation: List[PolicySweepPoint] = []
-    for factor in (0.0, 0.15, 0.30):
-        strategy = PStoreStrategy(
-            spar, horizon=12, inflation=factor, training_prefix=train
-        )
-        result = simulator.run(eval_trace, strategy)
-        inflation.append(
-            PolicySweepPoint(
-                f"{factor:.0%}", result.cost, result.pct_time_insufficient,
-                result.moves,
-            )
-        )
-    return PolicyAblation(confirmation=confirmation, inflation=inflation)
+    cells = [
+        (simulator, spar, eval_trace, train, "confirmation", c) for c in (1, 3, 6)
+    ] + [
+        (simulator, spar, eval_trace, train, "inflation", f) for f in (0.0, 0.15, 0.30)
+    ]
+    points = parallel_map(_policy_cell, cells, max_workers=workers)
+    return PolicyAblation(confirmation=points[:3], inflation=points[3:])
 
 
 # ----------------------------------------------------------------------
@@ -256,12 +266,27 @@ class HorizonAblation:
         return table
 
 
-def run_horizon_ablation(fast: bool = False, seed: int = 555) -> HorizonAblation:
+def _horizon_cell(args) -> PolicySweepPoint:
+    """One horizon-sweep cell (module-level for ``parallel_map``); the
+    strategy is built in the worker so its fallback counter is local."""
+    simulator, spar, eval_trace, train, horizon = args
+    strategy = PStoreStrategy(spar, horizon=horizon, training_prefix=train)
+    result = simulator.run(eval_trace, strategy)
+    return PolicySweepPoint(
+        str(horizon), result.cost, result.pct_time_insufficient,
+        result.moves, strategy.fallback_scale_outs,
+    )
+
+
+def run_horizon_ablation(
+    fast: bool = False, seed: int = 555, workers: int = 1
+) -> HorizonAblation:
     """Sweep the forecast horizon around the 2D/P minimum.
 
     Uses 1-minute planner intervals so moves span many intervals and the
     window genuinely binds (at 5-minute granularity every move fits in
-    one or two intervals and any horizon works).
+    one or two intervals and any horizon works).  ``workers > 1`` shards
+    the sweep across processes with serial-identical results.
     """
     slot = 60.0
     intervals_per_day = int(86400 / slot)
@@ -289,18 +314,11 @@ def run_horizon_ablation(fast: bool = False, seed: int = 555) -> HorizonAblation
         max_horizon=40,
     ).fit(train)
 
-    points: List[PolicySweepPoint] = []
-    for horizon in (4, 8, 16, 26, 33):
-        strategy = PStoreStrategy(
-            spar, horizon=horizon, training_prefix=train
-        )
-        result = simulator.run(eval_trace, strategy)
-        points.append(
-            PolicySweepPoint(
-                str(horizon), result.cost, result.pct_time_insufficient,
-                result.moves, strategy.fallback_scale_outs,
-            )
-        )
+    cells = [
+        (simulator, spar, eval_trace, train, horizon)
+        for horizon in (4, 8, 16, 26, 33)
+    ]
+    points = parallel_map(_horizon_cell, cells, max_workers=workers)
     return HorizonAblation(minimum_window_intervals=minimum, points=points)
 
 
@@ -419,12 +437,12 @@ class AblationsResult:
         )
 
 
-def run(fast: bool = False) -> AblationsResult:
-    """Run all six ablations."""
+def run(fast: bool = False, workers: int = 1) -> AblationsResult:
+    """Run all six ablations; ``workers`` shards the sweep cells."""
     return AblationsResult(
         effcap=run_effcap_ablation(),
         schedule=run_schedule_ablation(10 if fast else 16),
-        policy=run_policy_ablation(fast=fast),
-        horizon=run_horizon_ablation(fast=fast),
+        policy=run_policy_ablation(fast=fast, workers=workers),
+        horizon=run_horizon_ablation(fast=fast, workers=workers),
         greedy=run_greedy_ablation(fast=fast),
     )

@@ -1,0 +1,97 @@
+"""Process-parallel sharding of independent experiment runs.
+
+Ablation cells, per-seed fault replays and workload-grid points are
+embarrassingly parallel: each builds its own strategy/simulator state
+from pickled inputs and returns a plain result object.  This module
+shards such grids across a :class:`~concurrent.futures.ProcessPoolExecutor`
+with a deterministic merge — results come back in submission order, so
+``parallel_map(fn, items, max_workers=w)`` returns exactly what
+``[fn(item) for item in items]`` would, for every ``w`` (the contract
+tests/test_parallel.py locks in).
+
+Worker semantics (see docs/PERFORMANCE.md):
+
+* ``fn`` and every item must be picklable — use module-level functions
+  and plain data/dataclass arguments, never closures or lambdas.
+* ``max_workers <= 1`` (or a single item) runs serially in-process:
+  no pool, no pickling, identical results.  This is the default, so
+  parallelism is always an explicit opt-in.
+* Exceptions propagate: the first failing item raises in the parent
+  (in item order, matching the serial loop) and cancels the pool.
+* Determinism is the *caller's* job per item: workers must not share
+  mutable state or draw from a global RNG.  Seed each item explicitly —
+  :func:`spawn_seeds` derives independent, reproducible child seeds.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def cpu_workers(cap: Optional[int] = None) -> int:
+    """A sensible worker count: all cores but one, optionally capped."""
+    workers = max(1, (os.cpu_count() or 1) - 1)
+    if cap is not None:
+        workers = min(workers, cap)
+    return workers
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    max_workers: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Args:
+        fn: Module-level callable applied to each item.
+        items: The work grid; materialized up front.
+        max_workers: Process count.  ``None`` or ``<= 1`` runs serially.
+
+    Returns:
+        ``[fn(item) for item in items]`` — same values, same order,
+        regardless of worker count.
+    """
+    work = list(items)
+    if max_workers is None or max_workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=min(max_workers, len(work))) as pool:
+        # Executor.map preserves submission order, which makes the merge
+        # deterministic; it also re-raises the first failure in order.
+        return list(pool.map(fn, work))
+
+
+def spawn_seeds(seed: int, n: int) -> List[int]:
+    """``n`` independent, reproducible child seeds derived from ``seed``.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so the children
+    are statistically independent of each other *and* of ``seed`` used
+    directly — sharding a sweep over workers never reuses streams.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    return [int(child.generate_state(1)[0]) for child in np.random.SeedSequence(seed).spawn(n)]
+
+
+def shard_indices(n_items: int, n_shards: int) -> List[Sequence[int]]:
+    """Split ``range(n_items)`` into at most ``n_shards`` contiguous
+    shards of near-equal size (first shards get the remainder)."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    n_shards = min(n_shards, max(n_items, 1))
+    base, extra = divmod(n_items, n_shards)
+    shards: List[Sequence[int]] = []
+    start = 0
+    for i in range(n_shards):
+        size = base + (1 if i < extra else 0)
+        shards.append(range(start, start + size))
+        start += size
+    return shards

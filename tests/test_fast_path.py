@@ -66,10 +66,56 @@ def scenario_migration_spanning_slots(sim: EngineSimulator) -> LoadTrace:
     return flat_trace(700.0, 10)
 
 
+def scenario_backlog_drain(sim: EngineSimulator) -> LoadTrace:
+    """Overload then recovery: the backlog builds, saturates at the
+    queue clamp and drains over several slots — quiet slots whose state
+    moves every step, the batched (S x P) kernel's territory."""
+    values = np.array(
+        [2200.0, 2200.0, 2200.0, 900.0, 900.0, 900.0, 900.0, 700.0, 700.0]
+    )
+    return LoadTrace(values * SLOT_SECONDS, slot_seconds=SLOT_SECONDS)
+
+
+def scenario_fault_plan(sim: EngineSimulator) -> LoadTrace:
+    """A mid-run crash (with recovery) and a straggler window: slots
+    containing fault activity must step exactly; quiet slots between
+    them may still collapse or batch."""
+    from repro.faults import FaultInjector, FaultPlan, NodeCrash, NodeStraggler
+
+    plan = FaultPlan(
+        [
+            NodeCrash(at_seconds=95.0, node_id=2, recover_after_seconds=61.0),
+            NodeStraggler(
+                at_seconds=185.0, node_id=1, factor=0.5, duration_seconds=47.0
+            ),
+        ]
+    )
+    sim.fault_injector = FaultInjector(plan)
+    return flat_trace(650.0, 12)
+
+
+def scenario_skew_slot_aligned(sim: EngineSimulator) -> LoadTrace:
+    """Skew whose boundaries land on slot edges: weights differ between
+    slots but are constant inside each one, so the redistribution slots
+    are quiet-but-moving (batched), never exact."""
+    sim.skew_events.append(
+        SkewEvent(
+            start_seconds=SLOT_SECONDS,
+            end_seconds=4 * SLOT_SECONDS,
+            partition_index=3,
+            factor=4.0,
+        )
+    )
+    return flat_trace(800.0, 8)
+
+
 SCENARIOS = {
     "steady": scenario_steady,
     "skew_mid_slot": scenario_skew_mid_slot,
     "migration_spanning_slots": scenario_migration_spanning_slots,
+    "backlog_drain": scenario_backlog_drain,
+    "fault_plan": scenario_fault_plan,
+    "skew_slot_aligned": scenario_skew_slot_aligned,
 }
 
 
@@ -84,8 +130,11 @@ def test_fast_path_matches_exact_path(scenario):
     exact = exact_sim.run(setup(exact_sim))
 
     assert exact_sim.fast_slots == 0
+    assert exact_sim.batched_slots == 0
     if scenario == "steady":
         assert fast_sim.fast_slots > 0
+    if scenario == "backlog_drain":
+        assert fast_sim.batched_slots > 0
 
     for column in COLUMNS:
         np.testing.assert_allclose(
@@ -102,8 +151,39 @@ def test_fast_path_matches_exact_path(scenario):
 
 def test_force_exact_disables_fast_path():
     sim = make_sim(force_exact=True)
-    sim.run(flat_trace(600.0, 5))
+    sim.run(scenario_backlog_drain(sim))
     assert sim.fast_slots == 0
+    assert sim.batched_slots == 0
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_quiet_paths_bit_identical(scenario):
+    """The collapsed and batched paths must reproduce exact stepping bit
+    for bit, not merely within tolerance — the contract that lets every
+    downstream consumer treat them as invisible."""
+    setup = SCENARIOS[scenario]
+
+    fast_sim = make_sim(force_exact=False)
+    fast = fast_sim.run(setup(fast_sim))
+    exact_sim = make_sim(force_exact=True)
+    exact = exact_sim.run(setup(exact_sim))
+
+    for column in COLUMNS:
+        np.testing.assert_array_equal(
+            getattr(fast, column),
+            getattr(exact, column),
+            err_msg=f"{scenario}: column {column} not bit-identical",
+        )
+    np.testing.assert_array_equal(fast_sim._backlog, exact_sim._backlog)
+
+
+def test_batched_path_exercised_while_draining():
+    """The drain scenario must actually take the batched kernel (and
+    still leave converged tail slots to the steady fast path)."""
+    sim = make_sim(force_exact=False)
+    sim.run(scenario_backlog_drain(sim))
+    assert sim.batched_slots > 0
+    assert sim.fast_slots > 0
 
 
 def test_node_weights_called_once_per_routing_change():
@@ -184,6 +264,7 @@ def test_telemetry_preserves_fast_path_results(scenario):
     instrumented = tel_sim.run(setup(tel_sim))
 
     assert tel_sim.fast_slots == bare_sim.fast_slots
+    assert tel_sim.batched_slots == bare_sim.batched_slots
     for column in COLUMNS:
         np.testing.assert_array_equal(
             getattr(instrumented, column),
@@ -196,3 +277,29 @@ def test_telemetry_preserves_fast_path_results(scenario):
         np.array([t["t"] for t in ticks]), instrumented.time
     )
     assert tel.counter("engine.steps").value == len(instrumented.time)
+    assert (
+        tel.counter("engine.batched_slots").value == tel_sim.batched_slots
+    )
+
+
+def test_partition_weights_are_read_only():
+    """The cached weight arrays are handed out by reference; a caller
+    mutating them would silently corrupt routing for every later step
+    (satellite of the fleet-scale PR)."""
+    sim = make_sim(force_exact=False)
+    sim.run(flat_trace(600.0, 2))
+    weights = sim.partition_weights()
+    with pytest.raises(ValueError):
+        weights[0] = 0.5
+    node_weights = sim.cluster.node_weights()
+    with pytest.raises(ValueError):
+        node_weights[0] = 0.5
+    # Skew-adjusted weights come from the same cache and must be frozen
+    # too.
+    sim.skew_events.append(
+        SkewEvent(start_seconds=0.0, end_seconds=1e9, partition_index=1)
+    )
+    sim.step(600.0)
+    skewed = sim.partition_weights()
+    with pytest.raises(ValueError):
+        skewed[0] = 0.5

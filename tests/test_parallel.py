@@ -1,0 +1,114 @@
+"""Tests for repro.parallel: deterministic process-sharded grids."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import cpu_workers, parallel_map, shard_indices, spawn_seeds
+
+# Worker functions must be module-level (picklable).
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _fail_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError("boom at 3")
+    return x
+
+
+def _seeded_draw(seed: int) -> float:
+    return float(np.random.default_rng(seed).uniform())
+
+
+class TestParallelMap:
+    def test_serial_matches_list_comprehension(self):
+        items = list(range(10))
+        assert parallel_map(_square, items) == [x * x for x in items]
+        assert parallel_map(_square, items, max_workers=1) == [x * x for x in items]
+
+    @pytest.mark.parametrize("workers", [2, 3, 8])
+    def test_results_identical_across_worker_counts(self, workers):
+        """The acceptance contract: same values, same order, for every
+        worker count — including more workers than items."""
+        items = list(range(7))
+        expected = [x * x for x in items]
+        assert parallel_map(_square, items, max_workers=workers) == expected
+
+    def test_seeded_work_is_order_stable(self):
+        seeds = spawn_seeds(1234, 6)
+        serial = parallel_map(_seeded_draw, seeds, max_workers=1)
+        sharded = parallel_map(_seeded_draw, seeds, max_workers=3)
+        assert serial == sharded
+
+    def test_empty_and_single_item(self):
+        assert parallel_map(_square, [], max_workers=4) == []
+        assert parallel_map(_square, [5], max_workers=4) == [25]
+
+    def test_exception_propagates_serial(self):
+        with pytest.raises(ValueError, match="boom at 3"):
+            parallel_map(_fail_on_three, [1, 2, 3, 4], max_workers=1)
+
+    def test_exception_propagates_parallel(self):
+        with pytest.raises(ValueError, match="boom at 3"):
+            parallel_map(_fail_on_three, [1, 2, 3, 4], max_workers=2)
+
+    def test_consumes_any_iterable(self):
+        assert parallel_map(_square, (x for x in range(4)), max_workers=2) == [
+            0,
+            1,
+            4,
+            9,
+        ]
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(99, 5) == spawn_seeds(99, 5)
+
+    def test_distinct_within_and_across_parents(self):
+        seeds = spawn_seeds(7, 8)
+        assert len(set(seeds)) == 8
+        assert set(seeds).isdisjoint(spawn_seeds(8, 8))
+
+    def test_prefix_stable(self):
+        """Growing a sweep keeps the existing cells' seeds unchanged."""
+        assert spawn_seeds(42, 3) == spawn_seeds(42, 6)[:3]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+
+class TestShardIndices:
+    def test_partitions_exactly(self):
+        for n_items in (0, 1, 7, 12):
+            for n_shards in (1, 3, 5):
+                shards = shard_indices(n_items, n_shards)
+                flat = [i for shard in shards for i in shard]
+                assert flat == list(range(n_items))
+                sizes = [len(s) for s in shards]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_indices(4, 0)
+
+
+def test_cpu_workers_bounds():
+    assert cpu_workers() >= 1
+    assert cpu_workers(cap=1) == 1
+
+
+class TestExperimentSharding:
+    """The ablation grids must be worker-count invariant end to end."""
+
+    def test_horizon_ablation_parallel_identical(self):
+        from repro.experiments.ablations import run_horizon_ablation
+
+        serial = run_horizon_ablation(fast=True)
+        sharded = run_horizon_ablation(fast=True, workers=2)
+        assert serial == sharded

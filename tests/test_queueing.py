@@ -6,12 +6,20 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine.queueing import (
+    _SCALAR_BISECTION_THRESHOLD,
     LatencyComponents,
     PartitionQueue,
+    _bisect_many,
+    _scalar_bisect,
+    _upper_bracket,
+    fluid_queue_batch,
     fluid_queue_step,
     latency_components,
+    latency_components_steps,
+    merge_components,
     mixture_mean,
     mixture_quantiles,
+    mixture_quantiles_steps,
 )
 from repro.errors import ConfigurationError
 
@@ -181,3 +189,149 @@ class TestPartitionQueue:
     def test_rejects_bad_rate(self):
         with pytest.raises(ConfigurationError):
             PartitionQueue(service_rate=0.0)
+
+
+class TestBisectionCrossover:
+    """The quantile solver picks plain-Python bisection for tiny merged
+    mixtures and the vectorized kernel above ``_SCALAR_BISECTION_THRESHOLD``
+    units of work.  The two branches evaluate ``exp`` differently
+    (``math.exp`` vs ``np.exp``), so they are not bit-equal — but both
+    bracket the same root of the same CDF to bisection tolerance, and
+    mixtures straddling the crossover must not jump."""
+
+    @staticmethod
+    def _random_mixture(rng, n):
+        w = rng.dirichlet(np.ones(n))
+        d = rng.uniform(0.0, 2.0, n)
+        r = rng.uniform(0.05, 50.0, n)
+        return w, d, r
+
+    @given(
+        n=st.integers(min_value=1, max_value=24),
+        n_q=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_and_vectorized_branches_agree(self, n, n_q, seed):
+        rng = np.random.default_rng(seed)
+        w, d, r = self._random_mixture(rng, n)
+        qs = np.sort(rng.uniform(0.05, 0.995, n_q))
+        hi = _upper_bracket(d, r, float(qs.max()))
+        scalar = _scalar_bisect(w.tolist(), d.tolist(), r.tolist(), qs, hi)
+        vector = _bisect_many(
+            w[None, :], d[None, :], r[None, :], qs, np.full(1, hi)
+        )[0]
+        # After 40 halvings of the same bracket both land within ~hi/2^39
+        # of the true quantile; 1e-9 relative to the bracket is generous.
+        np.testing.assert_allclose(scalar, vector, rtol=0.0, atol=1e-9 * max(hi, 1.0))
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_no_jump_across_crossover(self, seed):
+        """Growing a mixture by one component across the work threshold
+        must move the quantiles continuously (the branch switch is an
+        implementation detail, not a model change)."""
+        rng = np.random.default_rng(seed)
+        quantiles = (0.50, 0.95, 0.99)
+        # len(w) * len(quantiles) crosses the threshold at n = 11 for 3
+        # quantiles; sweep a window around it with distinct (d, r) pairs
+        # so merging never collapses components.
+        lo_n = _SCALAR_BISECTION_THRESHOLD // len(quantiles) - 2
+        results = []
+        for n in range(lo_n, lo_n + 5):
+            w = np.full(n, 1.0 / n)
+            d = np.linspace(0.01, 0.5, n)
+            r = np.linspace(5.0, 40.0, n) + rng.uniform(0, 0.1)
+            comps = LatencyComponents(w, d, r)
+            results.append(mixture_quantiles(comps, quantiles))
+        results = np.array(results)
+        # Adjacent mixtures differ by one light component; quantiles
+        # drift smoothly, never by orders of magnitude.
+        steps = np.abs(np.diff(results, axis=0))
+        assert float(steps.max()) < 0.5
+
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mixture_quantiles_matches_cdf(self, n, seed):
+        """Whichever branch runs, the returned quantile inverts the
+        mixture CDF: F(x_q) ~= q."""
+        rng = np.random.default_rng(seed)
+        w, d, r = self._random_mixture(rng, n)
+        comps = LatencyComponents(w, d, r)
+        mw, md, mr = merge_components(w, d, r)
+        for q, x in zip((0.5, 0.95, 0.99), mixture_quantiles(comps, (0.5, 0.95, 0.99))):
+            gap = x - md
+            cdf = float(
+                np.sum(mw * np.where(gap > 0, 1.0 - np.exp(-mr * np.maximum(gap, 0.0)), 0.0))
+            )
+            assert abs(cdf - q) < 1e-6
+
+
+class TestBatchedKernels:
+    """The (S x P) batched slot kernel must equal step-by-step evaluation
+    bit for bit (the engine's exact-stepping contract)."""
+
+    @given(
+        steps=st.integers(min_value=1, max_value=20),
+        parts=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        clamp=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fluid_queue_batch_matches_sequential(self, steps, parts, seed, clamp):
+        rng = np.random.default_rng(seed)
+        backlog0 = rng.uniform(0.0, 50.0, parts)
+        offered = rng.uniform(0.0, 120.0, parts)
+        mu = rng.uniform(1.0, 100.0, parts)
+        dt = 1.0
+        max_backlog = mu * rng.uniform(0.5, 3.0) if clamp else None
+
+        pre, served, final = fluid_queue_batch(
+            backlog0, offered, mu, dt, steps, max_backlog=max_backlog
+        )
+
+        b = backlog0.copy()
+        for s in range(steps):
+            np.testing.assert_array_equal(pre[s], b, err_msg=f"pre row {s}")
+            b, served_s = fluid_queue_step(b, offered, mu, dt)
+            if max_backlog is not None:
+                np.minimum(b, max_backlog, out=b)
+            np.testing.assert_array_equal(served[s], served_s, err_msg=f"served row {s}")
+        np.testing.assert_array_equal(final, b)
+        # The input backlog must not have been mutated.
+        np.testing.assert_array_equal(backlog0, pre[0])
+
+    @given(
+        steps=st.integers(min_value=1, max_value=12),
+        parts=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_latency_and_quantile_steps_match_per_step(self, steps, parts, seed):
+        rng = np.random.default_rng(seed)
+        backlogs = rng.uniform(0.0, 30.0, (steps, parts))
+        offered = rng.uniform(0.0, 80.0, parts)
+        mu = rng.uniform(1.0, 90.0, parts)
+        base = 0.025
+        quantiles = (0.50, 0.95, 0.99)
+
+        w, delays, tails = latency_components_steps(
+            backlogs, offered, mu, base_service_s=base
+        )
+        batched = mixture_quantiles_steps(w, delays, tails, quantiles)
+
+        for s in range(steps):
+            comps = latency_components(
+                backlogs[s], offered, mu, base_service_s=base
+            )
+            np.testing.assert_array_equal(w, comps.weights)
+            np.testing.assert_array_equal(delays[s], comps.delays)
+            np.testing.assert_array_equal(tails, comps.tail_rates)
+            np.testing.assert_array_equal(
+                batched[s],
+                mixture_quantiles(comps, quantiles),
+                err_msg=f"quantiles row {s} not bit-identical",
+            )
