@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint cov bench bench-pytest chaos serve-smoke
+.PHONY: test lint cov bench bench-pytest chaos serve-smoke chaos-serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,12 @@ chaos:
 ## and at least one reconfiguration completes.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+## Serving-path fault-tolerance smoke (docs/ROBUSTNESS.md): node crash
+## + recovery mid-serve under breakers/retries, exact request
+## conservation, and a bit-identical checkpoint restore.
+chaos-serve-smoke:
+	./scripts/serve_smoke.sh --faults
 
 ## Median-ns kernel baseline, written to BENCH_<date>.json (see
 ## docs/PERFORMANCE.md).

@@ -18,10 +18,88 @@
 # decision audit (the run outlives the SPAR fit slot), the SLO alert
 # fired during the spike, and the request-trace summary.  CI uploads
 # the bundle as an artifact.
+#
+# `serve_smoke.sh --faults` runs the chaos variant instead (CI
+# `chaos-serve-smoke` job / `make chaos-serve-smoke`): a no-HTTP
+# virtual-clock run with a node crash + recovery mid-run under
+# `--resilience`/`--retries`/`--checkpoint`, asserting that traffic hit
+# the crashed node's stale routing view, that every breaker closed
+# again after recovery, that request conservation (offered = served +
+# shed + errored + in-flight) holds exactly, and that `--restore` from
+# the mid-run checkpoint reproduces the uninterrupted run's report
+# bit-for-bit.  See docs/ROBUSTNESS.md § Serving-path fault tolerance.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
+
+chaos_smoke() {
+    local BUNDLE="${BUNDLE_DIR:-out/chaos-serve-smoke-bundle}"
+    local CKPT OUT1 OUT2
+    CKPT=$(mktemp) OUT1=$(mktemp) OUT2=$(mktemp)
+    rm -rf "$BUNDLE"
+    trap 'rm -f "$CKPT" "$OUT1" "$OUT2"' RETURN
+
+    # Node 1 crashes at t=90 and recovers at t=180; checkpoints land on
+    # the 180 s cadence, so at least one is written while the fault plan
+    # is already resolved and the run is quiescent.
+    local ARGS=(
+        python -m repro.cli serve --no-http --clock virtual --duration 600
+        --profile "poisson:rate=10" --seed 7
+        --saturation 12 --db-size-mb 5 --nodes 3 --max-nodes 4
+        --interval-seconds 60 --queue-limit 8
+        --spar "period=12,periods=2,recent=2,horizon=4"
+        --faults "crash@90:n1:recover=90"
+        --resilience "miss=3,open=20,halfopen=2,brownout=0.5,shed=1"
+        --retries "max=3,base=1,cap=8,floor=200"
+        --checkpoint "$CKPT" --checkpoint-every 180
+    )
+
+    "${ARGS[@]}" --debug-bundle "$BUNDLE" | tee "$OUT1"
+
+    grep -q 'fault plan in force' "$OUT1" \
+        || { echo "chaos run never installed the fault plan" >&2; return 1; }
+    # The crashed node must have eaten traffic from the stale router
+    # view before its breaker opened — otherwise the chaos was a no-op.
+    ERRORS=$(grep -oE 'resilience: errors [0-9]+' "$OUT1" | grep -oE '[0-9]+$' || true)
+    [ "${ERRORS:-0}" -gt 0 ] \
+        || { echo "no requests hit the crashed node's stale view" >&2; return 1; }
+    grep -q 'n1=closed' "$OUT1" \
+        || { echo "breaker for the crashed node never closed again" >&2; return 1; }
+    # Zero dropped-but-unaccounted requests: the conservation identity
+    # must hold exactly.
+    if grep -q 'MISMATCH' "$OUT1"; then
+        echo "request conservation MISMATCH — requests dropped unaccounted" >&2
+        return 1
+    fi
+    grep -q 'conservation: .*(exact)' "$OUT1" \
+        || { echo "chaos run printed no conservation verdict" >&2; return 1; }
+    grep -q 'checkpoints written:' "$OUT1" \
+        || { echo "no checkpoint was written during the chaos run" >&2; return 1; }
+
+    # Crash-recover the whole process: restore from the last mid-run
+    # checkpoint and serve the remainder; the final report must be
+    # bit-identical to the uninterrupted run's.
+    "${ARGS[@]}" --restore "$CKPT" | tee "$OUT2"
+    grep -q 'restored from' "$OUT2" \
+        || { echo "restore leg did not resume from the checkpoint" >&2; return 1; }
+    if ! diff <(grep -E '^(offered|throughput|latency|errors|conservation|resilience)' "$OUT1") \
+              <(grep -E '^(offered|throughput|latency|errors|conservation|resilience)' "$OUT2"); then
+        echo "restored run's report differs from the uninterrupted run" >&2
+        return 1
+    fi
+
+    [ -f "$BUNDLE/MANIFEST.json" ] || { echo "no debug bundle at $BUNDLE" >&2; return 1; }
+    python -c "from repro.telemetry.bundle import verify_bundle; verify_bundle('$BUNDLE')" \
+        || { echo "bundle manifest failed verification" >&2; return 1; }
+    echo "chaos smoke passed: conservation exact, breakers closed, restore bit-identical"
+}
+
+if [ "${1:-}" = "--faults" ]; then
+    chaos_smoke
+    exit $?
+fi
+
 OUT=$(mktemp)
 BUNDLE="${BUNDLE_DIR:-out/serve-smoke-bundle}"
 rm -rf "$BUNDLE"

@@ -282,6 +282,81 @@ def _parse_slo_spec(spec: str):
     return SLOConfig(**kwargs)
 
 
+def _parse_resilience_spec(spec: str):
+    """Parse ``miss=3,open=30,halfopen=2,brownout=0.5,shed=1`` into a
+    :class:`~repro.serve.resilience.ResilienceConfig` (empty = defaults;
+    ``brownout=0`` disables brownout entirely)."""
+    from repro.errors import ConfigurationError
+    from repro.serve.resilience import BreakerConfig, BrownoutConfig, ResilienceConfig
+
+    options = {"miss": 3.0, "open": 30.0, "halfopen": 2.0, "brownout": 0.5, "shed": 1.0}
+    if spec:
+        for token in spec.split(","):
+            key, eq, value = token.partition("=")
+            key = key.strip()
+            if not eq or key not in options:
+                raise ConfigurationError(
+                    f"bad --resilience token {token!r}; keys: {', '.join(options)}"
+                )
+            try:
+                options[key] = float(value)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"--resilience {key} must be a number, got {value!r}"
+                ) from exc
+    breaker = BreakerConfig(
+        miss_threshold=int(options["miss"]),
+        open_seconds=options["open"],
+        half_open_successes=int(options["halfopen"]),
+    )
+    brownout = (
+        BrownoutConfig(
+            queue_factor=options["brownout"],
+            shed_low_priority=bool(options["shed"]),
+        )
+        if options["brownout"] > 0
+        else None
+    )
+    return ResilienceConfig(breaker=breaker, brownout=brownout)
+
+
+def _parse_retry_spec(spec: str):
+    """Parse ``max=3,base=0.5,cap=8,jitter=0.2,budget=0.2,floor=20,
+    hedge=5,lowprio=0.1`` into a :class:`~repro.serve.resilience.
+    RetryConfig` (empty = defaults; omit ``hedge`` to disable hedging)."""
+    from repro.errors import ConfigurationError
+    from repro.serve.resilience import RetryConfig
+
+    keys = {
+        "max": "max_retries",
+        "base": "backoff_base_s",
+        "cap": "backoff_cap_s",
+        "jitter": "jitter",
+        "budget": "budget_fraction",
+        "floor": "budget_floor",
+        "hedge": "hedge_queue_seconds",
+        "lowprio": "low_priority_fraction",
+    }
+    kwargs = {}
+    if spec:
+        for token in spec.split(","):
+            key, eq, value = token.partition("=")
+            key = key.strip()
+            if not eq or key not in keys:
+                raise ConfigurationError(
+                    f"bad --retries token {token!r}; keys: {', '.join(keys)}"
+                )
+            try:
+                parsed = float(value)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"--retries {key} must be a number, got {value!r}"
+                ) from exc
+            name = keys[key]
+            kwargs[name] = int(parsed) if name in ("max_retries", "budget_floor") else parsed
+    return RetryConfig(**kwargs)
+
+
 def _build_serve_engine(args: argparse.Namespace, telemetry: Telemetry):
     from repro.core.params import SystemParameters
     from repro.engine.simulator import EngineConfig
@@ -327,6 +402,11 @@ def _build_serve_engine(args: argparse.Namespace, telemetry: Telemetry):
         telemetry=telemetry,
         trace_requests=args.trace_requests,
         slo=_parse_slo_spec(args.slo) if args.slo is not None else None,
+        resilience=(
+            _parse_resilience_spec(args.resilience)
+            if args.resilience is not None
+            else None
+        ),
     )
 
 
@@ -348,6 +428,19 @@ def _print_serve_outcome(engine, report) -> None:
             f"{state['fast_burn']:.2f}/{state['slow_burn']:.2f} | "
             f"alerts fired {state['alerts_fired']}{firing}"
         )
+    if engine.resilience is not None:
+        health = engine.healthz()
+        breakers = health.get("breakers") or {}
+        states = (
+            ", ".join(f"n{node}={state}" for node, state in sorted(breakers.items()))
+            or "none tracked"
+        )
+        print(
+            f"resilience: errors {health.get('errors', 0)} | "
+            f"brownout sheds {health.get('brownout_sheds', 0)} | "
+            f"breakers: {states}"
+        )
+        print(report.conservation_line())
     log = getattr(engine.controller, "decision_log", None)
     if log:
         print("decisions:")
@@ -374,6 +467,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # /metrics needs a registry even without --telemetry.
         telemetry = session_telemetry if session_telemetry is not None else Telemetry()
         engine = _build_serve_engine(args, telemetry)
+        retry = _parse_retry_spec(args.retries) if args.retries is not None else None
+        checkpoint = None
+        if args.checkpoint is not None:
+            from repro.serve import CheckpointConfig
+
+            checkpoint = CheckpointConfig(
+                args.checkpoint, every_s=args.checkpoint_every
+            )
         arrivals = None
         if args.profile is not None:
             if args.duration is None:
@@ -381,14 +482,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 return 2
             arrivals = parse_profile(args.profile, args.duration, seed=args.seed)
             print(f"embedded loadgen: {len(arrivals)} arrivals ({args.profile})")
+        if args.restore is not None and not args.no_http:
+            print("--restore requires --no-http", file=sys.stderr)
+            return 2
         if args.no_http:
             if args.duration is None:
                 print("--no-http requires --duration", file=sys.stderr)
                 return 2
-            session = ServeSession(
-                engine, arrivals if arrivals is not None else np.empty(0)
-            )
-            report = session.run(args.duration)
+            schedule = arrivals if arrivals is not None else np.empty(0)
+            if args.restore is not None:
+                session = ServeSession.resume(
+                    engine,
+                    schedule,
+                    args.restore,
+                    retry=retry,
+                    retry_seed=args.seed,
+                    checkpoint=checkpoint,
+                )
+                remaining = args.duration - session.clock.now
+                if remaining <= 0:
+                    print(
+                        f"checkpoint is already at t={session.clock.now:.0f}s, "
+                        f"nothing left of the {args.duration:.0f}s run",
+                        file=sys.stderr,
+                    )
+                    return 2
+                print(
+                    f"restored from {args.restore} at t={session.clock.now:.0f}s; "
+                    f"serving the remaining {remaining:.0f}s"
+                )
+                report = session.run(remaining)
+            else:
+                session = ServeSession(
+                    engine,
+                    schedule,
+                    retry=retry,
+                    retry_seed=args.seed,
+                    checkpoint=checkpoint,
+                )
+                report = session.run(args.duration)
+            if session.checkpoints_written:
+                print(f"checkpoints written: {session.checkpoints_written}")
         else:
             from repro.serve.http import ServeApp
 
@@ -401,6 +535,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 duration_s=args.duration,
                 linger_s=args.linger,
                 arrivals=arrivals,
+                retry=retry,
+                retry_seed=args.seed,
+                checkpoint=checkpoint,
             )
             asyncio.run(
                 app.run(
@@ -630,6 +767,35 @@ def main(argv: Optional[List[str]] = None) -> int:
              "'objective=0.999,latency=500,fast=300,slow=3600,burn=10' "
              "(bare --slo uses those defaults)",
     )
+    serve_parser.add_argument(
+        "--resilience", nargs="?", const="", default=None, metavar="SPEC",
+        help="enable failure detection (per-node circuit breakers) and "
+             "brownout degradation; SPEC e.g. "
+             "'miss=3,open=30,halfopen=2,brownout=0.5' (bare --resilience "
+             "uses those defaults; brownout=0 disables brownout)",
+    )
+    serve_parser.add_argument(
+        "--retries", nargs="?", const="", default=None, metavar="SPEC",
+        help="client-side retries with capped backoff + jitter and a "
+             "retry budget; SPEC e.g. 'max=3,base=0.5,cap=8,budget=0.2,"
+             "hedge=5,lowprio=0.1' (hedge enables tail-latency hedging, "
+             "lowprio tags sheddable requests)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="snapshot the serving state (engine, control loop, loadgen "
+             "cursor) to PATH on a cadence; quiescent tick boundaries only",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every", type=float, default=600.0, metavar="SECONDS",
+        help="checkpoint cadence in engine seconds (default 600)",
+    )
+    serve_parser.add_argument(
+        "--restore", metavar="PATH", default=None,
+        help="resume a --no-http virtual run from a checkpoint written "
+             "by --checkpoint; the resumed run is bit-identical to an "
+             "uninterrupted one",
+    )
     _add_session_flags(serve_parser)
 
     loadgen_parser = subparsers.add_parser(
@@ -644,22 +810,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_session_flags(loadgen_parser)
 
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "report":
-        return _cmd_report(args.path, args.window)
-    if args.command == "explain":
-        return _cmd_explain(args.path, args.max_details)
-    if args.command == "bench":
-        return _cmd_bench(args)
-    if args.command == "serve":
-        return _cmd_serve(args)
-    if args.command == "loadgen":
-        return _cmd_loadgen(args)
-    return _cmd_run(
-        args.ids, args.fast, args.save, args.faults, args.telemetry,
-        args.debug_bundle, args.workers,
-    )
+    from repro.errors import ReproError
+
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "report":
+            return _cmd_report(args.path, args.window)
+        if args.command == "explain":
+            return _cmd_explain(args.path, args.max_details)
+        if args.command == "bench":
+            return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args)
+        return _cmd_run(
+            args.ids, args.fast, args.save, args.faults, args.telemetry,
+            args.debug_bundle, args.workers,
+        )
+    except ReproError as exc:
+        # Operator mistakes (bad --faults token, malformed spec, broken
+        # checkpoint) get one readable line and exit 2, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

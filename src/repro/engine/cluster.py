@@ -28,7 +28,7 @@ from repro.engine.hashing import Key
 from repro.engine.node import Node
 from repro.engine.partition import Partition
 from repro.engine.table import DatabaseSchema
-from repro.errors import EngineError, NodeFailedError
+from repro.errors import ConfigurationError, EngineError, NodeFailedError
 
 
 class Cluster:
@@ -321,6 +321,44 @@ class Cluster:
         """Drop routing-derived caches after a plan change."""
         self._routing_version += 1
         self._node_weights_cache = None
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def topology_state(self) -> Dict[str, object]:
+        """JSON-serializable routing topology (flags + bucket map)."""
+        return {
+            "active": [int(v) for v in self._active],
+            "failed": [int(v) for v in self._failed],
+            "assignment": self._assignment.tolist(),
+            "plan_num_nodes": int(self._plan_num_nodes),
+        }
+
+    def restore_topology(self, state: Dict[str, object]) -> None:
+        """Overwrite flags and bucket routing from a topology snapshot.
+
+        The cluster must have the same shape (``max_nodes``, bucket
+        count) as the one snapshotted; derived caches are invalidated.
+        """
+        assignment = np.asarray(state["assignment"], dtype=np.int64)
+        if len(assignment) != len(self._assignment):
+            raise ConfigurationError(
+                f"topology snapshot has {len(assignment)} buckets, "
+                f"cluster has {len(self._assignment)}"
+            )
+        active = np.asarray(state["active"], dtype=bool)
+        failed = np.asarray(state["failed"], dtype=bool)
+        if len(active) != self.max_nodes or len(failed) != self.max_nodes:
+            raise ConfigurationError(
+                "topology snapshot node count does not match max_nodes"
+            )
+        self._active[:] = active
+        self._failed[:] = failed
+        self._num_active = int(active.sum())
+        self._assignment[:] = assignment
+        self._bucket_counts = np.bincount(assignment, minlength=self.max_nodes)
+        self._plan_num_nodes = int(state["plan_num_nodes"])  # type: ignore[arg-type]
+        self._invalidate_routing()
 
     @property
     def routing_version(self) -> int:

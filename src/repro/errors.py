@@ -34,6 +34,20 @@ class FaultInjectionError(ReproError):
     """Raised when a fault plan or fault spec is invalid."""
 
 
+class CheckpointError(ReproError):
+    """Raised when a serving checkpoint cannot be taken, read or applied.
+
+    Covers digest mismatches (a corrupted or hand-edited snapshot),
+    format/config mismatches (restoring into a differently-configured
+    session) and attempts to snapshot non-quiescent state (a migration
+    or unresolved fault activity in flight).
+    """
+
+
+class ParallelExecutionError(ReproError):
+    """Raised when a worker pool dies and the in-process retry fails too."""
+
+
 class EngineError(ReproError):
     """Raised on invalid operations against the simulated OLTP engine."""
 

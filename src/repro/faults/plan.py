@@ -228,6 +228,24 @@ def _opt_value(options: Sequence[str], key: str) -> Optional[str]:
     return None
 
 
+def _parse_int(value: str, what: str, entry: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise FaultInjectionError(
+            f"bad {what} {value!r} in fault entry {entry!r} (expected an integer)"
+        ) from None
+
+
+def _parse_float(value: str, what: str, entry: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise FaultInjectionError(
+            f"bad {what} {value!r} in fault entry {entry!r} (expected a number)"
+        ) from None
+
+
 def parse_fault_spec(spec: str) -> FaultPlan:
     """Parse the compact ``--faults`` CLI syntax into a plan.
 
@@ -260,8 +278,12 @@ def parse_fault_spec(spec: str) -> FaultPlan:
             events.append(
                 NodeCrash(
                     at_seconds=at_seconds,
-                    node_id=int(node),
-                    recover_after_seconds=float(recover) if recover else None,
+                    node_id=_parse_int(node, "node id", entry),
+                    recover_after_seconds=(
+                        _parse_float(recover, "recover delay", entry)
+                        if recover
+                        else None
+                    ),
                 )
             )
         elif kind in ("straggle", "straggler"):
@@ -277,16 +299,23 @@ def parse_fault_spec(spec: str) -> FaultPlan:
             events.append(
                 NodeStraggler(
                     at_seconds=at_seconds,
-                    node_id=int(node),
-                    factor=float(factor) if factor else 0.5,
-                    duration_seconds=float(duration) if duration else 60.0,
+                    node_id=_parse_int(node, "node id", entry),
+                    factor=(
+                        _parse_float(factor, "capacity factor", entry)
+                        if factor
+                        else 0.5
+                    ),
+                    duration_seconds=(
+                        _parse_float(duration, "duration", entry) if duration else 60.0
+                    ),
                 )
             )
         elif kind == "xfail":
             count = _opt_value(options, "count")
             events.append(
                 TransferFailure(
-                    at_seconds=at_seconds, count=int(count) if count else 1
+                    at_seconds=at_seconds,
+                    count=_parse_int(count, "count", entry) if count else 1,
                 )
             )
         elif kind == "stall":
@@ -294,7 +323,9 @@ def parse_fault_spec(spec: str) -> FaultPlan:
             events.append(
                 MigrationStall(
                     at_seconds=at_seconds,
-                    duration_seconds=float(duration) if duration else 30.0,
+                    duration_seconds=(
+                        _parse_float(duration, "duration", entry) if duration else 30.0
+                    ),
                 )
             )
         elif kind == "gen":
@@ -314,9 +345,13 @@ def parse_fault_spec(spec: str) -> FaultPlan:
             ):
                 value = _opt_value(options, key)
                 if value is not None:
-                    kwargs[name] = int(value)
+                    kwargs[name] = _parse_int(value, key, entry)
             events.extend(
-                FaultPlan.generate(int(seed), float(span), **kwargs).events
+                FaultPlan.generate(
+                    _parse_int(seed, "seed", entry),
+                    _parse_float(span, "span", entry),
+                    **kwargs,
+                ).events
             )
         else:
             raise FaultInjectionError(

@@ -18,6 +18,11 @@ Worker semantics (see docs/PERFORMANCE.md):
   parallelism is always an explicit opt-in.
 * Exceptions propagate: the first failing item raises in the parent
   (in item order, matching the serial loop) and cancels the pool.
+* Worker *death* (OOM kill, segfault, interpreter abort) poisons the
+  whole pool with an uninformative ``BrokenProcessPool``; the map
+  retries the work once serially in-process, which either succeeds
+  (the death was environmental) or converts the poison into a
+  :class:`~repro.errors.ParallelExecutionError` naming the failing cell.
 * Determinism is the *caller's* job per item: workers must not share
   mutable state or draw from a global RNG.  Seed each item explicitly —
   :func:`spawn_seeds` derives independent, reproducible child seeds.
@@ -27,9 +32,12 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 import numpy as np
+
+from repro.errors import ParallelExecutionError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -63,10 +71,35 @@ def parallel_map(
     work = list(items)
     if max_workers is None or max_workers <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
-    with ProcessPoolExecutor(max_workers=min(max_workers, len(work))) as pool:
-        # Executor.map preserves submission order, which makes the merge
-        # deterministic; it also re-raises the first failure in order.
-        return list(pool.map(fn, work))
+    try:
+        with ProcessPoolExecutor(max_workers=min(max_workers, len(work))) as pool:
+            futures = [pool.submit(fn, item) for item in work]
+            try:
+                # Collect in submission order, which makes the merge
+                # deterministic and re-raises the first failure in order.
+                return [future.result() for future in futures]
+            except BrokenProcessPool:
+                raise
+            except Exception:
+                for future in futures:
+                    future.cancel()
+                raise
+    except BrokenProcessPool:
+        pass
+    # A worker died (OOM kill, segfault): every future is poisoned with
+    # the same unhelpful error.  Retry serially in-process — either the
+    # death was environmental and the results are fine, or the bad cell
+    # fails again here with its real traceback and a name.
+    results: List[R] = []
+    for index, item in enumerate(work):
+        try:
+            results.append(fn(item))
+        except Exception as exc:
+            raise ParallelExecutionError(
+                f"worker pool died and cell {index} ({item!r}) failed the "
+                f"in-process retry too: {exc}"
+            ) from exc
+    return results
 
 
 def spawn_seeds(seed: int, n: int) -> List[int]:

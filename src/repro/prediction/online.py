@@ -128,3 +128,37 @@ class OnlinePredictor(Predictor):
 
     def observed(self) -> np.ndarray:
         return np.asarray(self._history)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable lifecycle state (for serving checkpoints)."""
+        inner_state = None
+        if hasattr(self.inner, "state_dict"):
+            inner_state = self.inner.state_dict()
+        return {
+            "refit_every": self.refit_every,
+            "min_training": self.min_training,
+            "history": list(self._history),
+            "slots_since_fit": self._slots_since_fit,
+            "fitted": self._fitted,
+            "refits": self.refits,
+            "inner": inner_state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the accumulate/fit/refit cursor and the inner model."""
+        if (
+            state["refit_every"] != self.refit_every
+            or state["min_training"] != self.min_training
+        ):
+            raise PredictionError(
+                "OnlinePredictor checkpoint cadence does not match: "
+                f"refit_every {state['refit_every']} vs {self.refit_every}, "
+                f"min_training {state['min_training']} vs {self.min_training}"
+            )
+        self._history = [float(v) for v in state["history"]]
+        self._slots_since_fit = int(state["slots_since_fit"])
+        self._fitted = bool(state["fitted"])
+        self.refits = int(state["refits"])
+        if state["inner"] is not None:
+            self.inner.load_state_dict(state["inner"])

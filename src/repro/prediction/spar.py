@@ -157,3 +157,30 @@ class SPARPredictor(Predictor):
         if tau not in self._coef:
             raise PredictionError(f"model not fitted for horizon {tau}")
         return self._coef[tau].copy()
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable fitted state (for serving checkpoints)."""
+        return {
+            "config": {
+                "period": self.period,
+                "n_periods": self.n_periods,
+                "n_recent": self.n_recent,
+                "max_horizon": self.max_horizon,
+                "ridge": self.ridge,
+            },
+            "coef": {str(tau): coef.tolist() for tau, coef in self._coef.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore fitted coefficients; the configuration must match."""
+        config = state["config"]
+        mine = self.state_dict()["config"]
+        if config != mine:
+            raise PredictionError(
+                f"SPAR checkpoint config {config} does not match model {mine}"
+            )
+        self._coef = {
+            int(tau): np.asarray(coef, dtype=np.float64)
+            for tau, coef in state["coef"].items()
+        }

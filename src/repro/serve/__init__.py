@@ -5,12 +5,23 @@ each submitted transaction through the cluster/queueing model to a
 sampled latency, sheds load above a per-node queue budget, and feeds
 live arrival counts into the online SPAR control loop so predictive
 reconfigurations happen exactly as they do in batch experiments.
+
+Fault tolerance (see :mod:`repro.serve.resilience` and
+:mod:`repro.serve.checkpoint`): per-node circuit breakers driven by
+health probes, brownout degradation while capacity is below plan,
+client-side retries/hedging with a retry budget, and digest-verified
+checkpoints that resume a run bit-identically.
 """
 
 from repro.serve.admission import (
     AdmissionConfig,
     AdmissionController,
     AdmissionDecision,
+)
+from repro.serve.checkpoint import (
+    CheckpointConfig,
+    read_checkpoint,
+    write_checkpoint,
 )
 from repro.serve.clock import VirtualClock
 from repro.serve.control import OnlineControlLoop
@@ -23,12 +34,24 @@ from repro.serve.loadgen import (
     spike_arrivals,
     trace_arrivals,
 )
+from repro.serve.resilience import (
+    BreakerConfig,
+    BrownoutConfig,
+    CircuitBreaker,
+    NodeHealthMonitor,
+    ResilienceConfig,
+    ResilientClient,
+    RetryConfig,
+)
 from repro.serve.session import ServeSession
 
 __all__ = [
     "AdmissionConfig",
     "AdmissionController",
     "AdmissionDecision",
+    "CheckpointConfig",
+    "read_checkpoint",
+    "write_checkpoint",
     "VirtualClock",
     "OnlineControlLoop",
     "ServerEngine",
@@ -39,5 +62,12 @@ __all__ = [
     "poisson_arrivals",
     "spike_arrivals",
     "trace_arrivals",
+    "BreakerConfig",
+    "BrownoutConfig",
+    "CircuitBreaker",
+    "NodeHealthMonitor",
+    "ResilienceConfig",
+    "ResilientClient",
+    "RetryConfig",
     "ServeSession",
 ]

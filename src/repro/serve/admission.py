@@ -62,12 +62,15 @@ class AdmissionDecision:
         est_queue_seconds: Estimated queueing delay at decision time.
         retry_after_s: Backoff hint for rejected requests (0 when
             accepted); HTTP surfaces it as a ``Retry-After`` header.
+        reason: Why the request was rejected (``"queue-limit"``,
+            ``"brownout"``, ``"connection"``); empty when accepted.
     """
 
     accepted: bool
     node_id: int
     est_queue_seconds: float
     retry_after_s: float = 0.0
+    reason: str = ""
 
     @property
     def status(self) -> int:
@@ -89,15 +92,23 @@ class AdmissionController:
         self.accepted = 0
         self.rejected = 0
 
-    def decide(self, node_id: int, est_queue_seconds: float) -> AdmissionDecision:
+    def decide(
+        self,
+        node_id: int,
+        est_queue_seconds: float,
+        *,
+        limit_s: Optional[float] = None,
+    ) -> AdmissionDecision:
         """Admit or shed a request bound for ``node_id``.
 
         Args:
             node_id: Routed node.
             est_queue_seconds: The node's current estimated queueing
                 delay, including requests already admitted this tick.
+            limit_s: Override for the configured queue limit (brownout
+                passes a tightened one).
         """
-        limit = self.config.queue_limit_seconds
+        limit = self.config.queue_limit_seconds if limit_s is None else limit_s
         tel = self.telemetry
         if est_queue_seconds <= limit:
             self.accepted += 1
@@ -113,7 +124,27 @@ class AdmissionController:
             tel.counter("serve.rejected").inc()
             tel.counter(labeled("serve.admit.shed", node=node_id)).inc()
             tel.gauge("serve.admit.retry_after_s").set(retry_after)
-        return AdmissionDecision(False, node_id, est_queue_seconds, retry_after)
+        return AdmissionDecision(
+            False, node_id, est_queue_seconds, retry_after, reason="queue-limit"
+        )
+
+    def shed_outright(
+        self, node_id: int, est_queue_seconds: float, *, reason: str
+    ) -> AdmissionDecision:
+        """Reject without consulting the queue limit (brownout shedding)."""
+        self.rejected += 1
+        tel = self.telemetry
+        if tel is not None:
+            tel.counter("serve.rejected").inc()
+            tel.counter(labeled("serve.admit.shed", node=node_id)).inc()
+            tel.counter("serve.brownout.shed").inc()
+        return AdmissionDecision(
+            False,
+            node_id,
+            est_queue_seconds,
+            self.config.retry_after_floor_s,
+            reason=reason,
+        )
 
     @property
     def total(self) -> int:

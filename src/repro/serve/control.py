@@ -238,3 +238,57 @@ class OnlineControlLoop:
             return
         self._expected_machines = target
         self.moves_requested += 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable control state: SPAR fit, window buffers and
+        the policy's scale-in votes — everything a restored loop needs to
+        keep deciding bit-identically.  The decision log is observability,
+        not control state, and is not included."""
+        return {
+            "config": {
+                "interval_seconds": self.params.interval_seconds,
+                "slot_seconds": self.slot_seconds,
+                "horizon": self.horizon,
+                "inflation": self.inflation,
+                "max_machines": self.max_machines,
+            },
+            "online": self.online.state_dict(),
+            "slot_buffer": list(self._slot_buffer),
+            "moves_requested": self.moves_requested,
+            "cold_start_decisions": self.cold_start_decisions,
+            "predictive_decisions": self.predictive_decisions,
+            "intervals_observed": self.intervals_observed,
+            "expected_machines": self._expected_machines,
+            "pending_forecast": self._pending_forecast,
+            "policy": {
+                "scale_in_votes": self.policy._scale_in_votes,
+                "plans_computed": self.policy.plans_computed,
+                "fallback_scale_outs": self.policy.fallback_scale_outs,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore control state into an identically-configured loop."""
+        config = state["config"]
+        mine = self.state_dict()["config"]
+        if config != mine:
+            raise ConfigurationError(
+                f"control checkpoint config {config} does not match loop {mine}"
+            )
+        self.online.load_state_dict(state["online"])
+        self._slot_buffer = [float(v) for v in state["slot_buffer"]]
+        self.moves_requested = int(state["moves_requested"])
+        self.cold_start_decisions = int(state["cold_start_decisions"])
+        self.predictive_decisions = int(state["predictive_decisions"])
+        self.intervals_observed = int(state["intervals_observed"])
+        expected = state["expected_machines"]
+        self._expected_machines = None if expected is None else int(expected)
+        forecast = state["pending_forecast"]
+        self._pending_forecast = None if forecast is None else float(forecast)
+        policy = state["policy"]
+        self.policy._scale_in_votes = int(policy["scale_in_votes"])
+        self.policy.plans_computed = int(policy["plans_computed"])
+        self.policy.fallback_scale_outs = int(policy["fallback_scale_outs"])

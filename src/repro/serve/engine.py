@@ -35,7 +35,9 @@ from repro.engine.simulator import ElasticityController, EngineConfig, EngineSim
 from repro.errors import ConfigurationError
 from repro.faults.injector import FaultInjector
 from repro.serve.admission import AdmissionConfig, AdmissionController, AdmissionDecision
+from repro.serve.resilience import OPEN, NodeHealthMonitor, ResilienceConfig
 from repro.telemetry import Telemetry, resolve_telemetry
+from repro.telemetry.metrics import labeled
 from repro.telemetry.requesttrace import RequestTracer, TraceContext
 from repro.telemetry.slo import SLOConfig, SLOMonitor
 
@@ -54,6 +56,11 @@ class TxnOutcome:
         latency_ms: Sampled service latency (0 for rejects).
         retry_after_s: Backoff hint carried by rejects.
         trace_id: Request trace id when tracing is enabled, else None.
+        reason: Why a request failed — ``"queue-limit"`` (admission
+            shed), ``"brownout"`` (low-priority shed during degradation)
+            or ``"connection"`` (routed to a dead, not-yet-detected
+            node; status 500).  Empty for accepted requests.
+        priority: Request priority (0 = normal, 1 = low / sheddable).
     """
 
     accepted: bool
@@ -64,6 +71,8 @@ class TxnOutcome:
     latency_ms: float
     retry_after_s: float = 0.0
     trace_id: Optional[int] = None
+    reason: str = ""
+    priority: int = 0
 
 
 OnComplete = Callable[[TxnOutcome], None]
@@ -92,6 +101,15 @@ class ServerEngine:
         slo: Enable burn-rate SLO monitoring with this configuration;
             the monitor's state shows up on ``/healthz`` (a firing
             alert degrades the status) and in the run reports.
+        resilience: Enable failure detection (per-node circuit breakers
+            driven by tick-boundary health probes and request failures)
+            and brownout degradation.  With resilience on, the engine
+            routes by a *stale router view*: a crashed node keeps
+            receiving traffic (each such request errors with status 500
+            and feeds the breaker) until its breaker opens, exactly like
+            a real router that has not yet noticed the failure.  With
+            the default ``None``, behaviour is bit-identical to the
+            pre-resilience engine.
     """
 
     def __init__(
@@ -108,6 +126,7 @@ class ServerEngine:
         telemetry: Optional[Telemetry] = None,
         trace_requests: bool = False,
         slo: Optional[SLOConfig] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         config = engine_config or EngineConfig()
         ticks = slot_seconds / config.dt_seconds
@@ -149,6 +168,18 @@ class ServerEngine:
         #: spike tests assert shedding keeps this bounded.
         self.max_node_queue_seconds = 0.0
         self.latency_sum_ms = 0.0
+        self.resilience = resilience
+        self.health: Optional[NodeHealthMonitor] = (
+            NodeHealthMonitor(resilience.breaker, self.telemetry)
+            if resilience is not None
+            else None
+        )
+        #: Requests that hit a dead-but-undetected node (status 500).
+        self.errors = 0
+        self.brownout_active = False
+        self.brownout_sheds = 0
+        self._failed_set: frozenset = frozenset()
+        self._router_view: Optional[np.ndarray] = None
         self._refresh_routing()
 
     # ------------------------------------------------------------------
@@ -158,10 +189,33 @@ class ServerEngine:
         """Re-derive the routing CDF and per-node capacity after a tick
         (routing weights only change at tick boundaries)."""
         weights = self.sim.partition_weights()
-        self._route_cdf = np.cumsum(weights)
         p = self.sim.config.partitions_per_node
+        max_nodes = self.sim.config.max_nodes
+        if self.health is None:
+            self._route_cdf = np.cumsum(weights)
+        else:
+            # Stale router view: the cluster reroutes a crashed node's
+            # buckets instantly (physical truth), but the *router* only
+            # learns about the failure through the breaker.  A failed
+            # node with a non-open breaker keeps its stale weight (and
+            # keeps eating traffic, which errors and feeds the breaker);
+            # an open breaker zeroes it, which is the reroute.
+            cluster_nodes = weights.reshape(max_nodes, p).sum(axis=1)
+            self._failed_set = frozenset(self.sim.cluster.failed_nodes())
+            if self._router_view is None:
+                self._router_view = cluster_nodes.copy()
+            view = self._router_view
+            for node in range(max_nodes):
+                if self.health.state_of(node) == OPEN:
+                    view[node] = 0.0
+                elif node not in self._failed_set:
+                    view[node] = cluster_nodes[node]
+                # else: failed but undetected — keep the stale weight.
+            if view.sum() <= 0.0:  # pragma: no cover - last node never fails
+                view[:] = cluster_nodes
+            self._route_cdf = np.cumsum(np.repeat(view / p, p))
         mu = self.sim._mu_base
-        self._node_rate = mu.reshape(self.sim.config.max_nodes, p).sum(axis=1)
+        self._node_rate = mu.reshape(max_nodes, p).sum(axis=1)
         self._node_queue = self.sim.node_queue_seconds()
 
     def route(self) -> int:
@@ -175,6 +229,7 @@ class ServerEngine:
         *,
         now: Optional[float] = None,
         trace: Optional[TraceContext] = None,
+        priority: int = 0,
     ) -> AdmissionDecision:
         """Route and admit (or shed) one transaction.
 
@@ -183,6 +238,7 @@ class ServerEngine:
         :class:`TxnOutcome` either way.  ``trace`` carries the context
         minted at the edge (loadgen/HTTP); when tracing is on and none
         is supplied, one is minted here with origin ``engine``.
+        ``priority`` 1 marks the request sheddable during brownout.
         """
         submitted_at = self.sim.now if now is None else float(now)
         partition = self.route()
@@ -191,7 +247,30 @@ class ServerEngine:
         estimate = float(
             self._node_queue[node_id] + self._pending_per_node[node_id] / rate
         )
-        decision = self.admission.decide(node_id, estimate)
+
+        if self.health is not None and node_id in self._failed_set:
+            # The router's stale view sent us to a corpse: the request
+            # fails like a refused connection and feeds the detector.
+            return self._fail_request(
+                on_complete, trace, node_id, partition, estimate,
+                submitted_at, priority,
+            )
+
+        brownout = self.resilience.brownout if self.resilience is not None else None
+        if self.brownout_active and brownout is not None:
+            if priority > 0 and brownout.shed_low_priority:
+                decision = self.admission.shed_outright(
+                    node_id, estimate, reason="brownout"
+                )
+                self.brownout_sheds += 1
+            else:
+                limit = (
+                    self.admission.config.queue_limit_seconds
+                    * brownout.queue_factor
+                )
+                decision = self.admission.decide(node_id, estimate, limit_s=limit)
+        else:
+            decision = self.admission.decide(node_id, estimate)
 
         trace_id: Optional[int] = None
         trace_entry: Optional[tuple] = None
@@ -211,7 +290,10 @@ class ServerEngine:
                 serve_span = tracer.record_admitted(root, submitted_at)
                 trace_entry = (trace_id, root, serve_span)
             else:
-                tracer.record_shed(root, submitted_at, decision.retry_after_s)
+                tracer.record_shed(
+                    root, submitted_at, decision.retry_after_s,
+                    reason=decision.reason,
+                )
 
         if decision.accepted:
             self._pending_per_node[node_id] += 1.0
@@ -229,9 +311,61 @@ class ServerEngine:
                         latency_ms=0.0,
                         retry_after_s=decision.retry_after_s,
                         trace_id=trace_id,
+                        reason=decision.reason,
+                        priority=priority,
                     )
                 )
         return decision
+
+    def _fail_request(
+        self,
+        on_complete: Optional[OnComplete],
+        trace: Optional[TraceContext],
+        node_id: int,
+        partition: int,
+        estimate: float,
+        submitted_at: float,
+        priority: int,
+    ) -> AdmissionDecision:
+        """Fail one request against a dead node (status 500, breaker fed)."""
+        self.errors += 1
+        assert self.health is not None
+        self.health.record_request_failure(node_id, submitted_at)
+        tel = self.telemetry
+        if tel is not None:
+            tel.counter("serve.errors").inc()
+            tel.counter(labeled("serve.error", node=node_id)).inc()
+        trace_id: Optional[int] = None
+        tracer = self.request_tracer
+        if tracer is not None:
+            ctx = trace if trace is not None else tracer.mint()
+            trace_id = ctx.trace_id
+            root = tracer.begin_request(
+                ctx,
+                submitted_at,
+                node=node_id,
+                partition=partition,
+                queue_estimate=estimate,
+                migration_span_id=self.sim.migration_span_id,
+            )
+            tracer.record_error(root, submitted_at, reason="connection")
+        if on_complete is not None:
+            on_complete(
+                TxnOutcome(
+                    accepted=False,
+                    status=500,
+                    node_id=node_id,
+                    submitted_at=submitted_at,
+                    completed_at=submitted_at,
+                    latency_ms=0.0,
+                    trace_id=trace_id,
+                    reason="connection",
+                    priority=priority,
+                )
+            )
+        return AdmissionDecision(
+            False, node_id, estimate, 0.0, reason="connection"
+        )
 
     # ------------------------------------------------------------------
     # Tick path
@@ -298,6 +432,8 @@ class ServerEngine:
             slo.observe(self.sim.now, slo_good, slo_bad)
 
         self.ticks += 1
+        if self.health is not None:
+            self._run_health_checks()
         self._refresh_routing()
         queue_peak = float(self._node_queue.max())
         if queue_peak > self.max_node_queue_seconds:
@@ -319,12 +455,47 @@ class ServerEngine:
         record["rejected"] = float(rejected)
         return record
 
+    def _run_health_checks(self) -> None:
+        """One probe round at the tick boundary; updates brownout state."""
+        health = self.health
+        assert health is not None
+        now = self.sim.now
+        failed = self.sim.cluster.failed_nodes()
+        tracked = set(failed) | set(health.breakers)
+        if self._router_view is not None:
+            tracked |= {int(n) for n in np.flatnonzero(self._router_view > 0)}
+        else:
+            tracked |= {
+                int(n) for n in np.flatnonzero(self.sim.cluster.node_weights() > 0)
+            }
+        health.probe(now, sorted(tracked), failed)
+
+        brownout = self.resilience.brownout if self.resilience is not None else None
+        engaged = brownout is not None and health.any_open()
+        if engaged != self.brownout_active:
+            self.brownout_active = engaged
+            tel = self.telemetry
+            if tel is not None:
+                tel.gauge("serve.brownout").set(1.0 if engaged else 0.0)
+                tel.counter(
+                    "serve.brownout.engaged" if engaged else "serve.brownout.released"
+                ).inc()
+                tel.event(
+                    "brownout", now, engaged=engaged,
+                    open_nodes=[n for n, s in health.states().items() if s == OPEN],
+                )
+
     # ------------------------------------------------------------------
     # Introspection (the admin endpoints read these)
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
         return self.sim.now
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests admitted but not yet resolved by a tick."""
+        return len(self._pending)
 
     @property
     def moves_completed(self) -> int:
@@ -346,6 +517,8 @@ class ServerEngine:
             float(self._node_queue.max()) > self.admission.config.queue_limit_seconds
         )
         status = "shedding" if overloaded else "ok"
+        if self.brownout_active:
+            status = "brownout"
         if self.slo_monitor is not None and self.slo_monitor.alerting:
             status = "degraded"
         health: Dict[str, object] = {
@@ -361,6 +534,13 @@ class ServerEngine:
             "moves_completed": self.moves_completed,
             "max_node_queue_seconds": round(self.max_node_queue_seconds, 3),
         }
+        if self.health is not None:
+            health["errors"] = self.errors
+            health["brownout"] = self.brownout_active
+            health["brownout_sheds"] = self.brownout_sheds
+            health["breakers"] = {
+                str(node): state for node, state in self.health.states().items()
+            }
         if self.slo_monitor is not None:
             health["slo"] = self.slo_monitor.status()
         return health

@@ -11,8 +11,10 @@ A deliberately dependency-free HTTP/1.1 server over ``asyncio`` streams
   :meth:`repro.serve.engine.ServerEngine.healthz`).
 * ``GET /metrics`` — Prometheus text exposition of the telemetry
   registry (:func:`repro.telemetry.export.render_prometheus`).
-* ``POST /shutdown`` — end the linger phase early (used by the CI smoke
-  to exit cleanly after probing).
+* ``POST /shutdown`` — begin a graceful drain: in-flight transactions
+  are resolved by one final engine tick, new transactions get ``503``
+  with ``Retry-After``, and the server exits once the drain completes
+  (used by the CI smoke to exit cleanly after probing).
 
 The engine tick loop runs as an asyncio task in one of two modes:
 
@@ -29,14 +31,19 @@ run without a wall-clock client.
 from __future__ import annotations
 
 import asyncio
+import heapq
 import json
-from typing import Callable, Dict, Optional
+from dataclasses import asdict
+from typing import Callable, Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 import numpy as np
 
+from repro.serve.checkpoint import CheckpointConfig, capture_engine, is_quiescent
+from repro.serve.checkpoint import write_checkpoint as _write_checkpoint
 from repro.serve.engine import ServerEngine, TxnOutcome
 from repro.serve.loadgen import LoadgenReport
+from repro.serve.resilience import ResilientClient, RetryConfig
 from repro.telemetry.export import render_prometheus
 
 _MAX_HEADER_LINES = 64
@@ -79,6 +86,15 @@ class ServeApp:
             ``/shutdown`` arrives first.
         arrivals: Optional embedded open-loop schedule (engine-time
             timestamps); outcomes accumulate in :attr:`loadgen_report`.
+        retry: Per-request resilience policy for the embedded loadgen
+            (bounded retries with backoff, optional hedging); retry
+            expiries are scheduled in engine time and fired just before
+            the tick that covers them.
+        retry_seed: Seed of the retry client's jitter RNG.
+        checkpoint: Snapshot the serving state to this file on the
+            configured cadence (quiescent tick boundaries only).  The
+            snapshot uses the same format as
+            :meth:`repro.serve.session.ServeSession.resume` consumes.
     """
 
     def __init__(
@@ -92,6 +108,9 @@ class ServeApp:
         duration_s: Optional[float] = None,
         linger_s: float = 0.0,
         arrivals: Optional[np.ndarray] = None,
+        retry: Optional[RetryConfig] = None,
+        retry_seed: int = 0,
+        checkpoint: Optional[CheckpointConfig] = None,
     ) -> None:
         self.engine = engine
         self.host = host
@@ -105,30 +124,107 @@ class ServeApp:
         )
         self._arrival_index = 0
         self.loadgen_report = LoadgenReport()
+        # Engine-time timers for retry/hedge expiries: (when, seq, fn),
+        # drained alongside the embedded arrivals before each tick.
+        self._timers: List[Tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = 0
+        self.client: Optional[ResilientClient] = (
+            ResilientClient(
+                engine,
+                self.loadgen_report,
+                retry,
+                self._schedule_engine_time,
+                seed=retry_seed,
+            )
+            if retry is not None
+            else None
+        )
+        self.checkpoint = checkpoint
+        self.checkpoints_written = 0
+        self._checkpoint_due = (
+            engine.now + checkpoint.every_s if checkpoint is not None else None
+        )
         self.run_complete = False
+        self.draining = False
         self._stop = asyncio.Event()
+        self._wake = asyncio.Event()
         self._server: Optional[asyncio.base_events.Server] = None
 
     # ------------------------------------------------------------------
     # Tick loop
     # ------------------------------------------------------------------
+    def _schedule_engine_time(self, when: float, fn: Callable[[], None]) -> None:
+        self._timer_seq += 1
+        heapq.heappush(self._timers, (float(when), self._timer_seq, fn))
+
+    def _next_arrival(self) -> Optional[float]:
+        if self._arrivals is None or self._arrival_index >= len(self._arrivals):
+            return None
+        return float(self._arrivals[self._arrival_index])
+
     def _fire_embedded(self, until: float) -> None:
-        if self._arrivals is None:
-            return
-        while (
-            self._arrival_index < len(self._arrivals)
-            and self._arrivals[self._arrival_index] < until
-        ):
-            when = float(self._arrivals[self._arrival_index])
+        """Fire arrivals and due retry timers in engine-time order."""
+        while True:
+            arrival = self._next_arrival()
+            timer = self._timers[0][0] if self._timers else None
+            candidates = [t for t in (arrival, timer) if t is not None and t < until]
+            if not candidates:
+                return
+            when = min(candidates)
+            if timer is not None and timer <= when and timer < until:
+                _, _, fn = heapq.heappop(self._timers)
+                fn()
+                continue
             self._arrival_index += 1
-            tracer = self.engine.request_tracer
-            trace = tracer.mint("loadgen") if tracer is not None else None
-            self.engine.submit(self.loadgen_report.record, now=when, trace=trace)
+            if self.client is not None:
+                self.client.submit(when)
+            else:
+                tracer = self.engine.request_tracer
+                trace = tracer.mint("loadgen") if tracer is not None else None
+                self.engine.submit(self.loadgen_report.record, now=when, trace=trace)
+
+    def _maybe_checkpoint(self) -> None:
+        if self.checkpoint is None or self._checkpoint_due is None:
+            return
+        if self.engine.now < self._checkpoint_due - 1e-9:
+            return
+        if self.client is not None and self.client.outstanding:
+            return  # deferred: scheduled retries would be lost
+        if self._timers or not is_quiescent(self.engine):
+            return
+        controller = self.engine.controller
+        control_state = None
+        if controller is not None and hasattr(controller, "state_dict"):
+            control_state = controller.state_dict()
+        state: Dict[str, object] = {
+            "clock_now": self.engine.now,
+            "ran_s": self.engine.now,
+            "engine": capture_engine(self.engine),
+            "control": control_state,
+            "loadgen": {
+                "cursor": self._arrival_index,
+                "report": asdict(self.loadgen_report),
+            },
+            "client": self.client.state_dict() if self.client is not None else None,
+        }
+        digest = _write_checkpoint(self.checkpoint.path, state)
+        self.checkpoints_written += 1
+        tel = self.engine.telemetry
+        if tel is not None:
+            tel.counter("serve.checkpoints").inc()
+            tel.event(
+                "checkpoint",
+                self.engine.now,
+                path=self.checkpoint.path,
+                sha256=digest[:16],
+            )
+        while self._checkpoint_due <= self.engine.now + 1e-9:
+            self._checkpoint_due += self.checkpoint.every_s
 
     async def _ticker(self) -> None:
         dt = self.engine.sim.config.dt_seconds
         try:
-            while not self._stop.is_set():
+            while not self._stop.is_set() and not self.draining:
                 if self.duration_s is not None and (
                     self.engine.now >= self.duration_s - 1e-9
                 ):
@@ -136,13 +232,23 @@ class ServeApp:
                 if self.virtual:
                     await asyncio.sleep(0)
                 else:
-                    await asyncio.sleep(dt / self.speedup)
+                    try:
+                        await asyncio.wait_for(
+                            self._wake.wait(), timeout=dt / self.speedup
+                        )
+                    except asyncio.TimeoutError:
+                        pass
                 self._fire_embedded(until=self.engine.now + dt)
+                self.engine.tick()
+                self._maybe_checkpoint()
+            if self.engine.pending_requests:
+                # Graceful drain: one final tick resolves every admitted
+                # in-flight request before the server stops answering.
                 self.engine.tick()
             self.run_complete = True
             if self.duration_s is not None:
                 self.loadgen_report.duration_s = min(self.duration_s, self.engine.now)
-            if self.linger_s > 0 and not self._stop.is_set():
+            if self.linger_s > 0 and not self._stop.is_set() and not self.draining:
                 try:
                     await asyncio.wait_for(self._stop.wait(), timeout=self.linger_s)
                 except asyncio.TimeoutError:
@@ -182,8 +288,9 @@ class ServeApp:
             503, json.dumps({"error": "server is draining"}),
             extra_headers={"Retry-After": "1"},
         )
-        if self.run_complete or self._stop.is_set():
-            # No more ticks are coming; fail fast instead of hanging.
+        if self.draining or self.run_complete or self._stop.is_set():
+            # Draining or stopped: no new work is admitted; fail fast
+            # with a Retry-After instead of hanging the client.
             return draining
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[TxnOutcome]" = loop.create_future()
@@ -239,6 +346,7 @@ class ServeApp:
             if path == "/healthz":
                 health = dict(self.engine.healthz())
                 health["run_complete"] = self.run_complete
+                health["draining"] = self.draining
                 response = _http_response(200, json.dumps(health))
             elif path == "/metrics":
                 text = (
@@ -252,8 +360,17 @@ class ServeApp:
             elif path == "/txn":
                 response = await self._submit_txn()
             elif path == "/shutdown" and request["method"] == "POST":
-                response = _http_response(200, json.dumps({"status": "stopping"}))
-                self._stop.set()
+                response = _http_response(
+                    200, json.dumps({"status": "stopping", "draining": True})
+                )
+                # Graceful drain: stop admitting, let the ticker resolve
+                # in-flight requests with a final tick, then exit.  If
+                # the run already completed (linger phase) there is
+                # nothing in flight and the stop is immediate.
+                self.draining = True
+                self._wake.set()
+                if self.run_complete:
+                    self._stop.set()
             else:
                 response = _http_response(404, json.dumps({"error": "not found"}))
             writer.write(response)

@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.serve.clock import VirtualClock
 from repro.serve.engine import ServerEngine, TxnOutcome
+from repro.serve.resilience import ResilientClient, RetryConfig
 from repro.workloads.spikes import FlashCrowd, inject_flash_crowd
 from repro.workloads.trace import LoadTrace
 
@@ -171,25 +172,66 @@ def _reject_unknown(kind: str, leftover: Dict[str, str]) -> None:
 # ----------------------------------------------------------------------
 @dataclass
 class LoadgenReport:
-    """Aggregated outcome of one load-generation run."""
+    """Aggregated outcome of one load-generation run.
+
+    ``offered`` counts *logical* requests; retries and hedges are extra
+    attempts on behalf of an already-offered request, tracked in their
+    own counters.  Request conservation therefore reads::
+
+        offered == accepted + rejected + errored + in_flight
+
+    and holds exactly at every instant — the chaos smoke and the e2e
+    tests assert it with ``in_flight == 0`` after a drained run.
+    """
 
     duration_s: float = 0.0
     offered: int = 0
     accepted: int = 0
     rejected: int = 0
+    #: Terminal 500s — requests that died against a not-yet-detected
+    #: dead node and ran out of retries (or had none configured).
+    errored: int = 0
     latencies_ms: List[float] = field(default_factory=list)
     retry_after_s: List[float] = field(default_factory=list)
+    #: Extra attempts: retries spent, how many eventually succeeded,
+    #: and logical requests that exhausted their retries unserved.
+    retries: int = 0
+    retry_successes: int = 0
+    retries_exhausted: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    #: Low-priority requests shed while brownout was engaged.
+    brownout_shed: int = 0
 
-    def record(self, outcome: TxnOutcome) -> None:
-        self.offered += 1
+    def finish(self, outcome: TxnOutcome) -> None:
+        """Record the *terminal* outcome of an already-offered request."""
         if outcome.accepted:
             self.accepted += 1
             self.latencies_ms.append(outcome.latency_ms)
+        elif outcome.status == 500:
+            self.errored += 1
         else:
             self.rejected += 1
             self.retry_after_s.append(outcome.retry_after_s)
+            if outcome.reason == "brownout":
+                self.brownout_shed += 1
+
+    def record(self, outcome: TxnOutcome) -> None:
+        """Offer + finish in one step (the no-retry path)."""
+        self.offered += 1
+        self.finish(outcome)
 
     # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Logical requests offered but not yet terminal."""
+        return self.offered - self.accepted - self.rejected - self.errored
+
+    @property
+    def conserved(self) -> bool:
+        """Exact request conservation (trivially true once drained)."""
+        return self.in_flight == 0
+
     @property
     def reject_rate(self) -> float:
         return self.rejected / self.offered if self.offered else 0.0
@@ -204,7 +246,7 @@ class LoadgenReport:
         return float(np.percentile(np.asarray(self.latencies_ms), q))
 
     def summary(self) -> Dict[str, float]:
-        return {
+        out = {
             "offered": float(self.offered),
             "accepted": float(self.accepted),
             "rejected": float(self.rejected),
@@ -215,6 +257,29 @@ class LoadgenReport:
             "p99_ms": round(self.latency_percentile(99.0), 2),
             "max_retry_after_s": max(self.retry_after_s, default=0.0),
         }
+        if self.errored or self.retries or self.hedges or self.brownout_shed:
+            out.update(
+                {
+                    "errored": float(self.errored),
+                    "retries": float(self.retries),
+                    "retry_successes": float(self.retry_successes),
+                    "retries_exhausted": float(self.retries_exhausted),
+                    "hedges": float(self.hedges),
+                    "hedge_wins": float(self.hedge_wins),
+                    "brownout_shed": float(self.brownout_shed),
+                    "in_flight": float(self.in_flight),
+                }
+            )
+        return out
+
+    def conservation_line(self) -> str:
+        """Human-readable conservation identity (the chaos smoke greps it)."""
+        verdict = "exact" if self.conserved else "MISMATCH"
+        return (
+            f"conservation: offered {self.offered} = served {self.accepted} "
+            f"+ shed {self.rejected} + errored {self.errored} "
+            f"+ in-flight {self.in_flight} ({verdict})"
+        )
 
     def format_report(self) -> str:
         s = self.summary()
@@ -227,6 +292,14 @@ class LoadgenReport:
         ]
         if self.rejected:
             lines.append(f"max retry-after hint: {s['max_retry_after_s']:.1f}s")
+        if self.errored or self.retries or self.hedges or self.brownout_shed:
+            lines.append(
+                f"errors {self.errored} | retries {self.retries} "
+                f"(ok {self.retry_successes}, exhausted {self.retries_exhausted}) "
+                f"| hedges {self.hedges} (won {self.hedge_wins}) "
+                f"| brownout shed {self.brownout_shed}"
+            )
+            lines.append(self.conservation_line())
         return "\n".join(lines)
 
 
@@ -246,6 +319,9 @@ class LoadGenerator:
         engine: ServerEngine,
         arrivals: np.ndarray,
         clock: VirtualClock,
+        *,
+        retry: Optional[RetryConfig] = None,
+        retry_seed: int = 0,
     ) -> None:
         self.engine = engine
         self.arrivals = np.asarray(arrivals, dtype=np.float64)
@@ -253,6 +329,13 @@ class LoadGenerator:
             raise ConfigurationError("arrival times must be sorted")
         self.clock = clock
         self.report = LoadgenReport()
+        self.client: Optional[ResilientClient] = (
+            ResilientClient(
+                engine, self.report, retry, clock.call_at, seed=retry_seed
+            )
+            if retry is not None
+            else None
+        )
         self._next = 0
         self._armed = False
 
@@ -270,7 +353,10 @@ class LoadGenerator:
 
     def _fire(self) -> None:
         self._next += 1
-        tracer = self.engine.request_tracer
-        trace = tracer.mint("loadgen") if tracer is not None else None
-        self.engine.submit(self.report.record, now=self.clock.now, trace=trace)
+        if self.client is not None:
+            self.client.submit(self.clock.now)
+        else:
+            tracer = self.engine.request_tracer
+            trace = tracer.mint("loadgen") if tracer is not None else None
+            self.engine.submit(self.report.record, now=self.clock.now, trace=trace)
         self._schedule_next()

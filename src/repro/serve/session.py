@@ -5,19 +5,36 @@ the CI smoke and ``repro serve --clock virtual``: engine ticks and
 loadgen arrivals interleave on one :class:`~repro.serve.clock.
 VirtualClock`, so a simulated day of serving runs in however long the
 callbacks take and two runs with the same seeds are identical.
+
+The session is also the checkpoint driver: with a
+:class:`~repro.serve.checkpoint.CheckpointConfig` it snapshots the full
+serving state (engine, control loop, loadgen cursor, retry client) on a
+cadence — at quiescent tick boundaries only — and
+:meth:`ServeSession.resume` rebuilds a session from such a snapshot that
+continues **bit-identically** to a run that was never interrupted.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from dataclasses import asdict
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
+from repro.serve.checkpoint import (
+    CheckpointConfig,
+    capture_engine,
+    is_quiescent,
+    read_checkpoint,
+    restore_engine,
+    write_checkpoint,
+)
 from repro.serve.clock import VirtualClock
 from repro.serve.engine import ServerEngine
 from repro.serve.loadgen import LoadGenerator, LoadgenReport
+from repro.serve.resilience import RetryConfig
 
 
 class ServeSession:
@@ -29,6 +46,15 @@ class ServeSession:
             :mod:`repro.serve.loadgen`).
         clock: Optional pre-built virtual clock (e.g. to co-schedule
             extra probes); a fresh one is created otherwise.
+        retry: Per-request resilience policy (bounded retries with
+            backoff, optional hedging) applied by the loadgen client.
+        retry_seed: Seed of the retry client's jitter/priority RNG
+            (separate from the engine RNG, so enabling retries does not
+            perturb routing or latency draws).
+        checkpoint: Snapshot the full session state to this file on the
+            configured cadence.  Checkpoints are only written at
+            quiescent tick boundaries; a due-but-unquiescent snapshot is
+            retried on the next tick.
     """
 
     def __init__(
@@ -37,11 +63,23 @@ class ServeSession:
         arrivals: np.ndarray,
         *,
         clock: Optional[VirtualClock] = None,
+        retry: Optional[RetryConfig] = None,
+        retry_seed: int = 0,
+        checkpoint: Optional[CheckpointConfig] = None,
     ) -> None:
         self.engine = engine
         self.clock = clock or VirtualClock()
-        self.loadgen = LoadGenerator(engine, arrivals, self.clock)
-        self._ran_s = 0.0
+        self.loadgen = LoadGenerator(
+            engine, arrivals, self.clock, retry=retry, retry_seed=retry_seed
+        )
+        self.checkpoint = checkpoint
+        self.checkpoints_written = 0
+        self._checkpoint_due = (
+            self.clock.now + checkpoint.every_s if checkpoint is not None else None
+        )
+        # Serving time so far is ``clock.now - _origin`` — correct even
+        # mid-run, which is when cadence checkpoints are written.
+        self._origin = self.clock.now
 
     def run(self, duration_s: float) -> LoadgenReport:
         """Serve for ``duration_s`` simulated seconds; returns the report.
@@ -60,15 +98,130 @@ class ServeSession:
 
         def tick() -> None:
             self.engine.tick()
+            self._maybe_checkpoint()
             if self.clock.now < end - 1e-9:
                 self.clock.call_later(dt, tick)
 
         self.clock.call_at(self.clock.now + dt, tick)
         self.clock.run_until(end)
-        self._ran_s += n_ticks * dt
         report = self.loadgen.report
-        report.duration_s = self._ran_s
+        report.duration_s = self.clock.now - self._origin
         return report
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def _session_quiescent(self) -> bool:
+        client = self.loadgen.client
+        if client is not None and client.outstanding:
+            return False  # scheduled retries/hedges would be lost
+        return is_quiescent(self.engine)
+
+    def _maybe_checkpoint(self) -> None:
+        if self.checkpoint is None or self._checkpoint_due is None:
+            return
+        if self.clock.now < self._checkpoint_due - 1e-9:
+            return
+        if not self._session_quiescent():
+            return  # deferred: retried at the next tick boundary
+        self.write_checkpoint(self.checkpoint.path)
+        while self._checkpoint_due <= self.clock.now + 1e-9:
+            self._checkpoint_due += self.checkpoint.every_s
+
+    def state(self) -> Dict[str, object]:
+        """Snapshot the full session state (engine must be quiescent)."""
+        controller = self.engine.controller
+        control_state = None
+        if controller is not None and hasattr(controller, "state_dict"):
+            control_state = controller.state_dict()
+        client = self.loadgen.client
+        if client is not None and client.outstanding:
+            raise CheckpointError(
+                f"cannot checkpoint with {client.outstanding} retry-client "
+                "requests outstanding"
+            )
+        return {
+            "clock_now": self.clock.now,
+            "ran_s": self.clock.now - self._origin,
+            "engine": capture_engine(self.engine),
+            "control": control_state,
+            "loadgen": {
+                "cursor": self.loadgen._next,
+                "report": asdict(self.loadgen.report),
+            },
+            "client": client.state_dict() if client is not None else None,
+        }
+
+    def write_checkpoint(self, path: str) -> str:
+        """Write the session snapshot to ``path``; returns the digest."""
+        digest = write_checkpoint(path, self.state())
+        self.checkpoints_written += 1
+        tel = self.engine.telemetry
+        if tel is not None:
+            tel.counter("serve.checkpoints").inc()
+            tel.event(
+                "checkpoint", self.clock.now, path=path, sha256=digest[:16]
+            )
+        return digest
+
+    @classmethod
+    def resume(
+        cls,
+        engine: ServerEngine,
+        arrivals: np.ndarray,
+        checkpoint_path: str,
+        *,
+        retry: Optional[RetryConfig] = None,
+        retry_seed: int = 0,
+        checkpoint: Optional[CheckpointConfig] = None,
+    ) -> "ServeSession":
+        """Rebuild a session from a snapshot written by an earlier run.
+
+        ``engine`` must be freshly constructed with the same
+        configuration as the checkpointed one (fingerprint-verified),
+        and ``arrivals`` must be the same full schedule — the cursor in
+        the snapshot skips the part already consumed.  The resumed
+        session continues bit-identically to an uninterrupted run.
+        """
+        state = read_checkpoint(checkpoint_path)
+        try:
+            clock_now = float(state["clock_now"])  # type: ignore[arg-type]
+            engine_state: Dict[str, object] = state["engine"]  # type: ignore[assignment]
+            loadgen_state: Dict[str, object] = state["loadgen"]  # type: ignore[assignment]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {checkpoint_path} is missing session fields: {exc}"
+            ) from None
+        session = cls(
+            engine,
+            arrivals,
+            clock=VirtualClock(start=clock_now),
+            retry=retry,
+            retry_seed=retry_seed,
+            checkpoint=checkpoint,
+        )
+        restore_engine(engine, engine_state)
+        control_state = state.get("control")
+        if control_state is not None:
+            controller = engine.controller
+            if controller is None or not hasattr(controller, "load_state_dict"):
+                raise CheckpointError(
+                    "checkpoint carries control-loop state but the engine "
+                    "has no restorable controller"
+                )
+            controller.load_state_dict(control_state)
+        session.loadgen._next = int(loadgen_state["cursor"])  # type: ignore[arg-type]
+        _restore_report(session.loadgen.report, loadgen_state["report"])  # type: ignore[arg-type]
+        client_state = state.get("client")
+        if client_state is not None:
+            if session.loadgen.client is None:
+                raise CheckpointError(
+                    "checkpoint carries retry-client state but retries are "
+                    "disabled on the resumed session"
+                )
+            session.loadgen.client.load_state_dict(client_state)  # type: ignore[arg-type]
+        session._origin = clock_now - float(state.get("ran_s", 0.0))  # type: ignore[arg-type]
+        return session
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, object]:
@@ -95,9 +248,32 @@ class ServeSession:
                 f"alerts fired {state['alerts_fired']}"
                 + (" (FIRING)" if state["alerting"] else "")
             )
+        if self.checkpoints_written:
+            lines.append(f"checkpoints written: {self.checkpoints_written}")
         controller = self.engine.controller
         log = getattr(controller, "decision_log", None)
         if log:
             lines.append("decisions:")
             lines.extend(f"  {decision}" for decision in log)
         return "\n".join(lines)
+
+
+def _restore_report(report: LoadgenReport, state: Dict[str, object]) -> None:
+    """Overwrite a fresh report with checkpointed counters and samples."""
+    report.duration_s = float(state["duration_s"])  # type: ignore[arg-type]
+    for name in (
+        "offered",
+        "accepted",
+        "rejected",
+        "errored",
+        "retries",
+        "retry_successes",
+        "retries_exhausted",
+        "hedges",
+        "hedge_wins",
+        "brownout_shed",
+    ):
+        setattr(report, name, int(state[name]))  # type: ignore[arg-type]
+    latencies: List[float] = [float(v) for v in state["latencies_ms"]]  # type: ignore[union-attr]
+    report.latencies_ms = latencies
+    report.retry_after_s = [float(v) for v in state["retry_after_s"]]  # type: ignore[union-attr]

@@ -35,8 +35,9 @@ from repro.errors import ConfigurationError
 from repro.telemetry import Telemetry
 from repro.telemetry.tracer import Span
 
-#: Shed reason attached to spans rejected by admission control (the
-#: only shedding the serving layer currently performs).
+#: Default shed reason: rejected by admission control's queue limit.
+#: Brownout sheds carry ``"brownout"`` and dead-node failures close the
+#: trace with status ``error`` and an ``error_reason`` instead.
 SHED_QUEUE_LIMIT = "queue-limit"
 
 
@@ -112,18 +113,34 @@ class RequestTracer:
         ).finish(at=at)
         return self.telemetry.tracer.begin_detached("serve", at=at, parent=root)
 
-    def record_shed(self, root: Span, at: float, retry_after_s: float) -> None:
+    def record_shed(
+        self,
+        root: Span,
+        at: float,
+        retry_after_s: float,
+        *,
+        reason: str = SHED_QUEUE_LIMIT,
+    ) -> None:
         """Record the shed decision and close the whole trace as shed."""
+        shed_reason = reason or SHED_QUEUE_LIMIT
         self.telemetry.tracer.begin_detached(
             "admission",
             at=at,
             parent=root,
             decision="shed",
-            shed_reason=SHED_QUEUE_LIMIT,
+            shed_reason=shed_reason,
             retry_after_s=round(retry_after_s, 6),
         ).finish(at=at)
-        root.attrs["shed_reason"] = SHED_QUEUE_LIMIT
+        root.attrs["shed_reason"] = shed_reason
         root.finish(at=at, status="shed")
+
+    def record_error(self, root: Span, at: float, *, reason: str) -> None:
+        """Close a request that failed before admission (dead node)."""
+        self.telemetry.tracer.begin_detached(
+            "error", at=at, parent=root, error_reason=reason
+        ).finish(at=at)
+        root.attrs["error_reason"] = reason
+        root.finish(at=at, status="error")
 
     def finish_served(
         self, root: Span, serve_span: Span, at: float, latency_ms: float

@@ -206,11 +206,21 @@ class TestServeSubcommand:
         assert parsed.counters["serve.ticks"] == 300
         assert parsed.counters["serve.admitted"] > 0
 
-    def test_bad_spar_spec_rejected(self):
-        from repro.errors import ConfigurationError
+    def test_bad_spar_spec_rejected(self, capsys):
+        code = main(self.SERVE_ARGS[:-1] + ["period=oops"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "period" in err and "oops" in err
 
-        with pytest.raises(ConfigurationError):
-            main(self.SERVE_ARGS[:-1] + ["period=oops"])
+    def test_bad_fault_token_exits_2_without_traceback(self, capsys):
+        code = main(
+            self.SERVE_ARGS
+            + ["--profile", "poisson:rate=6", "--faults", "crash@10:nfoo"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "'foo'" in err and "crash@10:nfoo" in err
+        assert "Traceback" not in err
 
 
 class TestLoadgenSubcommand:

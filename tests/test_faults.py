@@ -103,6 +103,29 @@ def test_parse_fault_spec_rejects_bad_entries(spec):
         parse_fault_spec(spec)
 
 
+@pytest.mark.parametrize(
+    ("spec", "token"),
+    [
+        ("crash@10:nfoo", "foo"),
+        ("crash@10:n1:recover=soon", "soon"),
+        ("straggle@10:n0:x=fast", "fast"),
+        ("straggle@10:n0:for=ever", "ever"),
+        ("xfail@10:count=lots", "lots"),
+        ("stall@10:for=abit", "abit"),
+        ("gen@0:seed=x:span=100", "x"),
+        ("gen@0:seed=1:span=wide", "wide"),
+    ],
+)
+def test_parse_fault_spec_errors_name_the_offending_token(spec, token):
+    """Friendly parse errors: the message carries the bad token and the
+    entry it came from, so the CLI can print one readable line."""
+    with pytest.raises(FaultInjectionError) as excinfo:
+        parse_fault_spec(spec)
+    message = str(excinfo.value)
+    assert repr(token) in message
+    assert repr(spec) in message
+
+
 # ----------------------------------------------------------------------
 # FaultInjector: cursor semantics
 # ----------------------------------------------------------------------

@@ -2,15 +2,37 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
+from repro.errors import ParallelExecutionError
 from repro.parallel import cpu_workers, parallel_map, shard_indices, spawn_seeds
 
 # Worker functions must be module-level (picklable).
 
 
 def _square(x: int) -> int:
+    return x * x
+
+
+def _die_in_worker(x: int) -> int:
+    """Kill the interpreter when running in a pool worker; fine in the
+    parent — simulates an environmental worker death (OOM kill)."""
+    if x == 2 and multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return x * x
+
+
+def _die_in_worker_bad_cell(x: int) -> int:
+    """Dies in the worker AND fails deterministically in the parent —
+    the in-process retry must name this cell."""
+    if x == 2:
+        if multiprocessing.parent_process() is not None:
+            os._exit(1)
+        raise ValueError("cell is genuinely broken")
     return x * x
 
 
@@ -55,6 +77,22 @@ class TestParallelMap:
     def test_exception_propagates_parallel(self):
         with pytest.raises(ValueError, match="boom at 3"):
             parallel_map(_fail_on_three, [1, 2, 3, 4], max_workers=2)
+
+    def test_worker_death_recovers_in_process(self):
+        # The pool dies mid-grid; the serial retry succeeds (the death
+        # was environmental) and still returns the full ordered result.
+        items = list(range(5))
+        assert parallel_map(_die_in_worker, items, max_workers=2) == [
+            x * x for x in items
+        ]
+
+    def test_worker_death_names_the_failing_cell(self):
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            parallel_map(_die_in_worker_bad_cell, list(range(5)), max_workers=2)
+        message = str(excinfo.value)
+        assert "cell 2" in message and "(2)" in message
+        assert "genuinely broken" in message
+        assert isinstance(excinfo.value.__cause__, ValueError)
 
     def test_consumes_any_iterable(self):
         assert parallel_map(_square, (x for x in range(4)), max_workers=2) == [

@@ -169,6 +169,95 @@ class TestEmbeddedLoadgen:
         asyncio.run(scenario())
 
 
+class TestGracefulDrain:
+    def test_shutdown_drains_in_flight_and_rejects_new_work(self):
+        async def scenario():
+            # Slow wall-clock ticks: a submitted txn stays in flight
+            # until the drain's final tick resolves it.
+            app = ServeApp(
+                make_engine(), speedup=0.25, duration_s=600.0, linger_s=30.0
+            )
+            task = await start_app(app)
+
+            in_flight = asyncio.create_task(
+                http_request(app.port, method="POST", path="/txn")
+            )
+            for _ in range(100):
+                if app.engine.pending_requests:
+                    break
+                await asyncio.sleep(0.02)
+            assert app.engine.pending_requests == 1
+
+            status, _, body = await http_request(
+                app.port, method="POST", path="/shutdown"
+            )
+            assert status == 200
+            assert json.loads(body)["draining"] is True
+
+            # The in-flight transaction is resolved by the drain tick,
+            # not dropped — and the client is not left hanging.
+            status, _, body = await asyncio.wait_for(in_flight, timeout=10)
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+            await asyncio.wait_for(task, timeout=10)
+            assert app.engine.pending_requests == 0
+
+        asyncio.run(scenario())
+
+    def test_new_txn_during_drain_gets_503_retry_after(self):
+        async def scenario():
+            app = ServeApp(
+                make_engine(), speedup=0.25, duration_s=600.0, linger_s=30.0
+            )
+            task = await start_app(app)
+            await http_request(app.port, method="POST", path="/shutdown")
+            # The listener keeps answering while the drain completes;
+            # new work is refused fast with a retry hint.
+            try:
+                status, headers, body = await http_request(
+                    app.port, method="POST", path="/txn"
+                )
+            except (ConnectionError, OSError):
+                pass  # drain already finished and closed the listener
+            else:
+                assert status == 503
+                assert json.loads(body)["error"] == "server is draining"
+                assert headers["retry-after"] == "1"
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+    def test_drain_accounts_for_every_request(self):
+        async def scenario():
+            engine = make_engine()
+            app = ServeApp(engine, speedup=0.5, duration_s=600.0, linger_s=30.0)
+            task = await start_app(app)
+            submitted = [
+                asyncio.create_task(
+                    http_request(app.port, method="POST", path="/txn")
+                )
+                for _ in range(5)
+            ]
+            for _ in range(100):
+                if engine.admission.total >= 5:
+                    break
+                await asyncio.sleep(0.02)
+            await http_request(app.port, method="POST", path="/shutdown")
+            results = await asyncio.wait_for(
+                asyncio.gather(*submitted), timeout=10
+            )
+            await asyncio.wait_for(task, timeout=10)
+            # Conservation across the drain: every submitted request got
+            # a terminal answer (served or shed), none vanished.
+            statuses = sorted(status for status, _, _ in results)
+            assert all(status in (200, 503) for status in statuses)
+            assert engine.admission.total == 5
+            assert engine.completed + engine.admission.rejected == 5
+            assert engine.pending_requests == 0
+
+        asyncio.run(scenario())
+
+
 class TestLoadgenClient:
     def test_open_loop_client_round_trip(self):
         async def scenario():
