@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint cov bench bench-pytest chaos serve-smoke chaos-serve-smoke
+.PHONY: test lint cov bench bench-pytest chaos serve-smoke chaos-serve-smoke soak-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,13 @@ serve-smoke:
 ## conservation, and a bit-identical checkpoint restore.
 chaos-serve-smoke:
 	./scripts/serve_smoke.sh --faults
+
+## Distributed soak smoke (docs/SERVING.md § Distributed serving): an
+## edge process drives spawned worker shards over pipes for 60 s of
+## virtual time, gated on p99 latency, shed rate and exact request
+## conservation; writes out/soak-report.json + a debug bundle.
+soak-smoke:
+	./scripts/soak_smoke.sh
 
 ## Median-ns kernel baseline, written to BENCH_<date>.json (see
 ## docs/PERFORMANCE.md).

@@ -103,7 +103,21 @@ fi
 OUT=$(mktemp)
 BUNDLE="${BUNDLE_DIR:-out/serve-smoke-bundle}"
 rm -rf "$BUNDLE"
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$OUT"' EXIT
+SERVER_PID=""
+
+# Always reap the server: kill alone leaves a zombie until the shell
+# exits, and an early failure path would otherwise never collect the
+# child at all.  `wait` after kill is the reap; its status is the
+# child's and deliberately ignored here — the cleanup path must not
+# rewrite the script's own exit code under `set -e`.
+cleanup() {
+    if [ -n "$SERVER_PID" ]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -f "$OUT"
+}
+trap cleanup EXIT
 
 # 4800 s of virtual time: the small SPAR (period=12, recent=2) first
 # fits at interval 62, so the audit trail has predictive replans to
@@ -166,11 +180,18 @@ echo "$METRICS" | grep -q '^repro_slo_fast_burn ' \
 echo "/metrics: $(echo "$METRICS" | wc -l) lines"
 
 curl -sf -X POST "http://127.0.0.1:$PORT/shutdown" >/dev/null
-wait "$SERVER_PID"
-STATUS=$?
+# Under `set -e` a bare `wait` would abort the script on a non-zero
+# server exit before the log or status ever surfaced; capture it
+# explicitly so the output is printed and the real code propagates.
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
 cat "$OUT"
 # --require-moves 1 makes a run without a completed reconfiguration exit 1.
-[ "$STATUS" -eq 0 ] || exit "$STATUS"
+if [ "$STATUS" -ne 0 ]; then
+    echo "server exited with status $STATUS" >&2
+    exit "$STATUS"
+fi
 
 # Round-trip the debug bundle: digests verify, explain renders the
 # decision audit, the SLO alert and the request traces.

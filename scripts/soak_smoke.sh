@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Distributed soak smoke test (CI `soak-smoke` job / `make soak-smoke`).
+#
+# Runs `repro soak`: an edge process routing a Poisson stream across a
+# fleet of spawned worker shards over multiprocessing pipes — the
+# api/worker process split — for 60 s of virtual time, with request
+# tracing, SLO burn-rate monitoring and a debug bundle enabled.  The
+# command itself gates on the soak report (p99 latency, shed rate, and
+# the exact request-conservation identity offered = served + shed +
+# errored + in-flight) and exits non-zero on any breach; the script
+# re-asserts the verdicts from the printed report and round-trips the
+# artifacts CI uploads:
+#   * out/soak-report.json — the machine-readable gate report,
+#   * out/soak-smoke-bundle — digest-verified debug bundle with the
+#     merged cross-process telemetry.
+# See docs/SERVING.md § Distributed serving.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+REPORT="${REPORT_PATH:-out/soak-report.json}"
+BUNDLE="${BUNDLE_DIR:-out/soak-smoke-bundle}"
+OUT=$(mktemp)
+rm -rf "$BUNDLE"
+rm -f "$REPORT"
+
+# The soak's worker processes are children of the `repro soak` process
+# and are reaped by its session teardown; the trap covers the script's
+# own scratch state.  STATUS is captured explicitly so a gate breach
+# (exit 1) still prints the report before the script propagates it.
+trap 'rm -f "$OUT"' EXIT
+
+STATUS=0
+python -m repro.cli soak \
+    --workers 3 --transport pipe \
+    --rate 300 --duration 60 --seed 7 \
+    --nodes 1 --max-nodes 4 --saturation 438 --queue-limit 8 \
+    --max-p99 500 --max-shed-rate 0.2 \
+    --trace-requests \
+    --slo \
+    --report "$REPORT" \
+    --debug-bundle "$BUNDLE" | tee "$OUT" || STATUS=$?
+
+if [ "$STATUS" -ne 0 ]; then
+    echo "soak gates failed (exit $STATUS):" >&2
+    grep 'GATE FAIL' "$OUT" >&2 || true
+    exit "$STATUS"
+fi
+
+# Belt and braces on top of the command's own gating: the printed
+# report must carry the exact-conservation verdict and the PASS line.
+if grep -q 'MISMATCH' "$OUT"; then
+    echo "request conservation MISMATCH — requests dropped unaccounted" >&2
+    exit 1
+fi
+grep -q 'conservation: .*(exact)' "$OUT" \
+    || { echo "soak printed no conservation verdict" >&2; exit 1; }
+grep -q 'gates: PASS' "$OUT" \
+    || { echo "soak report is missing the gate verdict" >&2; exit 1; }
+
+[ -f "$REPORT" ] || { echo "no soak report at $REPORT" >&2; exit 1; }
+python - "$REPORT" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["format"] == "repro-soak-report/1", doc.get("format")
+assert doc["passed"] is True, doc["failures"]
+assert doc["conserved"] is True
+assert doc["offered"] > 0
+PY
+echo "soak report verified: $REPORT"
+
+[ -f "$BUNDLE/MANIFEST.json" ] || { echo "no debug bundle at $BUNDLE" >&2; exit 1; }
+python -c "from repro.telemetry.bundle import verify_bundle; verify_bundle('$BUNDLE')" \
+    || { echo "bundle manifest failed verification" >&2; exit 1; }
+echo "soak smoke passed: gates green, conservation exact, bundle verified"

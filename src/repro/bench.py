@@ -139,6 +139,32 @@ def _bench_serve_session() -> Callable[[], None]:
     return run
 
 
+def _bench_soak_session() -> Callable[[], None]:
+    """One virtual minute of distributed serving: edge routing + lock-step
+    worker shards over real multiprocessing pipes.  The process spawn,
+    the per-tick JSON round trips and the outcome folding are all inside
+    the timed region — this is the serving path's end-to-end cost, gated
+    next to ``serve_session`` in CI."""
+    from repro.serve.soak import SoakConfig, run_soak
+
+    config = SoakConfig(
+        workers=2,
+        rate_per_s=200.0,
+        duration_s=60.0,
+        mode="pipe",
+        seed=11,
+        max_p99_ms=0.0,  # timing kernel: never gate
+        max_shed_rate=1.0,
+    )
+
+    def run() -> None:
+        report = run_soak(config)
+        if not report.conserved:  # pragma: no cover - distributed bug
+            raise RuntimeError(report.conservation_line)
+
+    return run
+
+
 KERNELS: Dict[str, Callable[[], Callable[[], None]]] = {
     "planner_best_moves": _bench_planner_best_moves,
     "spar_fit": _bench_spar_fit,
@@ -148,6 +174,7 @@ KERNELS: Dict[str, Callable[[], Callable[[], None]]] = {
     "engine_fleet_steps": _bench_engine_fleet_steps,
     "engine_run_steady_hour": _bench_engine_run_steady_hour,
     "serve_session": _bench_serve_session,
+    "soak_session": _bench_soak_session,
     "parallel_shard_runs": _bench_parallel_shard_runs,
 }
 
@@ -165,6 +192,7 @@ KERNEL_REPEATS: Dict[str, int] = {
     "engine_fleet_steps": 5,
     "engine_run_steady_hour": 5,
     "serve_session": 5,
+    "soak_session": 3,
     "parallel_shard_runs": 3,
 }
 _DEFAULT_REPEATS = 5

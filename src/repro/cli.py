@@ -564,6 +564,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Run a sustained distributed soak and apply the CI gates."""
+    from repro.serve.soak import SoakConfig, resume_soak_session, run_soak
+
+    bundle_report: dict = {}
+    with _session(
+        args.faults,
+        args.telemetry,
+        bundle_dir=args.debug_bundle,
+        bundle_config=_args_config(args),
+        bundle_report=bundle_report,
+    ) as session_telemetry:
+        config = SoakConfig(
+            workers=args.workers,
+            rate_per_s=args.rate,
+            duration_s=args.duration,
+            mode=args.transport,
+            seed=args.seed,
+            initial_nodes=args.nodes,
+            max_nodes=args.max_nodes,
+            saturation_rate_per_node=args.saturation,
+            queue_limit_seconds=args.queue_limit,
+            control=args.control,
+            edge_queue_limit_s=args.edge_queue_limit,
+            low_priority_fraction=args.low_priority,
+            max_p99_ms=args.max_p99,
+            max_shed_rate=args.max_shed_rate,
+            telemetry=session_telemetry is not None,
+            trace_requests=args.trace_requests,
+            slo=args.slo,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every_s=args.checkpoint_every,
+        )
+        session = None
+        if args.restore is not None:
+            session = resume_soak_session(
+                config, args.restore, telemetry=session_telemetry
+            )
+            print(
+                f"restored distributed session from {args.restore} at "
+                f"t={session.now:.0f}s; soaking the remaining "
+                f"{max(0.0, config.duration_s - session.now):.0f}s"
+            )
+        report = run_soak(
+            config, telemetry=session_telemetry, session=session
+        )
+        print(report.format_report())
+        bundle_report.update(report.as_dict())
+        if args.report is not None:
+            report.write(args.report)
+            print(f"soak report -> {args.report}")
+        return 0 if report.passed else 1
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -798,6 +852,75 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_session_flags(serve_parser)
 
+    soak_parser = subparsers.add_parser(
+        "soak",
+        help="sustained distributed soak: api/edge process + worker shards "
+             "at high aggregate rate, gated on p99/shed/conservation "
+             "(see docs/SERVING.md)",
+    )
+    soak_parser.add_argument("--workers", type=int, default=2,
+                             help="worker shard count")
+    soak_parser.add_argument("--rate", type=float, default=400.0,
+                             help="aggregate offered rate, req/s")
+    soak_parser.add_argument("--duration", type=float, default=120.0,
+                             help="virtual seconds to sustain the load")
+    soak_parser.add_argument(
+        "--transport", choices=("pipe", "tcp", "inproc"), default="pipe",
+        help="pipe: worker processes over multiprocessing pipes; tcp: "
+             "localhost sockets; inproc: no process boundary (debugging)",
+    )
+    soak_parser.add_argument("--seed", type=int, default=0)
+    soak_parser.add_argument("--nodes", type=int, default=1,
+                             help="initial nodes per worker shard")
+    soak_parser.add_argument("--max-nodes", type=int, default=4)
+    soak_parser.add_argument("--saturation", type=float, default=438.0,
+                             help="per-node saturation rate, txn/s")
+    soak_parser.add_argument("--queue-limit", type=float, default=10.0,
+                             help="per-worker admission queue limit, seconds")
+    soak_parser.add_argument(
+        "--control", choices=("online", "reactive", "none"), default="none",
+        help="per-worker control loop",
+    )
+    soak_parser.add_argument(
+        "--edge-queue-limit", type=float, default=None, metavar="SECONDS",
+        help="coarse edge admission against advertised worker queues "
+             "(default: workers shed for themselves)",
+    )
+    soak_parser.add_argument(
+        "--low-priority", type=float, default=0.0, metavar="FRACTION",
+        help="fraction of requests minted low-priority (brownout-sheddable)",
+    )
+    soak_parser.add_argument("--max-p99", type=float, default=500.0,
+                             help="gate: p99 latency ceiling, ms (0 disables)")
+    soak_parser.add_argument("--max-shed-rate", type=float, default=0.2,
+                             help="gate: shed-fraction ceiling (1 disables)")
+    soak_parser.add_argument(
+        "--trace-requests", action="store_true",
+        help="mint trace ids at the edge and stitch worker span trees "
+             "into one cross-process trace per request",
+    )
+    soak_parser.add_argument(
+        "--slo", action="store_true",
+        help="edge-side burn-rate SLO monitoring over the aggregate stream",
+    )
+    soak_parser.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the JSON soak report (the soak-smoke CI artifact)",
+    )
+    soak_parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="distributed snapshot (edge + every worker) on a cadence",
+    )
+    soak_parser.add_argument(
+        "--checkpoint-every", type=float, default=600.0, metavar="SECONDS",
+    )
+    soak_parser.add_argument(
+        "--restore", metavar="PATH", default=None,
+        help="resume a soak from a distributed checkpoint; the combined "
+             "run is bit-identical to an uninterrupted one",
+    )
+    _add_session_flags(soak_parser)
+
     loadgen_parser = subparsers.add_parser(
         "loadgen", help="fire an open-loop load profile at a running server"
     )
@@ -823,6 +946,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "soak":
+            return _cmd_soak(args)
         if args.command == "loadgen":
             return _cmd_loadgen(args)
         return _cmd_run(

@@ -48,6 +48,16 @@ class ParallelExecutionError(ReproError):
     """Raised when a worker pool dies and the in-process retry fails too."""
 
 
+class TransportError(ReproError):
+    """Raised when an edge/worker wire operation fails.
+
+    Covers timeouts, truncated frames, malformed payloads and peers that
+    died mid-conversation.  The distributed edge converts it into
+    per-request 500s plus circuit-breaker evidence for the worker in
+    question — a broken worker degrades the session, never crashes it.
+    """
+
+
 class EngineError(ReproError):
     """Raised on invalid operations against the simulated OLTP engine."""
 

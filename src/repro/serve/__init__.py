@@ -11,6 +11,12 @@ Fault tolerance (see :mod:`repro.serve.resilience` and
 health probes, brownout degradation while capacity is below plan,
 client-side retries/hedging with a retry budget, and digest-verified
 checkpoints that resume a run bit-identically.
+
+Distributed serving (see :mod:`repro.serve.edge`,
+:mod:`repro.serve.worker`, :mod:`repro.serve.transport` and
+:mod:`repro.serve.soak`): an api/edge process routes over per-node
+worker processes — one engine shard each — in deterministic lock step,
+with checkpoints, traces and telemetry crossing the wire.
 """
 
 from repro.serve.admission import (
@@ -19,12 +25,14 @@ from repro.serve.admission import (
     AdmissionDecision,
 )
 from repro.serve.checkpoint import (
+    DISTRIBUTED_CHECKPOINT_FORMAT,
     CheckpointConfig,
     read_checkpoint,
     write_checkpoint,
 )
 from repro.serve.clock import VirtualClock
 from repro.serve.control import OnlineControlLoop
+from repro.serve.edge import DistributedServeSession
 from repro.serve.engine import ServerEngine, TxnOutcome
 from repro.serve.loadgen import (
     LoadGenerator,
@@ -44,6 +52,14 @@ from repro.serve.resilience import (
     RetryConfig,
 )
 from repro.serve.session import ServeSession
+from repro.serve.soak import SoakConfig, SoakReport, build_soak_session, run_soak
+from repro.serve.transport import (
+    PipeTransport,
+    TcpTransport,
+    TransportError,
+    retry_on_bind_failure,
+)
+from repro.serve.worker import WorkerHandle, WorkerServer, WorkerSpec
 
 __all__ = [
     "AdmissionConfig",
@@ -70,4 +86,17 @@ __all__ = [
     "ResilientClient",
     "RetryConfig",
     "ServeSession",
+    "DISTRIBUTED_CHECKPOINT_FORMAT",
+    "DistributedServeSession",
+    "PipeTransport",
+    "SoakConfig",
+    "SoakReport",
+    "TcpTransport",
+    "TransportError",
+    "WorkerHandle",
+    "WorkerServer",
+    "WorkerSpec",
+    "build_soak_session",
+    "retry_on_bind_failure",
+    "run_soak",
 ]

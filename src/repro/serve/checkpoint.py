@@ -44,6 +44,12 @@ from repro.serve.resilience import _rng_state, _set_rng_state
 
 CHECKPOINT_FORMAT = "repro-serve-checkpoint/1"
 
+#: Format tag for distributed (edge + workers) snapshots.  The payload
+#: layout differs — an edge section plus one captured engine per worker —
+#: so the tag keeps single-process and distributed files from restoring
+#: into each other.
+DISTRIBUTED_CHECKPOINT_FORMAT = "repro-distributed-checkpoint/1"
+
 
 @dataclass(frozen=True)
 class CheckpointConfig:
@@ -73,10 +79,12 @@ def _digest(state: Dict[str, object]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def write_checkpoint(path: str, state: Dict[str, object]) -> str:
+def write_checkpoint(
+    path: str, state: Dict[str, object], *, format: str = CHECKPOINT_FORMAT
+) -> str:
     """Write a digest-verified snapshot atomically; returns the digest."""
     digest = _digest(state)
-    document = {"format": CHECKPOINT_FORMAT, "sha256": digest, "state": state}
+    document = {"format": format, "sha256": digest, "state": state}
     tmp_path = path + ".tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle)
@@ -85,7 +93,9 @@ def write_checkpoint(path: str, state: Dict[str, object]) -> str:
     return digest
 
 
-def read_checkpoint(path: str) -> Dict[str, object]:
+def read_checkpoint(
+    path: str, *, format: str = CHECKPOINT_FORMAT
+) -> Dict[str, object]:
     """Read and verify a snapshot; returns the ``state`` payload."""
     try:
         with open(path, encoding="utf-8") as handle:
@@ -94,11 +104,11 @@ def read_checkpoint(path: str) -> Dict[str, object]:
         raise CheckpointError(f"checkpoint file not found: {path}") from None
     except json.JSONDecodeError as exc:
         raise CheckpointError(f"checkpoint {path} is not valid JSON: {exc}") from None
-    if not isinstance(document, dict) or document.get("format") != CHECKPOINT_FORMAT:
+    if not isinstance(document, dict) or document.get("format") != format:
         raise CheckpointError(
             f"checkpoint {path} has unknown format "
             f"{document.get('format') if isinstance(document, dict) else None!r}; "
-            f"expected {CHECKPOINT_FORMAT!r}"
+            f"expected {format!r}"
         )
     state = document.get("state")
     if not isinstance(state, dict):

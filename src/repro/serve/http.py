@@ -39,6 +39,7 @@ from urllib.parse import urlsplit
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.serve.checkpoint import CheckpointConfig, capture_engine, is_quiescent
 from repro.serve.checkpoint import write_checkpoint as _write_checkpoint
 from repro.serve.engine import ServerEngine, TxnOutcome
@@ -384,10 +385,33 @@ class ServeApp:
             except ConnectionError:  # pragma: no cover - peer already gone
                 pass
 
+    async def _bind(self, retries: int = 5, delay_s: float = 0.05):
+        """``asyncio.start_server`` with the transport layer's bind-retry
+        policy: transient EADDRINUSE/EADDRNOTAVAIL (a just-released port
+        still in TIME_WAIT — the CI flake class) backs off and retries;
+        real misconfiguration raises immediately."""
+        from repro.serve.transport import _BIND_RETRY_ERRNOS
+
+        last: Optional[OSError] = None
+        for attempt in range(max(1, retries)):
+            try:
+                return await asyncio.start_server(
+                    self._handle, self.host, self.port
+                )
+            except OSError as exc:
+                if exc.errno not in _BIND_RETRY_ERRNOS:
+                    raise
+                last = exc
+                await asyncio.sleep(delay_s * (attempt + 1))
+        raise ConfigurationError(
+            f"could not bind {self.host}:{self.port} after {retries} "
+            f"attempts: {last}"
+        )
+
     # ------------------------------------------------------------------
     async def run(self, on_ready: Optional[Callable[["ServeApp"], None]] = None) -> None:
         """Serve until the run (plus linger) completes or /shutdown."""
-        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self._server = await self._bind()
         self.port = self._server.sockets[0].getsockname()[1]
         if on_ready is not None:
             on_ready(self)

@@ -1,0 +1,167 @@
+"""Cross-process telemetry merge for the distributed serving path.
+
+Each worker process owns a private :class:`~repro.telemetry.Telemetry`
+(its engine's metrics, request-trace spans and timeline events).  At the
+end of a distributed run — or whenever the edge wants a mid-run look —
+the worker serializes that state with :func:`snapshot_telemetry` and the
+edge folds it into its own registry with :func:`merge_snapshot`, so the
+existing exporters, ``repro explain`` and the debug bundles keep working
+unchanged on a multi-process session:
+
+* **counters and histograms** are summable and merge by addition (same
+  name, same buckets), so aggregate families like ``serve.admitted`` and
+  ``serve.latency_ms`` read cluster-wide after the merge;
+* **gauges** are last-write-wins and *not* summable, so each worker's
+  gauge is re-labelled with ``worker="<id>"`` and kept separate;
+* **events** append with a ``worker`` field;
+* **spans** are re-identified into the edge tracer's id space (parents
+  rewritten through the same mapping, a ``worker`` attr added).  When a
+  ``stitch`` map is supplied — edge-minted ``trace_id`` to the edge-side
+  root span — each worker ``request`` span is re-parented under the edge
+  span that dispatched it, producing one request tree that crosses the
+  process boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.telemetry import Telemetry
+from repro.telemetry.metrics import labeled, split_labels
+from repro.telemetry.tracer import Span
+
+#: Snapshot schema version; bump on incompatible layout changes.
+SNAPSHOT_FORMAT = "repro-telemetry-snapshot/1"
+
+
+def snapshot_telemetry(telemetry: Telemetry) -> Dict[str, object]:
+    """The whole telemetry state as one JSON-able dict."""
+    metrics = telemetry.metrics
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "meta": dict(telemetry.timeline.meta),
+        "ticks": [dict(tick) for tick in telemetry.timeline.ticks],
+        "events": [dict(event) for event in telemetry.timeline.events],
+        "spans": telemetry.tracer.records(),
+        "counters": [c.as_record() for c in metrics.counters().values()],
+        "gauges": [g.as_record() for g in metrics.gauges().values()],
+        "histograms": [h.as_record() for h in metrics.histograms().values()],
+    }
+
+
+def merge_snapshot(
+    target: Telemetry,
+    snapshot: Dict[str, object],
+    *,
+    worker: int,
+    stitch: Optional[Dict[int, Span]] = None,
+) -> None:
+    """Fold one worker's snapshot into the edge telemetry (see module doc).
+
+    Worker tick records are intentionally *not* merged: each worker's
+    engine keeps its own per-tick series on the same clock, and
+    interleaving them would double-count offered/served in the run
+    reports.  The edge session records its own aggregate timeline.
+    """
+    if snapshot.get("format") != SNAPSHOT_FORMAT:
+        raise ConfigurationError(
+            f"telemetry snapshot has format {snapshot.get('format')!r}; "
+            f"expected {SNAPSHOT_FORMAT!r}"
+        )
+    _merge_metrics(target, snapshot, worker)
+    _merge_events(target, snapshot, worker)
+    _merge_spans(target, snapshot, worker, stitch or {})
+
+
+def _worker_labeled(name: str, worker: int) -> str:
+    base, pairs = split_labels(name)
+    labels = {key: value for key, value in pairs}
+    labels["worker"] = worker
+    return labeled(base, **labels)
+
+
+def _merge_metrics(
+    target: Telemetry, snapshot: Dict[str, object], worker: int
+) -> None:
+    for record in snapshot.get("counters", ()):  # type: ignore[union-attr]
+        target.counter(str(record["name"])).inc(float(record["value"]))
+    for record in snapshot.get("gauges", ()):  # type: ignore[union-attr]
+        gauge = target.gauge(_worker_labeled(str(record["name"]), worker))
+        gauge.set(float(record["value"]))
+        # One worker-side set is one set here; keep the update count
+        # honest rather than claiming a single write.
+        gauge.updates += int(record.get("updates", 1)) - 1
+    for record in snapshot.get("histograms", ()):  # type: ignore[union-attr]
+        histogram = target.histogram(
+            str(record["name"]), tuple(float(b) for b in record["buckets"])
+        )
+        if list(histogram.buckets) != [float(b) for b in record["buckets"]]:
+            raise ConfigurationError(
+                f"histogram {record['name']!r} bucket layout differs "
+                "between edge and worker; cannot merge"
+            )
+        counts = [int(c) for c in record["counts"]]
+        histogram.counts = [
+            have + new for have, new in zip(histogram.counts, counts)
+        ]
+        histogram.total += float(record["total"])
+        histogram.count += int(record["count"])
+
+
+def _merge_events(
+    target: Telemetry, snapshot: Dict[str, object], worker: int
+) -> None:
+    for record in snapshot.get("events", ()):  # type: ignore[union-attr]
+        fields = {
+            key: value
+            for key, value in record.items()
+            if key not in ("kind", "type", "t")
+        }
+        fields["worker"] = worker
+        target.event(str(record["type"]), float(record["t"]), **fields)
+
+
+def _merge_spans(
+    target: Telemetry,
+    snapshot: Dict[str, object],
+    worker: int,
+    stitch: Dict[int, Span],
+) -> None:
+    tracer = target.tracer
+    id_map: Dict[int, int] = {}
+    depth_offsets: Dict[int, int] = {}
+    for record in snapshot.get("spans", ()):  # type: ignore[union-attr]
+        old_id = int(record["id"])
+        new_id = tracer._next_id
+        tracer._next_id += 1
+        id_map[old_id] = new_id
+        attrs = dict(record.get("attrs") or {})
+        attrs["worker"] = worker
+
+        old_parent = record.get("parent")
+        offset = 0
+        parent_id: Optional[int] = None
+        if old_parent is not None:
+            parent_id = id_map.get(int(old_parent))
+            offset = depth_offsets.get(int(old_parent), 0)
+        elif record["name"] == "request" and "trace_id" in attrs:
+            root = stitch.get(int(attrs["trace_id"]))
+            if root is not None:
+                parent_id = root.span_id
+                offset = root.depth + 1
+        depth_offsets[old_id] = offset
+
+        end = record.get("end")
+        tracer.spans.append(
+            Span(
+                span_id=new_id,
+                name=str(record["name"]),
+                start=float(record["start"]),
+                parent_id=parent_id,
+                depth=int(record["depth"]) + offset,
+                end=None if end is None else float(end),
+                status=str(record["status"]),
+                attrs=attrs,
+            )
+        )

@@ -191,6 +191,39 @@ class SLOMonitor:
                 )
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able monitor state for distributed checkpoints.
+
+        The window samples are captured verbatim so a restored monitor
+        evicts on exactly the same ticks as the original would have.
+        """
+        return {
+            "fast": [list(s) for s in self._fast._samples],
+            "slow": [list(s) for s in self._slow._samples],
+            "alerting": self.alerting,
+            "alerts_fired": self.alerts_fired,
+            "good_total": self.good_total,
+            "bad_total": self.bad_total,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output into this monitor."""
+        for window, key in ((self._fast, "fast"), (self._slow, "slow")):
+            window._samples = deque(
+                (float(t), int(g), int(b)) for t, g, b in state[key]
+            )
+            window._good = sum(s[1] for s in window._samples)
+            window._bad = sum(s[2] for s in window._samples)
+        self.alerting = bool(state["alerting"])
+        self.alerts_fired = int(state["alerts_fired"])
+        self.good_total = int(state["good_total"])
+        self.bad_total = int(state["bad_total"])
+        self.fast_burn = float(state["fast_burn"])
+        self.slow_burn = float(state["slow_burn"])
+
+    # ------------------------------------------------------------------
     def status(self) -> Dict[str, object]:
         """Current state for ``/healthz`` and the run reports."""
         total = self.good_total + self.bad_total

@@ -1,4 +1,4 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and harness policy for the test suite."""
 
 from __future__ import annotations
 
@@ -6,6 +6,32 @@ import numpy as np
 import pytest
 
 from repro.core.params import SystemParameters
+
+#: Per-test wall-clock ceiling (seconds) when pytest-timeout is
+#: installed.  A hung socket/subprocess test then fails in minutes
+#: instead of eating the whole CI job timeout.  Tests that legitimately
+#: run long (soak, e2e) opt out with an explicit ``@pytest.mark.timeout``.
+DEFAULT_TEST_TIMEOUT_S = 120
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    # Register the marker so suites stay warning-free (and the marker is
+    # inert) on machines without the pytest-timeout plugin.
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test wall-clock limit "
+        "(enforced when pytest-timeout is installed)",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    if not config.pluginmanager.hasplugin("timeout"):
+        return
+    for item in items:
+        if item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(DEFAULT_TEST_TIMEOUT_S))
 
 
 @pytest.fixture

@@ -223,6 +223,49 @@ class TestServeSubcommand:
         assert "Traceback" not in err
 
 
+class TestSoakSubcommand:
+    SOAK_ARGS = [
+        "soak", "--transport", "inproc", "--workers", "2",
+        "--rate", "120", "--duration", "30", "--seed", "4",
+        "--saturation", "200", "--queue-limit", "8",
+    ]
+
+    def test_soak_passes_and_writes_report(self, tmp_path, capsys):
+        report = tmp_path / "soak.json"
+        code = main(self.SOAK_ARGS + ["--report", str(report)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gates: PASS" in out
+        assert "(exact)" in out
+        doc = json.loads(report.read_text())
+        assert doc["format"] == "repro-soak-report/1"
+        assert doc["passed"] is True
+
+    def test_gate_breach_exits_nonzero(self, capsys):
+        code = main(self.SOAK_ARGS + ["--max-p99", "0.001"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "GATE FAIL" in out
+
+    def test_checkpoint_restore_round_trip(self, tmp_path, capsys):
+        ckpt = tmp_path / "soak.ckpt"
+        args = self.SOAK_ARGS + [
+            "--checkpoint", str(ckpt), "--checkpoint-every", "10",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        code = main(args + ["--restore", str(ckpt)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "restored" in out
+        assert "gates: PASS" in out
+
+    def test_bad_flags_exit_2(self, capsys):
+        code = main(["soak", "--workers", "0"])
+        assert code == 2
+        assert "worker" in capsys.readouterr().err
+
+
 class TestLoadgenSubcommand:
     def test_unreachable_server_exits_nonzero(self, capsys):
         code = main([

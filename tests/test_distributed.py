@@ -1,0 +1,450 @@
+"""Distributed serve: transports, edge/worker protocol, soak gates.
+
+Determinism is the backbone of this suite: the edge drives the fleet in
+lock step, so a run is bit-identical across transport modes and across a
+checkpoint/restore boundary.  Most tests use ``inproc`` mode — the full
+wire protocol with no process scheduling in the loop — and a few spawn
+real worker processes over pipes/TCP to cover the serialization path.
+"""
+
+import errno
+import json
+import os
+import socket
+
+import pytest
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.serve import (
+    BreakerConfig,
+    BrownoutConfig,
+    DistributedServeSession,
+    SoakConfig,
+    TransportError,
+    WorkerHandle,
+    WorkerServer,
+    WorkerSpec,
+    build_soak_session,
+    poisson_arrivals,
+    retry_on_bind_failure,
+    run_soak,
+)
+from repro.serve.checkpoint import CheckpointConfig
+from repro.serve.transport import (
+    TcpTransport,
+    accept_transport,
+    bind_listener,
+    connect_transport,
+)
+from repro.telemetry import Telemetry
+from repro.telemetry.slo import SLOConfig
+
+
+def specs(n=2, **kwargs):
+    defaults = dict(
+        initial_nodes=1,
+        max_nodes=4,
+        saturation_rate_per_node=120.0,
+        queue_limit_seconds=8.0,
+    )
+    defaults.update(kwargs)
+    return [WorkerSpec(worker_id=i, seed=i, **defaults) for i in range(n)]
+
+
+def make_session(n=2, *, rate=150.0, duration=40.0, seed=3, **kwargs):
+    arrivals = poisson_arrivals(rate, duration, seed=seed)
+    kwargs.setdefault("mode", "inproc")
+    return DistributedServeSession(specs(n), arrivals, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Transport framing
+# ----------------------------------------------------------------------
+class TestTransports:
+    def test_tcp_round_trip_and_framing(self):
+        listener = bind_listener()
+        try:
+            host, port = listener.getsockname()
+            client = connect_transport(host, port, timeout_s=5.0)
+            server = accept_transport(listener, timeout_s=5.0)
+            message = {"cmd": "step", "arrivals": [[0.5, 1, "edge", 0]] * 100}
+            client.send(message)
+            assert server.recv(timeout_s=5.0) == message
+            server.send({"ok": True})
+            assert client.recv(timeout_s=5.0) == {"ok": True}
+            client.close()
+            with pytest.raises(TransportError):
+                server.recv(timeout_s=5.0)  # EOF from closed peer
+            server.close()
+        finally:
+            listener.close()
+
+    def test_tcp_rejects_corrupt_length_prefix(self):
+        listener = bind_listener()
+        try:
+            host, port = listener.getsockname()
+            raw = socket.create_connection((host, port), timeout=5.0)
+            server = accept_transport(listener, timeout_s=5.0)
+            raw.sendall(b"\xff\xff\xff\xff")  # 4 GiB frame: nonsense
+            with pytest.raises(TransportError, match="frame"):
+                server.recv(timeout_s=5.0)
+            raw.close()
+            server.close()
+        finally:
+            listener.close()
+
+    def test_tcp_recv_times_out(self):
+        listener = bind_listener()
+        try:
+            host, port = listener.getsockname()
+            client = connect_transport(host, port, timeout_s=5.0)
+            server = accept_transport(listener, timeout_s=5.0)
+            with pytest.raises(TransportError):
+                server.recv(timeout_s=0.05)
+            client.close()
+            server.close()
+        finally:
+            listener.close()
+
+    def test_retry_on_bind_failure_retries_then_succeeds(self):
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise OSError(errno.EADDRINUSE, "in use")
+            return "bound"
+
+        assert retry_on_bind_failure(flaky, delay_s=0.001) == "bound"
+        assert attempts["n"] == 3
+
+    def test_retry_on_bind_failure_gives_up(self):
+        def busy():
+            raise OSError(errno.EADDRINUSE, "in use")
+
+        with pytest.raises(TransportError, match="could not bind"):
+            retry_on_bind_failure(busy, retries=2, delay_s=0.001)
+
+    def test_retry_on_bind_failure_passes_real_errors(self):
+        def denied():
+            raise OSError(errno.EACCES, "denied")
+
+        with pytest.raises(OSError) as excinfo:
+            retry_on_bind_failure(denied, delay_s=0.001)
+        assert excinfo.value.errno == errno.EACCES
+
+
+# ----------------------------------------------------------------------
+# Worker protocol
+# ----------------------------------------------------------------------
+class TestWorkerProtocol:
+    def test_hello_advertises_capacity(self):
+        server = WorkerServer(specs(1)[0])
+        reply = server.handle({"cmd": "hello"})
+        assert reply["ok"] is True
+        assert reply["worker"] == 0
+        assert reply["machines"] >= 1
+
+    def test_step_returns_terminal_outcomes(self):
+        server = WorkerServer(
+            specs(1, trace_requests=True, collect_telemetry=True)[0]
+        )
+        reply = server.handle(
+            {
+                "cmd": "step",
+                "now": 1.0,
+                "arrivals": [[0.2, 7, "edge", 0], [0.4, 8, "edge", 1]],
+            }
+        )
+        assert reply["ok"] is True
+        outcomes = reply["outcomes"]
+        assert {o["trace_id"] for o in outcomes} == {7, 8}
+        assert all(o["status"] in (200, 503) for o in outcomes)
+
+    def test_unknown_command_is_an_error_reply(self):
+        server = WorkerServer(specs(1)[0])
+        reply = server.handle({"cmd": "frobnicate"})
+        assert reply["ok"] is False
+        assert "frobnicate" in reply["error"]
+
+    def test_spec_round_trips_through_dict(self):
+        spec = specs(
+            1, control="reactive", trace_requests=True, collect_telemetry=True
+        )[0]
+        assert WorkerSpec.from_dict(spec.as_dict()) == spec
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkerSpec(worker_id=-1)
+        with pytest.raises(ConfigurationError):
+            WorkerSpec(worker_id=0, control="psychic")
+
+    def test_handle_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="transport mode"):
+            WorkerHandle(specs(1)[0], "carrier-pigeon")
+
+    def test_inproc_collect_without_post_fails(self):
+        handle = WorkerHandle(specs(1)[0], "inproc")
+        with pytest.raises(TransportError, match="without a post"):
+            handle.collect()
+
+
+# ----------------------------------------------------------------------
+# Edge session: validation, conservation, determinism
+# ----------------------------------------------------------------------
+class TestDistributedSession:
+    def test_rejects_bad_worker_ids(self):
+        arrivals = poisson_arrivals(10.0, 5.0, seed=0)
+        bad = [WorkerSpec(worker_id=1), WorkerSpec(worker_id=0)]
+        with pytest.raises(ConfigurationError, match="worker ids"):
+            DistributedServeSession(bad, arrivals, mode="inproc")
+        with pytest.raises(ConfigurationError, match="at least one"):
+            DistributedServeSession([], arrivals, mode="inproc")
+
+    def test_trace_requests_requires_telemetry(self):
+        with pytest.raises(ConfigurationError, match="telemetry"):
+            make_session(trace_requests=True)
+
+    def test_conservation_is_exact(self):
+        with make_session(rate=300.0) as session:
+            report = session.run(40.0)
+        assert report.offered > 0
+        assert report.conserved
+        assert report.offered == (
+            report.accepted + report.rejected + report.errored
+        )
+
+    def test_work_spreads_across_workers(self):
+        with make_session(3, rate=300.0) as session:
+            session.run(40.0)
+            machines = {
+                wid: ad[0] for wid, ad in session.advertised.items()
+            }
+        assert set(machines) == {0, 1, 2}
+
+    def test_run_is_deterministic(self):
+        def once():
+            with make_session(rate=200.0, seed=9) as session:
+                return session.run(30.0)
+
+        a, b = once(), once()
+        assert a.summary() == b.summary()
+        assert a.latencies_ms == b.latencies_ms
+
+    def test_healthz_reports_fleet(self):
+        with make_session() as session:
+            session.run(10.0)
+            health = session.healthz()
+        assert health["status"] == "ok"
+        assert set(health["workers"]) == {"0", "1"}
+        assert all(
+            w["status"] == "ok" for w in health["workers"].values()
+        )
+        assert health["breakers"] == {"0": "closed", "1": "closed"}
+
+
+# ----------------------------------------------------------------------
+# Real processes: the pipe path must match inproc bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.timeout(300)
+class TestProcessBoundary:
+    def test_pipe_matches_inproc_bit_for_bit(self):
+        def run(mode):
+            arrivals = poisson_arrivals(150.0, 20.0, seed=5)
+            with DistributedServeSession(
+                specs(2), arrivals, mode=mode, seed=5
+            ) as session:
+                return session.run(20.0)
+
+        inproc, pipe = run("inproc"), run("pipe")
+        assert inproc.summary() == pipe.summary()
+        assert inproc.latencies_ms == pipe.latencies_ms
+
+
+# ----------------------------------------------------------------------
+# Trace stitching across the process boundary
+# ----------------------------------------------------------------------
+class TestTraceStitching:
+    def test_worker_spans_reparent_under_edge_roots(self):
+        # trace_requests on the edge; worker specs record their side.
+        telemetry = Telemetry()
+        arrivals = poisson_arrivals(60.0, 20.0, seed=2)
+        with DistributedServeSession(
+            specs(2, trace_requests=True, collect_telemetry=True),
+            arrivals,
+            mode="inproc",
+            trace_requests=True,
+            telemetry=telemetry,
+        ) as session:
+            session.run(20.0)
+            session.collect_telemetry()
+
+        spans = telemetry.tracer.records()
+        edge_roots = {
+            s["id"]: s for s in spans if s["name"] == "edge.request"
+        }
+        worker_roots = [s for s in spans if s["name"] == "request"]
+        assert edge_roots and worker_roots
+        for span in worker_roots:
+            # Every worker-side request tree hangs off the edge span that
+            # minted its trace id, one level deeper.
+            assert span["parent"] in edge_roots
+            parent = edge_roots[span["parent"]]
+            assert parent["attrs"]["trace_id"] == span["attrs"]["trace_id"]
+            assert span["depth"] == parent["depth"] + 1
+            assert span["attrs"]["worker"] in (0, 1)
+        # Child spans below the worker roots moved with their parents.
+        children = [
+            s
+            for s in spans
+            if s["parent"] is not None
+            and s["parent"] not in edge_roots
+            and s["name"] != "edge.request"
+        ]
+        ids = {s["id"] for s in spans}
+        assert all(s["parent"] in ids for s in children)
+
+    def test_collect_telemetry_is_idempotent(self):
+        telemetry = Telemetry()
+        arrivals = poisson_arrivals(60.0, 10.0, seed=2)
+        with DistributedServeSession(
+            specs(1, collect_telemetry=True),
+            arrivals,
+            mode="inproc",
+            telemetry=telemetry,
+        ) as session:
+            session.run(10.0)
+            session.collect_telemetry()
+            before = len(telemetry.tracer.records())
+            session.collect_telemetry()  # second call must not re-merge
+            assert len(telemetry.tracer.records()) == before
+
+
+# ----------------------------------------------------------------------
+# Distributed checkpoint/restore: bit-identical continuation
+# ----------------------------------------------------------------------
+class TestDistributedCheckpoint:
+    def _kwargs(self):
+        return dict(
+            mode="inproc",
+            seed=7,
+            breaker=BreakerConfig(miss_threshold=2, open_seconds=10.0),
+            brownout=BrownoutConfig(),
+            low_priority_fraction=0.2,
+            slo=SLOConfig(),
+        )
+
+    def test_restore_continues_bit_identically(self, tmp_path):
+        arrivals = poisson_arrivals(150.0, 60.0, seed=7)
+        path = str(tmp_path / "dist.ckpt")
+
+        with DistributedServeSession(
+            specs(2), arrivals, **self._kwargs()
+        ) as session:
+            session.run(30.0)
+            session.write_checkpoint(path)
+            resumed_from = session.now
+            baseline = session.run(30.0)
+
+        with DistributedServeSession.resume(
+            specs(2), arrivals, path, **self._kwargs()
+        ) as restored:
+            assert restored.now == resumed_from
+            report = restored.run(30.0)
+
+        assert report.summary() == baseline.summary()
+        assert report.latencies_ms == baseline.latencies_ms
+        assert report.conserved
+
+    def test_periodic_checkpoints_fire(self, tmp_path):
+        path = str(tmp_path / "auto.ckpt")
+        with make_session(
+            rate=100.0,
+            checkpoint=CheckpointConfig(path=path, every_s=10.0),
+        ) as session:
+            session.run(30.0)
+            assert session.checkpoints_written >= 2
+        assert os.path.exists(path)
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["format"] == "repro-distributed-checkpoint/1"
+
+    def test_resume_rejects_worker_count_mismatch(self, tmp_path):
+        arrivals = poisson_arrivals(100.0, 20.0, seed=1)
+        path = str(tmp_path / "two.ckpt")
+        with DistributedServeSession(
+            specs(2), arrivals, mode="inproc"
+        ) as session:
+            session.run(10.0)
+            session.write_checkpoint(path)
+        with pytest.raises(CheckpointError, match="workers"):
+            DistributedServeSession.resume(
+                specs(3), arrivals, path, mode="inproc"
+            )
+
+
+# ----------------------------------------------------------------------
+# Soak harness and gates
+# ----------------------------------------------------------------------
+class TestSoak:
+    def test_soak_passes_and_reports(self, tmp_path):
+        config = SoakConfig(
+            workers=2,
+            rate_per_s=150.0,
+            duration_s=40.0,
+            mode="inproc",
+            seed=4,
+        )
+        report = run_soak(config)
+        assert report.passed and not report.gate()
+        assert report.offered > 0
+        assert "exact" in report.conservation_line
+        path = str(tmp_path / "soak.json")
+        report.write(path)
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["format"] == "repro-soak-report/1"
+        assert doc["passed"] is True and doc["failures"] == []
+
+    def test_gates_catch_breaches(self):
+        config = SoakConfig(
+            workers=1,
+            rate_per_s=600.0,  # way past one worker's saturation
+            duration_s=30.0,
+            mode="inproc",
+            max_shed_rate=0.0,  # any shed at all breaches
+            max_p99_ms=0.001,
+        )
+        report = run_soak(config)
+        assert not report.passed
+        assert any("shed" in g or "p99" in g for g in report.gate())
+        assert "GATE FAIL" in report.format_report()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoakConfig(workers=0)
+        with pytest.raises(ConfigurationError):
+            SoakConfig(duration_s=-1.0)
+
+    def test_per_worker_seeds_differ(self):
+        config = SoakConfig(workers=3, seed=10)
+        assert [s.seed for s in config.worker_specs()] == [10, 11, 12]
+
+    def test_build_session_wires_config(self):
+        config = SoakConfig(
+            workers=2,
+            mode="inproc",
+            slo=True,
+            telemetry=True,
+            low_priority_fraction=0.1,
+            duration_s=20.0,
+        )
+        telemetry = Telemetry()
+        session = build_soak_session(config, telemetry=telemetry)
+        try:
+            assert session.slo_monitor is not None
+            assert session.brownout is not None
+            assert session.telemetry is telemetry
+            assert len(session.workers) == 2
+        finally:
+            session.close()

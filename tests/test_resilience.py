@@ -317,3 +317,81 @@ class TestRetriesAndHedging:
         b = run(resilience=fast_breakers())
         assert a.summary() == b.summary()
         assert a.latencies_ms == b.latencies_ms
+
+
+# ----------------------------------------------------------------------
+# Distributed chaos: worker crash → breaker opens → edge reroutes
+# ----------------------------------------------------------------------
+class TestDistributedWorkerCrash:
+    """The crash arc across the process boundary (inproc transport:
+    identical protocol, deterministic scheduling)."""
+
+    def make_session(self, *, brownout=None, low_priority_fraction=0.0):
+        from repro.serve import DistributedServeSession, WorkerSpec
+
+        workers = [
+            WorkerSpec(
+                worker_id=i,
+                initial_nodes=1,
+                max_nodes=2,
+                saturation_rate_per_node=120.0,
+                queue_limit_seconds=8.0,
+                seed=i,
+            )
+            for i in range(2)
+        ]
+        arrivals = poisson_arrivals(120.0, 60.0, seed=8)
+        return DistributedServeSession(
+            workers,
+            arrivals,
+            mode="inproc",
+            breaker=BreakerConfig(miss_threshold=3, open_seconds=20.0),
+            brownout=brownout,
+            low_priority_fraction=low_priority_fraction,
+            seed=8,
+        )
+
+    def test_crash_opens_breaker_and_reroutes(self):
+        with self.make_session() as session:
+            session.run(10.0)
+            victim = session.workers[1]
+            victim.kill()
+            report = session.run(30.0)
+
+        assert session.breakers[1].state == OPEN
+        assert session.breakers[0].state == CLOSED
+        # Post-crash traffic all lands on the survivor; the fleet keeps
+        # serving and every request still gets a terminal answer.
+        assert report.accepted > 0
+        assert report.conserved
+        health = session.healthz()
+        assert health["status"] == "degraded"
+        assert health["workers"]["1"]["status"] == "dead"
+
+    def test_crash_mid_batch_fails_closed_not_lost(self):
+        # Kill between ticks but after routing state is warm: the batch
+        # already routed to the dead worker terminates as 500s with
+        # reason "connection" — errored, not vanished.
+        with self.make_session() as session:
+            session.run(5.0)
+            session.workers[0].kill()
+            session.workers[1].kill()
+            report = session.run(10.0)
+        assert report.errored > 0
+        assert report.accepted + report.rejected + report.errored == (
+            report.offered
+        )
+        assert report.conserved
+        assert session.healthz()["status"] == "degraded"
+
+    def test_open_breaker_triggers_edge_brownout(self):
+        with self.make_session(
+            brownout=BrownoutConfig(), low_priority_fraction=0.5
+        ) as session:
+            session.run(10.0)
+            assert not session.brownout_active
+            session.workers[1].kill()
+            report = session.run(30.0)
+            assert session.brownout_active
+        assert report.rejected > 0, "low-priority work sheds under brownout"
+        assert report.conserved

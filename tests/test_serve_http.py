@@ -50,11 +50,87 @@ async def http_request(port, method="GET", path="/", host="127.0.0.1"):
 
 
 async def start_app(app):
-    """Run the app in a background task; returns once the port is bound."""
+    """Run the app in a background task; returns once the port is bound.
+
+    Binding goes through :meth:`ServeApp._bind`, which retries transient
+    ``EADDRINUSE``/``EADDRNOTAVAIL`` with backoff — the port-allocation
+    flake class that used to kill parallel CI runs of this module.
+    """
     ready = asyncio.Event()
     task = asyncio.create_task(app.run(on_ready=lambda _: ready.set()))
     await asyncio.wait_for(ready.wait(), timeout=10)
     return task
+
+
+class TestBindRetry:
+    def test_run_retries_transient_bind_failure(self):
+        """A port in TIME_WAIT (EADDRINUSE) is retried, then succeeds."""
+        import errno
+
+        async def scenario():
+            app = ServeApp(make_engine(), virtual=True, duration_s=5.0)
+            real_start = asyncio.start_server
+            attempts = {"n": 0}
+
+            async def flaky_start(*args, **kwargs):
+                attempts["n"] += 1
+                if attempts["n"] < 3:
+                    raise OSError(errno.EADDRINUSE, "address in use")
+                return await real_start(*args, **kwargs)
+
+            asyncio.start_server = flaky_start
+            try:
+                server = await app._bind(retries=5, delay_s=0.001)
+            finally:
+                asyncio.start_server = real_start
+            assert attempts["n"] == 3
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_bind_gives_up_after_retries(self):
+        import errno
+
+        from repro.errors import ConfigurationError
+
+        async def scenario():
+            app = ServeApp(make_engine(), virtual=True, duration_s=5.0)
+            real_start = asyncio.start_server
+
+            async def always_busy(*args, **kwargs):
+                raise OSError(errno.EADDRINUSE, "address in use")
+
+            asyncio.start_server = always_busy
+            try:
+                with pytest.raises(ConfigurationError, match="could not bind"):
+                    await app._bind(retries=2, delay_s=0.001)
+            finally:
+                asyncio.start_server = real_start
+
+        asyncio.run(scenario())
+
+    def test_real_misconfiguration_raises_immediately(self):
+        import errno
+
+        async def scenario():
+            app = ServeApp(make_engine(), virtual=True, duration_s=5.0)
+            real_start = asyncio.start_server
+            attempts = {"n": 0}
+
+            async def denied(*args, **kwargs):
+                attempts["n"] += 1
+                raise OSError(errno.EACCES, "permission denied")
+
+            asyncio.start_server = denied
+            try:
+                with pytest.raises(OSError):
+                    await app._bind(retries=5, delay_s=0.001)
+            finally:
+                asyncio.start_server = real_start
+            assert attempts["n"] == 1, "EACCES is not the retry class"
+
+        asyncio.run(scenario())
 
 
 class TestAdminEndpoints:
