@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint cov bench bench-pytest chaos serve-smoke chaos-serve-smoke soak-smoke
+.PHONY: test lint cov bench bench-pytest chaos serve-smoke chaos-serve-smoke soak-smoke tenant-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -39,6 +39,13 @@ chaos-serve-smoke:
 ## conservation; writes out/soak-report.json + a debug bundle.
 soak-smoke:
 	./scripts/soak_smoke.sh
+
+## Multi-tenant serving smoke (docs/SERVING.md § Multi-tenant serving):
+## a three-tenant spec end to end — composite workload, token-bucket
+## quota enforcement, exact per-tenant conservation, per-tenant explain
+## sections; writes out/tenant-smoke-bundle.
+tenant-smoke:
+	./scripts/tenant_smoke.sh
 
 ## Median-ns kernel baseline, written to BENCH_<date>.json (see
 ## docs/PERFORMANCE.md).

@@ -165,6 +165,48 @@ def _bench_soak_session() -> Callable[[], None]:
     return run
 
 
+def _bench_tenant_session() -> Callable[[], None]:
+    """Ten virtual minutes of three-tenant serving: composite arrival
+    merge, per-tenant quota admission, labelled counters and per-tenant
+    SLO classification on top of the single-tenant serve hot path."""
+    from repro.serve import ServeSession, ServerEngine
+    from repro.tenancy import (
+        TenantAdmission,
+        TenantRegistry,
+        TenantSpec,
+        composite_arrivals,
+    )
+
+    config = EngineConfig(max_nodes=4, saturation_rate_per_node=300.0)
+    registry = TenantRegistry(
+        tenants=[
+            TenantSpec(name="checkout", profile="poisson:rate=90", weight=3),
+            TenantSpec(name="search", profile="poisson:rate=70", weight=2),
+            TenantSpec(
+                name="batch", profile="poisson:rate=40", weight=1, quota_rps=30.0
+            ),
+        ]
+    )
+    arrivals, indices = composite_arrivals(registry, 600.0, seed=11)
+
+    def run() -> None:
+        engine = ServerEngine(
+            engine_config=config,
+            initial_nodes=2,
+            seed=11,
+            tenancy=TenantAdmission(registry),
+        )
+        session = ServeSession(
+            engine, arrivals, tenant_indices=indices,
+            tenant_names=registry.names(),
+        )
+        report = session.run(600.0)
+        if not report.tenants_consistent():  # pragma: no cover - tenancy bug
+            raise RuntimeError("per-tenant counters diverged from fleet totals")
+
+    return run
+
+
 KERNELS: Dict[str, Callable[[], Callable[[], None]]] = {
     "planner_best_moves": _bench_planner_best_moves,
     "spar_fit": _bench_spar_fit,
@@ -174,6 +216,7 @@ KERNELS: Dict[str, Callable[[], Callable[[], None]]] = {
     "engine_fleet_steps": _bench_engine_fleet_steps,
     "engine_run_steady_hour": _bench_engine_run_steady_hour,
     "serve_session": _bench_serve_session,
+    "tenant_session": _bench_tenant_session,
     "soak_session": _bench_soak_session,
     "parallel_shard_runs": _bench_parallel_shard_runs,
 }
@@ -192,6 +235,7 @@ KERNEL_REPEATS: Dict[str, int] = {
     "engine_fleet_steps": 5,
     "engine_run_steady_hour": 5,
     "serve_session": 5,
+    "tenant_session": 3,
     "soak_session": 3,
     "parallel_shard_runs": 3,
 }

@@ -357,7 +357,7 @@ def _parse_retry_spec(spec: str):
     return RetryConfig(**kwargs)
 
 
-def _build_serve_engine(args: argparse.Namespace, telemetry: Telemetry):
+def _build_serve_engine(args: argparse.Namespace, telemetry: Telemetry, tenancy=None):
     from repro.core.params import SystemParameters
     from repro.engine.simulator import EngineConfig
     from repro.serve import OnlineControlLoop, ServerEngine
@@ -407,6 +407,7 @@ def _build_serve_engine(args: argparse.Namespace, telemetry: Telemetry):
             if args.resilience is not None
             else None
         ),
+        tenancy=tenancy,
     )
 
 
@@ -427,6 +428,15 @@ def _print_serve_outcome(engine, report) -> None:
             f"{state['good_fraction']:.3%} | burn fast/slow "
             f"{state['fast_burn']:.2f}/{state['slow_burn']:.2f} | "
             f"alerts fired {state['alerts_fired']}{firing}"
+        )
+    for name, info in sorted((health.get("tenants") or {}).items()):
+        slo = info.get("slo") or {}
+        firing = " (FIRING)" if slo.get("alerting") else ""
+        print(
+            f"tenant {name}: offered {info.get('offered', 0)} | "
+            f"quota shed {info.get('quota_shed', 0)} | "
+            f"brownout shed {info.get('brownout_shed', 0)} | "
+            f"good {slo.get('good_fraction', 1.0):.3%}{firing}"
         )
     if engine.resilience is not None:
         health = engine.healthz()
@@ -466,7 +476,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ) as session_telemetry:
         # /metrics needs a registry even without --telemetry.
         telemetry = session_telemetry if session_telemetry is not None else Telemetry()
-        engine = _build_serve_engine(args, telemetry)
+        tenancy = None
+        if args.tenants is not None:
+            from repro.tenancy import TenantAdmission, TenantRegistry
+
+            if not args.no_http:
+                print("--tenants requires --no-http", file=sys.stderr)
+                return 2
+            if args.duration is None:
+                print("--tenants requires --duration", file=sys.stderr)
+                return 2
+            if args.profile is not None:
+                print(
+                    "--tenants builds its own composite workload; "
+                    "drop --profile",
+                    file=sys.stderr,
+                )
+                return 2
+            tenancy = TenantAdmission(TenantRegistry.load(args.tenants))
+        engine = _build_serve_engine(args, telemetry, tenancy=tenancy)
         retry = _parse_retry_spec(args.retries) if args.retries is not None else None
         checkpoint = None
         if args.checkpoint is not None:
@@ -476,7 +504,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 args.checkpoint, every_s=args.checkpoint_every
             )
         arrivals = None
-        if args.profile is not None:
+        tenant_indices = None
+        tenant_names = None
+        if tenancy is not None:
+            from repro.tenancy import composite_arrivals
+
+            arrivals, tenant_indices = composite_arrivals(
+                tenancy.registry, args.duration, seed=args.seed
+            )
+            tenant_names = tenancy.registry.names()
+            print(
+                f"tenants: {', '.join(tenant_names)} | "
+                f"composite workload: {len(arrivals)} arrivals"
+            )
+        elif args.profile is not None:
             if args.duration is None:
                 print("--profile requires --duration", file=sys.stderr)
                 return 2
@@ -498,6 +539,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     retry=retry,
                     retry_seed=args.seed,
                     checkpoint=checkpoint,
+                    tenant_indices=tenant_indices,
+                    tenant_names=tenant_names,
                 )
                 remaining = args.duration - session.clock.now
                 if remaining <= 0:
@@ -519,6 +562,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     retry=retry,
                     retry_seed=args.seed,
                     checkpoint=checkpoint,
+                    tenant_indices=tenant_indices,
+                    tenant_names=tenant_names,
                 )
                 report = session.run(args.duration)
             if session.checkpoints_written:
@@ -774,6 +819,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--profile", default=None,
         help="embedded open-loop load, e.g. 'poisson:rate=200' or "
              "'spike:rate=150,at=1800,magnitude=3' (requires --duration)",
+    )
+    serve_parser.add_argument(
+        "--tenants", metavar="SPEC_JSON", default=None,
+        help="multi-tenant serving: load a tenant registry JSON spec, "
+             "overlay every tenant's workload into one composite arrival "
+             "stream and enforce per-tenant quotas, brownout priorities "
+             "and SLO monitors (requires --no-http and --duration; "
+             "replaces --profile; see docs/SERVING.md)",
     )
     serve_parser.add_argument("--seed", type=int, default=0)
     serve_parser.add_argument("--nodes", type=int, default=1,

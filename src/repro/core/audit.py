@@ -82,6 +82,10 @@ class DecisionAudit:
             meaningful for ``scale-in-pending``).
         infeasible_detail: The planner's error message on the fallback
             path.
+        tenant_costs: With tenancy on, one entry per tenant recording
+            the demand share and the weighted violation cost this cycle
+            traded against machine-hours (WiSeDB-style per-class SLA
+            accounting); see :func:`tenant_violation_costs`.
     """
 
     reason: str = REASON_PLATEAU
@@ -94,6 +98,7 @@ class DecisionAudit:
     rejection: Optional[str] = None
     scale_in_votes: int = 0
     infeasible_detail: Optional[str] = None
+    tenant_costs: Optional[List[Dict[str, object]]] = None
 
     def machine_hours_delta(self, interval_seconds: float) -> Optional[float]:
         """Machine-hours the chosen plan saves over the runner-up
@@ -155,4 +160,69 @@ def audit_event_fields(
         ),
         "scale_in_votes": audit.scale_in_votes,
         "infeasible_detail": audit.infeasible_detail,
+        "tenants": audit.tenant_costs,
     }
+
+
+def tenant_violation_costs(
+    rates: Dict[str, float],
+    weights: Dict[str, int],
+    *,
+    capacity_per_machine: float,
+    chosen_machines: int,
+    runner_up_machines: Optional[int],
+    interval_seconds: float,
+) -> List[Dict[str, object]]:
+    """Per-tenant violation cost of a provisioning choice, WiSeDB-style.
+
+    The planner provisions for the *aggregate* demand forecast; this
+    helper decomposes what each choice risks per tenant so the audit can
+    show the trade.  Unmet demand is distributed over tenants by their
+    demand share, and each tenant's violation cost is its priority
+    weight times its unmet request-seconds — so a cheap plan that would
+    starve a weight-3 tenant audits three times worse than one starving
+    a weight-1 tenant at the same shortfall.
+
+    Args:
+        rates: Per-tenant measured demand, requests/second.
+        weights: Per-tenant priority weights.
+        capacity_per_machine: Serving capacity of one machine, req/s.
+        chosen_machines: The machine count the cycle selected.
+        runner_up_machines: The rejected alternative (None when the
+            cycle had no runner-up).
+        interval_seconds: Planning interval, for request-second units.
+
+    Returns a JSON-safe list sorted by registry/dict order, one entry
+    per tenant with the demand share and the violation cost under both
+    the chosen plan and the runner-up.
+    """
+    total_rate = sum(rates.values())
+
+    def unmet(machines: Optional[int]) -> Optional[float]:
+        if machines is None:
+            return None
+        return max(0.0, total_rate - machines * capacity_per_machine)
+
+    unmet_chosen = unmet(chosen_machines)
+    unmet_runner_up = unmet(runner_up_machines)
+
+    def cost(tenant_rate: float, weight: int, shortfall: Optional[float]):
+        if shortfall is None:
+            return None
+        share = tenant_rate / total_rate if total_rate > 0 else 0.0
+        return round(weight * shortfall * share * interval_seconds, 6)
+
+    out: List[Dict[str, object]] = []
+    for name, rate in rates.items():
+        weight = weights.get(name, 1)
+        out.append(
+            {
+                "tenant": name,
+                "rate": round(rate, 6),
+                "share": round(rate / total_rate, 6) if total_rate > 0 else 0.0,
+                "weight": weight,
+                "violation_cost": cost(rate, weight, unmet_chosen),
+                "runner_up_violation_cost": cost(rate, weight, unmet_runner_up),
+            }
+        )
+    return out

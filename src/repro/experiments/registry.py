@@ -12,6 +12,7 @@ from typing import Callable, Dict, List
 from repro.experiments import (
     ablations,
     ext_fault_tolerance,
+    ext_multi_tenant,
     ext_wikipedia_provisioning,
     fig1_load_trace,
     fig2_ideal_capacity,
@@ -83,6 +84,9 @@ REGISTRY: Dict[str, ExperimentSpec] = {
                        "(this repo)", ext_wikipedia_provisioning.run),
         ExperimentSpec("ext-faults", "Chaos run: P-Store under faults",
                        "(this repo)", ext_fault_tolerance.run),
+        ExperimentSpec("ext-tenants",
+                       "Multi-tenant consolidation: shared vs dedicated",
+                       "(this repo)", ext_multi_tenant.run),
     )
 }
 

@@ -63,7 +63,8 @@ class AdmissionDecision:
         retry_after_s: Backoff hint for rejected requests (0 when
             accepted); HTTP surfaces it as a ``Retry-After`` header.
         reason: Why the request was rejected (``"queue-limit"``,
-            ``"brownout"``, ``"connection"``); empty when accepted.
+            ``"quota"``, ``"brownout"``, ``"connection"``); empty when
+            accepted.
     """
 
     accepted: bool
@@ -129,20 +130,35 @@ class AdmissionController:
         )
 
     def shed_outright(
-        self, node_id: int, est_queue_seconds: float, *, reason: str
+        self,
+        node_id: int,
+        est_queue_seconds: float,
+        *,
+        reason: str,
+        retry_after_s: Optional[float] = None,
     ) -> AdmissionDecision:
-        """Reject without consulting the queue limit (brownout shedding)."""
+        """Reject without consulting the queue limit (brownout and
+        tenant-quota shedding).
+
+        ``retry_after_s`` overrides the configured floor when the caller
+        knows the exact wait — a tenant quota shed carries the token
+        bucket's deterministic time-to-next-token.
+        """
         self.rejected += 1
         tel = self.telemetry
         if tel is not None:
             tel.counter("serve.rejected").inc()
             tel.counter(labeled("serve.admit.shed", node=node_id)).inc()
-            tel.counter("serve.brownout.shed").inc()
+            if reason == "brownout":
+                tel.counter("serve.brownout.shed").inc()
+        retry_after = self.config.retry_after_floor_s
+        if retry_after_s is not None and math.isfinite(retry_after_s):
+            retry_after = max(retry_after, retry_after_s)
         return AdmissionDecision(
             False,
             node_id,
             est_queue_seconds,
-            self.config.retry_after_floor_s,
+            retry_after,
             reason=reason,
         )
 

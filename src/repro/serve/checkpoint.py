@@ -137,6 +137,9 @@ def _engine_fingerprint(engine: ServerEngine) -> Dict[str, object]:
         "slot_seconds": engine.monitor.slot_seconds,
         "queue_limit_seconds": engine.admission.config.queue_limit_seconds,
         "resilience": engine.resilience is not None,
+        "tenants": (
+            engine.tenancy.registry.names() if engine.tenancy is not None else None
+        ),
     }
 
 
@@ -200,7 +203,14 @@ def capture_engine(engine: ServerEngine) -> Dict[str, object]:
         "router_view": (
             engine._router_view.tolist() if engine._router_view is not None else None
         ),
+        "machine_seconds": engine.machine_seconds,
     }
+    if engine.tenancy is not None:
+        state["tenancy"] = engine.tenancy.state_dict()
+        state["tenant_slos"] = {
+            name: monitor.state_dict()
+            for name, monitor in sorted(engine.tenant_slos.items())
+        }
     return state
 
 
@@ -256,4 +266,20 @@ def restore_engine(engine: ServerEngine, state: Dict[str, object]) -> None:
     router_view = state.get("router_view")
     if router_view is not None:
         engine._router_view = np.asarray(router_view, dtype=np.float64)
+    engine.machine_seconds = float(state.get("machine_seconds", 0.0))  # type: ignore[arg-type]
+    tenancy_state = state.get("tenancy")
+    if tenancy_state is not None:
+        if engine.tenancy is None:
+            raise CheckpointError(
+                "checkpoint carries tenant state but tenancy is disabled "
+                "on the restore target"
+            )
+        engine.tenancy.load_state_dict(tenancy_state)  # type: ignore[arg-type]
+        for name, monitor_state in (state.get("tenant_slos") or {}).items():  # type: ignore[union-attr]
+            monitor = engine.tenant_slos.get(str(name))
+            if monitor is None:
+                raise CheckpointError(
+                    f"checkpoint carries SLO state for unknown tenant {name!r}"
+                )
+            monitor.load_state_dict(monitor_state)
     engine._refresh_routing()

@@ -23,11 +23,11 @@ OnlinePredictor`).  :class:`OnlineControlLoop` implements the
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.audit import DecisionAudit, audit_event_fields
+from repro.core.audit import DecisionAudit, audit_event_fields, tenant_violation_costs
 from repro.core.controller import ControllerDecision
 from repro.core.params import SystemParameters
 from repro.core.policy import PredictivePolicy
@@ -99,6 +99,27 @@ class OnlineControlLoop:
         #: the predicted-vs-actual feedback ``repro.cli explain`` joins
         #: with the audit trail.
         self._pending_forecast: Optional[float] = None
+        # Tenancy hookup (see set_tenant_stats): cumulative per-tenant
+        # offered counts are diffed each interval into demand rates so
+        # the audit can decompose each replan's violation risk.
+        self._tenant_stats: Optional[Callable[[], Dict[str, int]]] = None
+        self._tenant_weights: Dict[str, int] = {}
+        self._tenant_last: Dict[str, int] = {}
+
+    def set_tenant_stats(
+        self,
+        offered_fn: Callable[[], Dict[str, int]],
+        weights: Dict[str, int],
+    ) -> None:
+        """Wire per-tenant demand into the decision audit.
+
+        ``offered_fn`` returns *cumulative* offered counts per tenant
+        (the engine passes its tenant admission counters); the loop
+        diffs them per planning interval and attaches WiSeDB-style
+        per-tenant violation costs to every ``audit`` event.
+        """
+        self._tenant_stats = offered_fn
+        self._tenant_weights = dict(weights)
 
     # ------------------------------------------------------------------
     @property
@@ -152,6 +173,16 @@ class OnlineControlLoop:
         refitted = self.online.observe(interval_count)
         interval_seconds = self.params.interval_seconds
         measured_rate = interval_count / interval_seconds
+        tenant_rates: Optional[Dict[str, float]] = None
+        if self._tenant_stats is not None:
+            # Diff cumulative offered counts every interval close, even
+            # on cold-start paths, so rates never span stale intervals.
+            offered = self._tenant_stats()
+            tenant_rates = {}
+            for name, total in offered.items():
+                prev = self._tenant_last.get(name, 0)
+                tenant_rates[name] = max(0, int(total) - prev) / interval_seconds
+            self._tenant_last = {name: int(v) for name, v in offered.items()}
         tel = sim.telemetry
         if tel is not None:
             tel.gauge("control.measured_rate").set(measured_rate)
@@ -205,6 +236,22 @@ class OnlineControlLoop:
         self._pending_forecast = float(forecast_counts[0]) / interval_seconds
         audit = DecisionAudit() if tel is not None else None
         decision = self.policy.decide(load, current, audit=audit)
+        if audit is not None and tenant_rates:
+            chosen = (
+                audit.chosen_machines
+                if audit.chosen_machines is not None
+                else current
+            )
+            audit.tenant_costs = tenant_violation_costs(
+                tenant_rates,
+                self._tenant_weights,
+                capacity_per_machine=self.params.q,
+                chosen_machines=chosen,
+                runner_up_machines=(
+                    audit.runner_up.machines if audit.runner_up is not None else None
+                ),
+                interval_seconds=interval_seconds,
+            )
         if tel is not None and audit is not None:
             tel.gauge("control.predicted_rate").set(self._pending_forecast)
             tel.counter("control.replans").inc()
@@ -263,6 +310,7 @@ class OnlineControlLoop:
             "intervals_observed": self.intervals_observed,
             "expected_machines": self._expected_machines,
             "pending_forecast": self._pending_forecast,
+            "tenant_last": dict(self._tenant_last),
             "policy": {
                 "scale_in_votes": self.policy._scale_in_votes,
                 "plans_computed": self.policy.plans_computed,
@@ -288,6 +336,9 @@ class OnlineControlLoop:
         self._expected_machines = None if expected is None else int(expected)
         forecast = state["pending_forecast"]
         self._pending_forecast = None if forecast is None else float(forecast)
+        self._tenant_last = {
+            str(name): int(v) for name, v in state.get("tenant_last", {}).items()
+        }
         policy = state["policy"]
         self.policy._scale_in_votes = int(policy["scale_in_votes"])
         self.policy.plans_computed = int(policy["plans_computed"])

@@ -70,6 +70,12 @@ from repro.serve.worker import _SPAWN, WorkerHandle, WorkerSpec, worker_main
 from repro.telemetry import Span, Telemetry
 from repro.telemetry.slo import SLOConfig, SLOMonitor
 
+from dataclasses import replace as _dc_replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tenancy.admission import TenantAdmission
+
 
 class DistributedServeSession:
     """Edge process driving a fleet of worker shards in lock step.
@@ -102,6 +108,14 @@ class DistributedServeSession:
             engine RNGs).
         checkpoint: Distributed snapshot cadence + path.
         timeout_s: Edge-side per-reply transport timeout.
+        tenancy: Optional :class:`~repro.tenancy.TenantAdmission`.  The
+            *edge* owns tenant policy in the distributed split: quotas
+            and tenant-level brownout shedding run here before routing,
+            and per-tenant labelled SLO monitors run over the folded
+            replies.  Workers just carry the tag through their engines.
+        tenant_indices: Per-arrival tenant index array parallel to
+            ``arrivals`` (from :func:`repro.tenancy.composite_arrivals`).
+        tenant_names: Registry names the indices point into.
     """
 
     def __init__(
@@ -120,6 +134,9 @@ class DistributedServeSession:
         seed: int = 0,
         checkpoint: Optional[CheckpointConfig] = None,
         timeout_s: float = DEFAULT_TIMEOUT_S,
+        tenancy: Optional["TenantAdmission"] = None,
+        tenant_indices: Optional[np.ndarray] = None,
+        tenant_names: Optional[List[str]] = None,
     ) -> None:
         if not specs:
             raise ConfigurationError("need at least one worker spec")
@@ -170,6 +187,37 @@ class DistributedServeSession:
         self.slo_monitor = (
             SLOMonitor(slo, telemetry) if slo is not None else None
         )
+        self.tenancy = tenancy
+        if (tenant_indices is None) != (tenant_names is None):
+            raise ConfigurationError(
+                "tenant_indices and tenant_names go together"
+            )
+        self.tenant_indices = (
+            np.asarray(tenant_indices, dtype=np.int64)
+            if tenant_indices is not None
+            else None
+        )
+        if self.tenant_indices is not None and len(self.tenant_indices) != len(
+            self.arrivals
+        ):
+            raise ConfigurationError(
+                "tenant_indices must parallel the arrival schedule"
+            )
+        self.tenant_names = list(tenant_names) if tenant_names is not None else None
+        self.tenant_slos: Dict[str, SLOMonitor] = {}
+        self._tenant_tick: Dict[str, List[int]] = {}
+        if tenancy is not None:
+            base = slo or SLOConfig()
+            for spec in tenancy.registry:
+                self.tenant_slos[spec.name] = SLOMonitor(
+                    _dc_replace(
+                        base,
+                        objective=spec.slo_objective,
+                        latency_threshold_ms=spec.latency_slo_ms,
+                    ),
+                    telemetry,
+                    labels={"tenant": spec.name},
+                )
         self.telemetry = telemetry
         self.trace_requests = trace_requests
         self._next_trace_id = 1
@@ -295,10 +343,31 @@ class DistributedServeSession:
         return self.workers[-1].spec.worker_id  # pragma: no cover - fp edge
 
     def _edge_shed(
-        self, t: float, worker_id: int, priority: int
+        self, t: float, worker_id: int, priority: int, tenant: str = ""
     ) -> Optional[TxnOutcome]:
-        """Edge admission + brownout; the shed outcome, or None to forward."""
+        """Edge admission + brownout; the shed outcome, or None to forward.
+
+        Tenant policy runs first: during brownout a low-weight tenant is
+        shed wholesale (before the per-request priority check), and every
+        surviving request is charged against its tenant's token bucket —
+        a quota shed carries the bucket's deterministic Retry-After.
+        """
         _, queue_s = self.advertised[worker_id]
+        tenancy = self.tenancy
+        if tenancy is not None:
+            if self.brownout_active and tenancy.brownout_sheddable(tenant):
+                tenancy.offered[tenant] += 1
+                tenancy.record_brownout_shed(tenant)
+                decision = self.admission.shed_outright(
+                    worker_id, queue_s, reason="brownout"
+                )
+                return self._shed_outcome(decision, t, worker_id, priority, tenant)
+            quota_wait = tenancy.quota_admit(tenant, t)
+            if quota_wait is not None:
+                decision = self.admission.shed_outright(
+                    worker_id, queue_s, reason="quota", retry_after_s=quota_wait
+                )
+                return self._shed_outcome(decision, t, worker_id, priority, tenant)
         if (
             self.brownout_active
             and self.brownout is not None
@@ -317,6 +386,11 @@ class DistributedServeSession:
                 return None
         else:
             return None
+        return self._shed_outcome(decision, t, worker_id, priority, tenant)
+
+    def _shed_outcome(
+        self, decision, t: float, worker_id: int, priority: int, tenant: str
+    ) -> TxnOutcome:
         return TxnOutcome(
             accepted=False,
             status=503,
@@ -327,6 +401,7 @@ class DistributedServeSession:
             retry_after_s=decision.retry_after_s,
             reason=decision.reason,
             priority=priority,
+            tenant=tenant,
         )
 
     def _mint_trace(self, t: float, worker_id: int) -> Optional[int]:
@@ -359,15 +434,24 @@ class DistributedServeSession:
         }
         good = 0
         bad = 0
+        tenant_tick = self._tenant_tick
         while self._cursor < len(arrivals) and arrivals[self._cursor] < end - 1e-9:
-            t = float(arrivals[self._cursor])
+            index = self._cursor
+            t = float(arrivals[index])
             self._cursor += 1
+            tenant = ""
+            if self.tenant_indices is not None and self.tenant_names is not None:
+                tenant = self.tenant_names[int(self.tenant_indices[index])]
+            elif self.tenancy is not None:
+                tenant = self.tenancy.registry.tenants[0].name
             priority = 0
             if self.low_priority_fraction > 0.0:
                 if float(self._rng.random()) < self.low_priority_fraction:
                     priority = 1
             worker_id = self._route()
             if worker_id is None:
+                if self.tenancy is not None:
+                    self.tenancy.offered[tenant] += 1
                 self.report.record(
                     TxnOutcome(
                         accepted=False,
@@ -378,18 +462,26 @@ class DistributedServeSession:
                         latency_ms=0.0,
                         reason="connection",
                         priority=priority,
+                        tenant=tenant,
                     )
                 )
+                self._tenant_mark(tenant_tick, tenant, good=False)
                 bad += 1
                 continue
-            shed = self._edge_shed(t, worker_id, priority)
+            shed = self._edge_shed(t, worker_id, priority, tenant)
             if shed is not None:
                 self.report.record(shed)
+                self._tenant_mark(tenant_tick, tenant, good=False)
                 bad += 1
                 continue
             trace_id = self._mint_trace(t, worker_id)
-            self.report.offered += 1
-            batches[worker_id].append([t, trace_id, "edge", priority])
+            self.report.offer(tenant)
+            entry: List[object] = [t, trace_id, "edge", priority]
+            if tenant:
+                # The 5th element is only present with tenancy on, so
+                # untenanted runs keep the pre-tenancy wire format.
+                entry.append(tenant)
+            batches[worker_id].append(entry)
 
         # Fan the tick out, then fold replies in worker order.
         posted: List[WorkerHandle] = []
@@ -421,20 +513,49 @@ class DistributedServeSession:
                     good += 1
                 else:
                     bad += 1
+                tenant_slo = self.tenant_slos.get(outcome.tenant)
+                if tenant_slo is not None:
+                    self._tenant_mark(
+                        tenant_tick,
+                        outcome.tenant,
+                        good=outcome.accepted
+                        and tenant_slo.classify(outcome.latency_ms),
+                    )
 
         self.now = end
         self._tick_index += 1
         self._probe(end)
         if self.slo_monitor is not None:
             self.slo_monitor.observe(end, good, bad)
+        for name, monitor in self.tenant_slos.items():
+            counts = tenant_tick.get(name)
+            monitor.observe(
+                end,
+                counts[0] if counts else 0,
+                counts[1] if counts else 0,
+            )
+        tenant_tick.clear()
         self._maybe_checkpoint()
+
+    @staticmethod
+    def _tenant_mark(
+        tick: Dict[str, List[int]], tenant: str, *, good: bool
+    ) -> None:
+        if not tenant:
+            return
+        counts = tick.get(tenant)
+        if counts is None:
+            counts = [0, 0]
+            tick[tenant] = counts
+        counts[0 if good else 1] += 1
 
     def _fail_batch(
         self, worker_id: int, batch: List[List[object]], at: float
     ) -> int:
         """A broken worker: its whole tick batch dies as connection 500s."""
         self.breakers[worker_id].record_failure(at)
-        for t, trace_id, _origin, priority in batch:
+        for t, trace_id, _origin, priority, *rest in batch:
+            tenant = str(rest[0]) if rest else ""
             outcome = TxnOutcome(
                 accepted=False,
                 status=500,
@@ -445,9 +566,11 @@ class DistributedServeSession:
                 trace_id=None if trace_id is None else int(trace_id),
                 reason="connection",
                 priority=int(priority),
+                tenant=tenant,
             )
             self.report.finish(outcome)
             self._finish_trace(outcome)
+            self._tenant_mark(self._tenant_tick, tenant, good=False)
         if self.telemetry is not None:
             self.telemetry.counter("edge.worker_batch_failures").inc()
             self.telemetry.event(
@@ -529,6 +652,13 @@ class DistributedServeSession:
                 "advertised": {
                     str(wid): list(ad) for wid, ad in self.advertised.items()
                 },
+                "tenancy": (
+                    self.tenancy.state_dict() if self.tenancy is not None else None
+                ),
+                "tenant_slos": {
+                    name: monitor.state_dict()
+                    for name, monitor in sorted(self.tenant_slos.items())
+                },
             },
             "workers": worker_states,
         }
@@ -602,6 +732,21 @@ class DistributedServeSession:
             session.slo_monitor.load_state_dict(slo_state)  # type: ignore[arg-type]
         for wid_str, ad in edge["advertised"].items():  # type: ignore[union-attr]
             session.advertised[int(wid_str)] = (float(ad[0]), float(ad[1]))
+        tenancy_state = edge.get("tenancy")
+        if tenancy_state is not None:
+            if session.tenancy is None:
+                raise CheckpointError(
+                    "checkpoint carries tenant state but the resumed "
+                    "session has no tenancy configured"
+                )
+            session.tenancy.load_state_dict(tenancy_state)  # type: ignore[arg-type]
+        for name, monitor_state in (edge.get("tenant_slos") or {}).items():  # type: ignore[union-attr]
+            monitor = session.tenant_slos.get(str(name))
+            if monitor is None:
+                raise CheckpointError(
+                    f"checkpoint carries SLO state for unknown tenant {name!r}"
+                )
+            monitor.load_state_dict(monitor_state)
         if session.checkpoint is not None:
             session._checkpoint_due = session.now + session.checkpoint.every_s
         return session
@@ -665,6 +810,17 @@ class DistributedServeSession:
             "slo": (
                 self.slo_monitor.status() if self.slo_monitor is not None else None
             ),
+            "tenants": (
+                {
+                    name: {
+                        **self.tenancy.summary()[name],
+                        "slo": self.tenant_slos[name].status(),
+                    }
+                    for name in self.tenancy.registry.names()
+                }
+                if self.tenancy is not None
+                else None
+            ),
             "workers": workers,
         }
 
@@ -686,6 +842,15 @@ class DistributedServeSession:
             status = slo.status()
             lines.append(
                 f"SLO {status['objective']:.3%}: good fraction "
+                f"{status['good_fraction']:.3%} | burn fast/slow "
+                f"{status['fast_burn']:.2f}/{status['slow_burn']:.2f} | "
+                f"alerts fired {status['alerts_fired']}"
+                + (" (FIRING)" if status["alerting"] else "")
+            )
+        for name, monitor in sorted(self.tenant_slos.items()):
+            status = monitor.status()
+            lines.append(
+                f"SLO[{name}] {status['objective']:.3%}: good fraction "
                 f"{status['good_fraction']:.3%} | burn fast/slow "
                 f"{status['fast_burn']:.2f}/{status['slow_burn']:.2f} | "
                 f"alerts fired {status['alerts_fired']}"

@@ -23,8 +23,8 @@ fluid queue cap) is what bounds the backlog under an open-loop spike.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +40,9 @@ from repro.telemetry import Telemetry, resolve_telemetry
 from repro.telemetry.metrics import labeled
 from repro.telemetry.requesttrace import RequestTracer, TraceContext
 from repro.telemetry.slo import SLOConfig, SLOMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tenancy -> loadgen -> engine)
+    from repro.tenancy.admission import TenantAdmission
 
 
 @dataclass(frozen=True)
@@ -57,10 +60,13 @@ class TxnOutcome:
         retry_after_s: Backoff hint carried by rejects.
         trace_id: Request trace id when tracing is enabled, else None.
         reason: Why a request failed — ``"queue-limit"`` (admission
-            shed), ``"brownout"`` (low-priority shed during degradation)
+            shed), ``"quota"`` (tenant token-bucket shed), ``"brownout"``
+            (low-priority or low-weight-tenant shed during degradation)
             or ``"connection"`` (routed to a dead, not-yet-detected
             node; status 500).  Empty for accepted requests.
         priority: Request priority (0 = normal, 1 = low / sheddable).
+        tenant: Tenant the request belongs to; empty when tenancy is
+            not configured.
     """
 
     accepted: bool
@@ -73,6 +79,7 @@ class TxnOutcome:
     trace_id: Optional[int] = None
     reason: str = ""
     priority: int = 0
+    tenant: str = ""
 
 
 OnComplete = Callable[[TxnOutcome], None]
@@ -110,6 +117,16 @@ class ServerEngine:
             a real router that has not yet noticed the failure.  With
             the default ``None``, behaviour is bit-identical to the
             pre-resilience engine.
+        tenancy: Optional :class:`~repro.tenancy.TenantAdmission`.
+            With tenancy on, each submitted request carries a tenant
+            name; the engine enforces per-tenant token-bucket quotas
+            (reason ``"quota"``, deterministic Retry-After), sheds
+            low-weight tenants first during brownout, keeps per-tenant
+            labelled counters, and runs one labelled burn-rate
+            :class:`SLOMonitor` per tenant against that tenant's own
+            latency objective.  Tenant admission is RNG-free, so a
+            single unthrottled default tenant is bit-identical to the
+            untenanted engine.
     """
 
     def __init__(
@@ -127,6 +144,7 @@ class ServerEngine:
         trace_requests: bool = False,
         slo: Optional[SLOConfig] = None,
         resilience: Optional[ResilienceConfig] = None,
+        tenancy: Optional["TenantAdmission"] = None,
     ) -> None:
         config = engine_config or EngineConfig()
         ticks = slot_seconds / config.dt_seconds
@@ -156,9 +174,41 @@ class ServerEngine:
         self.slo_monitor: Optional[SLOMonitor] = (
             SLOMonitor(slo, self.telemetry) if slo is not None else None
         )
+        self.tenancy = tenancy
+        #: Per-tenant labelled SLO monitors, keyed by tenant name.  Each
+        #: tenant gets the shared alerting windows but its *own* latency
+        #: threshold and objective from the spec.
+        self.tenant_slos: Dict[str, SLOMonitor] = {}
+        if tenancy is not None:
+            base = slo or SLOConfig()
+            for spec in tenancy.registry:
+                tenant_config = replace(
+                    base,
+                    objective=spec.slo_objective,
+                    latency_threshold_ms=spec.latency_slo_ms,
+                )
+                self.tenant_slos[spec.name] = SLOMonitor(
+                    tenant_config, self.telemetry, labels={"tenant": spec.name}
+                )
+        if tenancy is not None and controller is not None and hasattr(
+            controller, "set_tenant_stats"
+        ):
+            # The control loop diffs these cumulative counters per
+            # planning interval into per-tenant demand rates, so every
+            # replan's audit records the WiSeDB-style violation-cost
+            # trade per tenant.
+            controller.set_tenant_stats(
+                lambda: dict(tenancy.offered),
+                {t.name: t.weight for t in tenancy.registry},
+            )
+        self._tenant_tick_good: Dict[str, int] = {}
+        self._tenant_tick_bad: Dict[str, int] = {}
+        #: Machine-seconds integrated over ticks — the consolidation
+        #: experiment's cost axis (machine-hours = this / 3600).
+        self.machine_seconds = 0.0
         self._rng = np.random.default_rng(seed)
-        # (node, submitted_at, callback, trace triple or None)
-        self._pending: List[Tuple[int, float, Optional[OnComplete], Optional[tuple]]] = []
+        # (node, submitted_at, callback, trace triple or None, tenant)
+        self._pending: List[Tuple[int, float, Optional[OnComplete], Optional[tuple], str]] = []
         self._pending_per_node = np.zeros(config.max_nodes)
         self._slot_index = 0
         self.ticks = 0
@@ -230,6 +280,7 @@ class ServerEngine:
         now: Optional[float] = None,
         trace: Optional[TraceContext] = None,
         priority: int = 0,
+        tenant: str = "",
     ) -> AdmissionDecision:
         """Route and admit (or shed) one transaction.
 
@@ -239,6 +290,8 @@ class ServerEngine:
         minted at the edge (loadgen/HTTP); when tracing is on and none
         is supplied, one is minted here with origin ``engine``.
         ``priority`` 1 marks the request sheddable during brownout.
+        ``tenant`` names the owning tenant when tenancy is configured;
+        untagged requests fall back to the spec's first tenant.
         """
         submitted_at = self.sim.now if now is None else float(now)
         partition = self.route()
@@ -247,30 +300,60 @@ class ServerEngine:
         estimate = float(
             self._node_queue[node_id] + self._pending_per_node[node_id] / rate
         )
+        tenancy = self.tenancy
+        if tenancy is not None:
+            if not tenant:
+                tenant = tenancy.registry.tenants[0].name
+            self._count_tenant(tenant, "offered")
 
         if self.health is not None and node_id in self._failed_set:
             # The router's stale view sent us to a corpse: the request
             # fails like a refused connection and feeds the detector.
+            if tenancy is not None:
+                tenancy.offered[tenant] += 1
             return self._fail_request(
                 on_complete, trace, node_id, partition, estimate,
-                submitted_at, priority,
+                submitted_at, priority, tenant,
             )
 
-        brownout = self.resilience.brownout if self.resilience is not None else None
-        if self.brownout_active and brownout is not None:
-            if priority > 0 and brownout.shed_low_priority:
+        decision: Optional[AdmissionDecision] = None
+        if tenancy is not None:
+            # Tenant policy first: brownout sheds whole low-weight
+            # tenants before the per-request priority check, then the
+            # tenant's token bucket is charged.  Both are RNG-free.
+            if self.brownout_active and tenancy.brownout_sheddable(tenant):
+                tenancy.offered[tenant] += 1
+                tenancy.record_brownout_shed(tenant)
+                self.brownout_sheds += 1
+                self._count_tenant(tenant, "brownout_shed")
                 decision = self.admission.shed_outright(
                     node_id, estimate, reason="brownout"
                 )
-                self.brownout_sheds += 1
             else:
-                limit = (
-                    self.admission.config.queue_limit_seconds
-                    * brownout.queue_factor
-                )
-                decision = self.admission.decide(node_id, estimate, limit_s=limit)
-        else:
-            decision = self.admission.decide(node_id, estimate)
+                quota_wait = tenancy.quota_admit(tenant, submitted_at)
+                if quota_wait is not None:
+                    self._count_tenant(tenant, "quota_shed")
+                    decision = self.admission.shed_outright(
+                        node_id, estimate, reason="quota",
+                        retry_after_s=quota_wait,
+                    )
+
+        if decision is None:
+            brownout = self.resilience.brownout if self.resilience is not None else None
+            if self.brownout_active and brownout is not None:
+                if priority > 0 and brownout.shed_low_priority:
+                    decision = self.admission.shed_outright(
+                        node_id, estimate, reason="brownout"
+                    )
+                    self.brownout_sheds += 1
+                else:
+                    limit = (
+                        self.admission.config.queue_limit_seconds
+                        * brownout.queue_factor
+                    )
+                    decision = self.admission.decide(node_id, estimate, limit_s=limit)
+            else:
+                decision = self.admission.decide(node_id, estimate)
 
         trace_id: Optional[int] = None
         trace_entry: Optional[tuple] = None
@@ -297,9 +380,15 @@ class ServerEngine:
 
         if decision.accepted:
             self._pending_per_node[node_id] += 1.0
-            self._pending.append((node_id, submitted_at, on_complete, trace_entry))
+            self._pending.append(
+                (node_id, submitted_at, on_complete, trace_entry, tenant)
+            )
         else:
             self.rejected_last_tick += 1
+            if tenancy is not None:
+                self._tenant_tick_bad[tenant] = (
+                    self._tenant_tick_bad.get(tenant, 0) + 1
+                )
             if on_complete is not None:
                 on_complete(
                     TxnOutcome(
@@ -313,9 +402,16 @@ class ServerEngine:
                         trace_id=trace_id,
                         reason=decision.reason,
                         priority=priority,
+                        tenant=tenant,
                     )
                 )
         return decision
+
+    def _count_tenant(self, tenant: str, which: str) -> None:
+        """Bump one per-tenant labelled counter (telemetry on only)."""
+        tel = self.telemetry
+        if tel is not None:
+            tel.counter(labeled(f"serve.tenant.{which}", tenant=tenant)).inc()
 
     def _fail_request(
         self,
@@ -326,9 +422,12 @@ class ServerEngine:
         estimate: float,
         submitted_at: float,
         priority: int,
+        tenant: str = "",
     ) -> AdmissionDecision:
         """Fail one request against a dead node (status 500, breaker fed)."""
         self.errors += 1
+        if self.tenancy is not None:
+            self._tenant_tick_bad[tenant] = self._tenant_tick_bad.get(tenant, 0) + 1
         assert self.health is not None
         self.health.record_request_failure(node_id, submitted_at)
         tel = self.telemetry
@@ -361,6 +460,7 @@ class ServerEngine:
                     trace_id=trace_id,
                     reason="connection",
                     priority=priority,
+                    tenant=tenant,
                 )
             )
         return AdmissionDecision(
@@ -383,19 +483,21 @@ class ServerEngine:
         admitted = len(pending)
         rejected = self.rejected_last_tick
         self.rejected_last_tick = 0
+        self.machine_seconds += self.sim.machines_allocated * dt
 
         record = self.sim.step(admitted / dt)
         tel = self.telemetry
         slo = self.slo_monitor
         slo_good = 0
         slo_bad = rejected  # a 503 burns budget like an over-SLA reply
+        tenant_slos = self.tenant_slos
 
         if admitted:
             uniforms = self._rng.random(admitted)
             latencies_s = sample_latencies(self.sim.last_latency_components, uniforms)
             latency_hist = tel.histogram("serve.latency_ms") if tel is not None else None
             tracer = self.request_tracer
-            for (node_id, submitted_at, on_complete, trace_entry), latency_s in zip(
+            for (node_id, submitted_at, on_complete, trace_entry, tenant), latency_s in zip(
                 pending, latencies_s
             ):
                 latency_ms = float(latency_s) * 1000.0
@@ -409,6 +511,19 @@ class ServerEngine:
                         slo_good += 1
                     else:
                         slo_bad += 1
+                tenant_slo = tenant_slos.get(tenant)
+                if tenant_slo is not None:
+                    # Per-tenant verdicts use the *tenant's* latency
+                    # objective, not the fleet threshold.
+                    self._count_tenant(tenant, "served")
+                    if tenant_slo.classify(latency_ms):
+                        self._tenant_tick_good[tenant] = (
+                            self._tenant_tick_good.get(tenant, 0) + 1
+                        )
+                    else:
+                        self._tenant_tick_bad[tenant] = (
+                            self._tenant_tick_bad.get(tenant, 0) + 1
+                        )
                 trace_id: Optional[int] = None
                 if trace_entry is not None and tracer is not None:
                     trace_id, root, serve_span = trace_entry
@@ -423,6 +538,7 @@ class ServerEngine:
                             completed_at=completed_at,
                             latency_ms=latency_ms,
                             trace_id=trace_id,
+                            tenant=tenant,
                         )
                     )
 
@@ -430,6 +546,15 @@ class ServerEngine:
             # Empty ticks still advance the windows (alerts must resolve
             # once the errors age out, even with no traffic).
             slo.observe(self.sim.now, slo_good, slo_bad)
+        if tenant_slos:
+            for name, monitor in tenant_slos.items():
+                monitor.observe(
+                    self.sim.now,
+                    self._tenant_tick_good.get(name, 0),
+                    self._tenant_tick_bad.get(name, 0),
+                )
+            self._tenant_tick_good.clear()
+            self._tenant_tick_bad.clear()
 
         self.ticks += 1
         if self.health is not None:
@@ -506,6 +631,11 @@ class ServerEngine:
     def mean_latency_ms(self) -> float:
         return self.latency_sum_ms / self.completed if self.completed else 0.0
 
+    @property
+    def machine_hours(self) -> float:
+        """Machine-hours consumed so far (machines integrated over ticks)."""
+        return self.machine_seconds / 3600.0
+
     def healthz(self) -> Dict[str, object]:
         """Liveness/readiness snapshot for the ``/healthz`` endpoint.
 
@@ -543,4 +673,17 @@ class ServerEngine:
             }
         if self.slo_monitor is not None:
             health["slo"] = self.slo_monitor.status()
+        if self.tenancy is not None:
+            admission = self.tenancy.summary()
+            health["tenants"] = {
+                name: {
+                    **admission[name],
+                    "slo": self.tenant_slos[name].status(),
+                }
+                for name in self.tenancy.registry.names()
+            }
+            # A firing per-tenant alert degrades overall health exactly
+            # like the fleet monitor does.
+            if any(m.alerting for m in self.tenant_slos.values()):
+                health["status"] = "degraded"
         return health

@@ -107,9 +107,11 @@ def parse_profile(
         poisson:rate=200
         spike:rate=150,at=1800,magnitude=3,ramp=120,plateau=600,decay=600
         trace:kind=b2w,days=1,scale=1.0,slot=60
+        trace:kind=wikipedia,lang=en,days=7,rate=50
 
-    ``trace`` replays a synthetic B2W-shaped day (the repo's seeded
-    generator), rescaled so its *mean* rate equals ``rate`` when given.
+    ``trace`` replays a synthetic B2W-shaped day or a Wikipedia-shaped
+    week (the repo's seeded generators), rescaled so its *mean* rate
+    equals ``rate`` when given.
     """
     kind, _, rest = spec.partition(":")
     options: Dict[str, str] = {}
@@ -140,13 +142,22 @@ def parse_profile(
         return spike_arrivals(rate, duration_s, spike, seed=seed)
     if kind == "trace":
         trace_kind = options.pop("kind", "b2w")
-        if trace_kind != "b2w":
-            raise ConfigurationError(f"unknown trace kind {trace_kind!r}")
-        from repro.workloads.b2w import generate_b2w_trace
+        if trace_kind == "b2w":
+            from repro.workloads.b2w import generate_b2w_trace
 
-        days = max(1, int(fget("days", 1)))
-        slot = fget("slot", 60.0)
-        trace = generate_b2w_trace(days, slot_seconds=slot, seed=seed)
+            days = max(1, int(fget("days", 1)))
+            slot = fget("slot", 60.0)
+            trace = generate_b2w_trace(days, slot_seconds=slot, seed=seed)
+        elif trace_kind == "wikipedia":
+            from repro.workloads.wikipedia import generate_wikipedia_trace
+
+            days = max(1, int(fget("days", 7)))
+            language = options.pop("lang", "en")
+            trace = generate_wikipedia_trace(
+                language=language, num_days=days, seed=seed
+            )
+        else:
+            raise ConfigurationError(f"unknown trace kind {trace_kind!r}")
         rate = options.pop("rate", None)
         scale = fget("scale", 1.0)
         if rate is not None:
@@ -182,6 +193,11 @@ class LoadgenReport:
 
     and holds exactly at every instant — the chaos smoke and the e2e
     tests assert it with ``in_flight == 0`` after a drained run.
+
+    With tenancy enabled each outcome carries a tenant name and the
+    report additionally buckets offered/accepted/rejected/errored per
+    tenant, so the same identity holds *per tenant* and the per-tenant
+    buckets sum to the fleet counters — the property test pins both.
     """
 
     duration_s: float = 0.0
@@ -202,23 +218,46 @@ class LoadgenReport:
     hedge_wins: int = 0
     #: Low-priority requests shed while brownout was engaged.
     brownout_shed: int = 0
+    #: Per-tenant offered/accepted/rejected/errored buckets; empty when
+    #: tenancy is off (outcomes then carry an empty tenant name).
+    tenants: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def _bucket(self, tenant: str) -> Dict[str, int]:
+        bucket = self.tenants.get(tenant)
+        if bucket is None:
+            bucket = {"offered": 0, "accepted": 0, "rejected": 0, "errored": 0}
+            self.tenants[tenant] = bucket
+        return bucket
+
+    def offer(self, tenant: str = "") -> None:
+        """Count one logical request as offered (tenant-bucketed)."""
+        self.offered += 1
+        if tenant:
+            self._bucket(tenant)["offered"] += 1
 
     def finish(self, outcome: TxnOutcome) -> None:
         """Record the *terminal* outcome of an already-offered request."""
+        bucket = self._bucket(outcome.tenant) if outcome.tenant else None
         if outcome.accepted:
             self.accepted += 1
             self.latencies_ms.append(outcome.latency_ms)
+            if bucket is not None:
+                bucket["accepted"] += 1
         elif outcome.status == 500:
             self.errored += 1
+            if bucket is not None:
+                bucket["errored"] += 1
         else:
             self.rejected += 1
             self.retry_after_s.append(outcome.retry_after_s)
             if outcome.reason == "brownout":
                 self.brownout_shed += 1
+            if bucket is not None:
+                bucket["rejected"] += 1
 
     def record(self, outcome: TxnOutcome) -> None:
         """Offer + finish in one step (the no-retry path)."""
-        self.offered += 1
+        self.offer(outcome.tenant)
         self.finish(outcome)
 
     # ------------------------------------------------------------------
@@ -281,6 +320,40 @@ class LoadgenReport:
             f"+ in-flight {self.in_flight} ({verdict})"
         )
 
+    # ------------------------------------------------------------------
+    # Per-tenant identities
+    # ------------------------------------------------------------------
+    def tenant_in_flight(self, tenant: str) -> int:
+        b = self.tenants[tenant]
+        return b["offered"] - b["accepted"] - b["rejected"] - b["errored"]
+
+    def tenants_consistent(self) -> bool:
+        """The per-tenant buckets must sum exactly to the fleet counters
+        (vacuously true without tenancy)."""
+        if not self.tenants:
+            return True
+        return (
+            sum(b["offered"] for b in self.tenants.values()) == self.offered
+            and sum(b["accepted"] for b in self.tenants.values()) == self.accepted
+            and sum(b["rejected"] for b in self.tenants.values()) == self.rejected
+            and sum(b["errored"] for b in self.tenants.values()) == self.errored
+        )
+
+    def tenant_conservation_lines(self) -> List[str]:
+        """One greppable conservation identity per tenant (the tenant
+        smoke greps these the way the chaos smoke greps the fleet line)."""
+        lines = []
+        for tenant in sorted(self.tenants):
+            b = self.tenants[tenant]
+            in_flight = self.tenant_in_flight(tenant)
+            verdict = "exact" if in_flight == 0 else "MISMATCH"
+            lines.append(
+                f'conservation{{tenant="{tenant}"}}: offered {b["offered"]} '
+                f'= served {b["accepted"]} + shed {b["rejected"]} '
+                f'+ errored {b["errored"]} + in-flight {in_flight} ({verdict})'
+            )
+        return lines
+
     def format_report(self) -> str:
         s = self.summary()
         lines = [
@@ -300,6 +373,18 @@ class LoadgenReport:
                 f"| brownout shed {self.brownout_shed}"
             )
             lines.append(self.conservation_line())
+        if self.tenants:
+            for tenant in sorted(self.tenants):
+                b = self.tenants[tenant]
+                shed_rate = (
+                    b["rejected"] / b["offered"] if b["offered"] else 0.0
+                )
+                lines.append(
+                    f'tenant {tenant}: offered {b["offered"]} | '
+                    f'served {b["accepted"]} | shed {b["rejected"]} '
+                    f"({100.0 * shed_rate:.1f}%) | errored {b['errored']}"
+                )
+            lines.extend(self.tenant_conservation_lines())
         return "\n".join(lines)
 
 
@@ -322,11 +407,29 @@ class LoadGenerator:
         *,
         retry: Optional[RetryConfig] = None,
         retry_seed: int = 0,
+        tenant_indices: Optional[np.ndarray] = None,
+        tenant_names: Optional[List[str]] = None,
     ) -> None:
         self.engine = engine
         self.arrivals = np.asarray(arrivals, dtype=np.float64)
         if len(self.arrivals) > 1 and np.any(np.diff(self.arrivals) < 0):
             raise ConfigurationError("arrival times must be sorted")
+        if (tenant_indices is None) != (tenant_names is None):
+            raise ConfigurationError(
+                "tenant_indices and tenant_names go together"
+            )
+        self.tenant_indices = (
+            np.asarray(tenant_indices, dtype=np.int64)
+            if tenant_indices is not None
+            else None
+        )
+        if self.tenant_indices is not None and len(self.tenant_indices) != len(
+            self.arrivals
+        ):
+            raise ConfigurationError(
+                "tenant_indices must parallel the arrival schedule"
+            )
+        self.tenant_names = list(tenant_names) if tenant_names is not None else None
         self.clock = clock
         self.report = LoadgenReport()
         self.client: Optional[ResilientClient] = (
@@ -352,11 +455,17 @@ class LoadGenerator:
         self._armed = True
 
     def _fire(self) -> None:
+        index = self._next
         self._next += 1
+        tenant = ""
+        if self.tenant_indices is not None and self.tenant_names is not None:
+            tenant = self.tenant_names[int(self.tenant_indices[index])]
         if self.client is not None:
-            self.client.submit(self.clock.now)
+            self.client.submit(self.clock.now, tenant=tenant)
         else:
             tracer = self.engine.request_tracer
             trace = tracer.mint("loadgen") if tracer is not None else None
-            self.engine.submit(self.report.record, now=self.clock.now, trace=trace)
+            self.engine.submit(
+                self.report.record, now=self.clock.now, trace=trace, tenant=tenant
+            )
         self._schedule_next()

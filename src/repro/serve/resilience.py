@@ -370,17 +370,19 @@ class ResilientClient:
         return tracer.mint("loadgen") if tracer is not None else None
 
     # ------------------------------------------------------------------
-    def submit(self, now: float) -> None:
+    def submit(self, now: float, tenant: str = "") -> None:
         """Launch one logical request (first attempt) at time ``now``."""
         priority = 0
         if self.config.low_priority_fraction > 0:
             if float(self._rng.random()) < self.config.low_priority_fraction:
                 priority = 1
-        self.report.offered += 1
+        self.report.offer(tenant)
         self.outstanding += 1
-        self._attempt(now, 0, priority)
+        self._attempt(now, 0, priority, tenant)
 
-    def _attempt(self, now: float, attempt: int, priority: int) -> None:
+    def _attempt(
+        self, now: float, attempt: int, priority: int, tenant: str = ""
+    ) -> None:
         results: Dict[str, object] = {"primary": None, "hedge": None}
         expect_hedge = False
 
@@ -398,14 +400,15 @@ class ResilientClient:
                 ):
                     best = hedge
                     self.report.hedge_wins += 1
-            self._resolve(best, attempt, priority)
+            self._resolve(best, attempt, priority, tenant)
 
         def on_primary(outcome) -> None:
             results["primary"] = outcome
             maybe_finish()
 
         decision = self.engine.submit(
-            on_primary, now=now, trace=self._mint_trace(), priority=priority
+            on_primary, now=now, trace=self._mint_trace(), priority=priority,
+            tenant=tenant,
         )
 
         hedge_after = self.config.hedge_queue_seconds
@@ -422,10 +425,13 @@ class ResilientClient:
                 maybe_finish()
 
             self.engine.submit(
-                on_hedge, now=now, trace=self._mint_trace(), priority=priority
+                on_hedge, now=now, trace=self._mint_trace(), priority=priority,
+                tenant=tenant,
             )
 
-    def _resolve(self, outcome, attempt: int, priority: int) -> None:
+    def _resolve(
+        self, outcome, attempt: int, priority: int, tenant: str = ""
+    ) -> None:
         if outcome.accepted:
             if attempt > 0:
                 self.report.retry_successes += 1
@@ -443,7 +449,7 @@ class ResilientClient:
             # schedules into the clock's past (engine.now lags mid-tick).
             when = float(outcome.completed_at) + delay
             self.schedule(
-                when, lambda: self._attempt(when, attempt + 1, priority)
+                when, lambda: self._attempt(when, attempt + 1, priority, tenant)
             )
             return
         if attempt > 0:

@@ -55,6 +55,10 @@ class ServeSession:
             configured cadence.  Checkpoints are only written at
             quiescent tick boundaries; a due-but-unquiescent snapshot is
             retried on the next tick.
+        tenant_indices: Optional per-arrival tenant index array (from
+            :func:`repro.tenancy.composite_arrivals`), parallel to
+            ``arrivals``.
+        tenant_names: Registry names the indices point into.
     """
 
     def __init__(
@@ -66,11 +70,14 @@ class ServeSession:
         retry: Optional[RetryConfig] = None,
         retry_seed: int = 0,
         checkpoint: Optional[CheckpointConfig] = None,
+        tenant_indices: Optional[np.ndarray] = None,
+        tenant_names: Optional[List[str]] = None,
     ) -> None:
         self.engine = engine
         self.clock = clock or VirtualClock()
         self.loadgen = LoadGenerator(
-            engine, arrivals, self.clock, retry=retry, retry_seed=retry_seed
+            engine, arrivals, self.clock, retry=retry, retry_seed=retry_seed,
+            tenant_indices=tenant_indices, tenant_names=tenant_names,
         )
         self.checkpoint = checkpoint
         self.checkpoints_written = 0
@@ -174,6 +181,8 @@ class ServeSession:
         retry: Optional[RetryConfig] = None,
         retry_seed: int = 0,
         checkpoint: Optional[CheckpointConfig] = None,
+        tenant_indices: Optional[np.ndarray] = None,
+        tenant_names: Optional[List[str]] = None,
     ) -> "ServeSession":
         """Rebuild a session from a snapshot written by an earlier run.
 
@@ -199,6 +208,8 @@ class ServeSession:
             retry=retry,
             retry_seed=retry_seed,
             checkpoint=checkpoint,
+            tenant_indices=tenant_indices,
+            tenant_names=tenant_names,
         )
         restore_engine(engine, engine_state)
         control_state = state.get("control")
@@ -248,6 +259,15 @@ class ServeSession:
                 f"alerts fired {state['alerts_fired']}"
                 + (" (FIRING)" if state["alerting"] else "")
             )
+        for name, monitor in sorted(self.engine.tenant_slos.items()):
+            state = monitor.status()
+            lines.append(
+                f"SLO[{name}] {state['objective']:.3%}: good fraction "
+                f"{state['good_fraction']:.3%} | burn fast/slow "
+                f"{state['fast_burn']:.2f}/{state['slow_burn']:.2f} | "
+                f"alerts fired {state['alerts_fired']}"
+                + (" (FIRING)" if state["alerting"] else "")
+            )
         if self.checkpoints_written:
             lines.append(f"checkpoints written: {self.checkpoints_written}")
         controller = self.engine.controller
@@ -277,3 +297,9 @@ def _restore_report(report: LoadgenReport, state: Dict[str, object]) -> None:
     latencies: List[float] = [float(v) for v in state["latencies_ms"]]  # type: ignore[union-attr]
     report.latencies_ms = latencies
     report.retry_after_s = [float(v) for v in state["retry_after_s"]]  # type: ignore[union-attr]
+    # Per-tenant buckets (absent in pre-tenancy checkpoints).
+    tenants = state.get("tenants") or {}
+    report.tenants = {
+        str(name): {k: int(v) for k, v in bucket.items()}
+        for name, bucket in tenants.items()  # type: ignore[union-attr]
+    }

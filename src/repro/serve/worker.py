@@ -206,14 +206,17 @@ class WorkerServer:
         outcomes: List[object] = []
         tracing = engine.request_tracer is not None
         for arrival in message.get("arrivals", ()):  # type: ignore[union-attr]
-            t, trace_id, origin, priority = arrival
+            # 4 elements pre-tenancy, 5 with a tenant tag at the edge.
+            t, trace_id, origin, priority, *rest = arrival
+            tenant = str(rest[0]) if rest else ""
             trace = (
                 TraceContext(int(trace_id), str(origin))
                 if tracing and trace_id is not None
                 else None
             )
             engine.submit(
-                outcomes.append, now=float(t), trace=trace, priority=int(priority)
+                outcomes.append, now=float(t), trace=trace,
+                priority=int(priority), tenant=tenant,
             )
         record = engine.tick()
         return {

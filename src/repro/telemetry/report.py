@@ -296,22 +296,41 @@ def format_explain(dump: TelemetryDump, *, max_details: int = 5) -> str:
                 )
             if event.get("infeasible_detail"):
                 lines.append(f"  infeasible: {event['infeasible_detail']}")
+            for entry in event.get("tenants") or []:
+                cost = entry.get("violation_cost")
+                runner = entry.get("runner_up_violation_cost")
+                lines.append(
+                    f"  tenant {entry.get('tenant', '?')}: "
+                    f"{float(entry.get('rate', 0.0)):.1f}/s "
+                    f"({100.0 * float(entry.get('share', 0.0)):.0f}% share, "
+                    f"weight {entry.get('weight', 1)}) "
+                    "violation-cost "
+                    + (f"{float(cost):g}" if cost is not None else "-")
+                    + " vs runner-up "
+                    + (f"{float(runner):g}" if runner is not None else "-")
+                )
             sections.append("\n".join(lines))
     else:
         sections.append("Planner decisions\n(no audit events recorded)")
 
     alerts = dump.events_of("slo_alert")
     if alerts:
+        labelled = any(e.get("tenant") for e in alerts)
         sections.append(
             format_table(
-                ("t s", "state", "fast burn", "slow burn", "objective"),
+                ("t s", "tenant", "state", "fast burn", "slow burn", "objective")
+                if labelled
+                else ("t s", "state", "fast burn", "slow burn", "objective"),
                 [
                     (
-                        f"{float(e['t']):.0f}",
-                        str(e.get("state", "?")),
-                        f"{float(e.get('fast_burn', 0.0)):.2f}",
-                        f"{float(e.get('slow_burn', 0.0)):.2f}",
-                        f"{float(e.get('objective', 0.0)):.3%}",
+                        (f"{float(e['t']):.0f}",)
+                        + ((str(e.get("tenant", "-") or "-"),) if labelled else ())
+                        + (
+                            str(e.get("state", "?")),
+                            f"{float(e.get('fast_burn', 0.0)):.2f}",
+                            f"{float(e.get('slow_burn', 0.0)):.2f}",
+                            f"{float(e.get('objective', 0.0)):.3%}",
+                        )
                     )
                     for e in alerts
                 ],
@@ -320,6 +339,30 @@ def format_explain(dump: TelemetryDump, *, max_details: int = 5) -> str:
         )
     else:
         sections.append("SLO burn-rate alerts\n(none fired)")
+
+    tenant_rows: Dict[str, Dict[str, int]] = {}
+    for name, value in sorted(dump.counters.items()):
+        base, labels = split_labels(name)
+        if base.startswith("serve.tenant."):
+            tenant = dict(labels).get("tenant", "?")
+            tenant_rows.setdefault(tenant, {})[base.rsplit(".", 1)[-1]] = int(value)
+    if tenant_rows:
+        sections.append(
+            format_table(
+                ("tenant", "offered", "served", "quota shed", "brownout shed"),
+                [
+                    (
+                        tenant,
+                        row.get("offered", 0),
+                        row.get("served", 0),
+                        row.get("quota_shed", 0),
+                        row.get("brownout_shed", 0),
+                    )
+                    for tenant, row in sorted(tenant_rows.items())
+                ],
+                title="Serving by tenant",
+            )
+        )
 
     shed_rows = []
     for name, value in sorted(dump.counters.items()):

@@ -31,6 +31,7 @@ from typing import Deque, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.telemetry import Telemetry
+from repro.telemetry.metrics import labeled
 
 
 @dataclass(frozen=True)
@@ -116,13 +117,28 @@ class SLOMonitor:
         config: Objective and window configuration.
         telemetry: Optional handle; alert transitions become
             ``slo_alert`` events and the burn rates live gauges.
+        labels: Optional label set keying this monitor within a family
+            (e.g. ``{"tenant": "checkout"}``).  Labels are folded into
+            the gauge/counter names through the canonical
+            ``name{key="value"}`` convention of
+            :func:`repro.telemetry.metrics.labeled` — so a per-tenant
+            monitor writes ``slo.fast_burn{tenant="checkout"}`` and the
+            Prometheus exporter re-emits real labels — and into every
+            ``slo_alert`` event's fields, so ``repro explain`` can group
+            alerts per label.  An unlabelled monitor behaves exactly as
+            before.
     """
 
     def __init__(
-        self, config: Optional[SLOConfig] = None, telemetry: Optional[Telemetry] = None
+        self,
+        config: Optional[SLOConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+        *,
+        labels: Optional[Dict[str, object]] = None,
     ) -> None:
         self.config = config or SLOConfig()
         self.telemetry = telemetry
+        self.labels: Dict[str, object] = dict(labels or {})
         self._fast = _Window(self.config.fast_window_s)
         self._slow = _Window(self.config.slow_window_s)
         self.alerting = False
@@ -133,6 +149,18 @@ class SLOMonitor:
         self.slow_burn = 0.0
 
     # ------------------------------------------------------------------
+    def metric_key(self, base: str) -> str:
+        """Registry key for one of this monitor's metrics: the base name
+        with the monitor's labels folded in canonically."""
+        return labeled(base, **self.labels)
+
+    @property
+    def monitor_key(self) -> str:
+        """Canonical identity of this monitor within a family
+        (``slo`` for the unlabelled default, ``slo{tenant="a"}`` for a
+        labelled one)."""
+        return labeled("slo", **self.labels)
+
     def classify(self, latency_ms: float) -> bool:
         """Good/bad verdict for one *completed* request."""
         return latency_ms <= self.config.latency_threshold_ms
@@ -153,8 +181,8 @@ class SLOMonitor:
 
         tel = self.telemetry
         if tel is not None:
-            tel.gauge("slo.fast_burn").set(round(self.fast_burn, 6))
-            tel.gauge("slo.slow_burn").set(round(self.slow_burn, 6))
+            tel.gauge(self.metric_key("slo.fast_burn")).set(round(self.fast_burn, 6))
+            tel.gauge(self.metric_key("slo.slow_burn")).set(round(self.slow_burn, 6))
 
         threshold = self.config.burn_threshold
         should_fire = (
@@ -166,7 +194,7 @@ class SLOMonitor:
             self.alerting = True
             self.alerts_fired += 1
             if tel is not None:
-                tel.counter("slo.alerts_fired").inc()
+                tel.counter(self.metric_key("slo.alerts_fired")).inc()
                 tel.event(
                     "slo_alert",
                     t,
@@ -174,6 +202,7 @@ class SLOMonitor:
                     fast_burn=round(self.fast_burn, 4),
                     slow_burn=round(self.slow_burn, 4),
                     objective=self.config.objective,
+                    **self.labels,
                 )
         elif self.alerting and self.fast_burn < threshold:
             # Resolve on the fast window alone: once the recent error
@@ -188,6 +217,7 @@ class SLOMonitor:
                     fast_burn=round(self.fast_burn, 4),
                     slow_burn=round(self.slow_burn, 4),
                     objective=self.config.objective,
+                    **self.labels,
                 )
 
     # ------------------------------------------------------------------

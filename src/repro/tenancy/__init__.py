@@ -1,0 +1,28 @@
+"""Multi-tenant serving: many applications, per-tenant SLAs, one cluster.
+
+The paper provisions for a single application; this package packs N of
+them onto one shared, predictively provisioned cluster, WiSeDB-style:
+per-tenant workload traces, latency/shed SLOs, priority weights and
+token-bucket admission quotas, with brownout shedding the lowest-weight
+tenants first.  See docs/SERVING.md ("Multi-tenancy") for the spec-file
+format and semantics.
+"""
+
+from repro.tenancy.admission import TenantAdmission, TokenBucket
+from repro.tenancy.spec import (
+    DEFAULT_TENANT,
+    TenantRegistry,
+    TenantSpec,
+    build_registry,
+)
+from repro.tenancy.workload import composite_arrivals
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "TenantAdmission",
+    "TenantRegistry",
+    "TenantSpec",
+    "TokenBucket",
+    "build_registry",
+    "composite_arrivals",
+]

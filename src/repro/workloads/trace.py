@@ -294,6 +294,78 @@ class LoadTrace:
         return cls(np.array(values), slot_seconds, name, start_slot, peak_arr)
 
 
+def compose_traces(
+    traces: Sequence[LoadTrace],
+    *,
+    slot_seconds: Optional[float] = None,
+    length: Union[int, str] = "max",
+    name: str = "composite",
+) -> LoadTrace:
+    """Overlay traces of different lengths and periods into one.
+
+    The components are resampled to a common slot duration, extended or
+    truncated to a common length, and summed — the aggregate demand a
+    shared cluster sees when several applications (a B2W-shaped day, a
+    Wikipedia week, a flash crowd) run on it simultaneously.
+
+    Args:
+        traces: Component traces; their slot durations must each divide
+            evenly into (or by) the target slot.
+        slot_seconds: Target slot duration; defaults to the finest
+            component slot, so no component loses resolution.
+        length: Target length in target slots.  ``"max"`` (default)
+            extends shorter components by cycling them — the workloads
+            here are periodic, so tiling a 1-day trace under a 3-day one
+            is the intended overlay; ``"min"`` truncates everything to
+            the shortest component; an integer pins the length exactly.
+        name: Name of the composite trace.
+
+    Resampling a component whose duration is not a whole multiple of the
+    target slot drops the ragged tail slot (the same rule as
+    :meth:`LoadTrace.resample`), so the common length is computed from
+    the *aligned* component lengths — composing a 1441-minute trace with
+    a 24-hour one yields exactly 1440 minutes, never an off-by-one 1441.
+    """
+    if not traces:
+        raise ConfigurationError("need at least one trace")
+    target_slot = (
+        float(slot_seconds)
+        if slot_seconds is not None
+        else min(t.slot_seconds for t in traces)
+    )
+    aligned = [
+        t if t.slot_seconds == target_slot else t.resample(target_slot)
+        for t in traces
+    ]
+    for t in aligned:
+        if len(t) == 0:
+            raise ConfigurationError(
+                f"trace {t.name!r} is empty after alignment to "
+                f"{target_slot}s slots"
+            )
+    if length == "max":
+        n = max(len(t) for t in aligned)
+    elif length == "min":
+        n = min(len(t) for t in aligned)
+    elif isinstance(length, int) and not isinstance(length, bool) and length > 0:
+        n = length
+    else:
+        raise ConfigurationError(
+            f"length must be 'max', 'min' or a positive int, got {length!r}"
+        )
+    values = np.zeros(n)
+    peaks = np.zeros(n) if any(t.peak_values is not None for t in aligned) else None
+    for t in aligned:
+        reps = -(-n // len(t))  # ceil: cycle short components to cover n
+        values += np.tile(t.values, reps)[:n]
+        if peaks is not None:
+            component_peaks = (
+                t.peak_values if t.peak_values is not None else t.values
+            )
+            peaks += np.tile(component_peaks, reps)[:n]
+    return LoadTrace(values, target_slot, name, 0, peaks)
+
+
 def concat(traces: Sequence[LoadTrace], name: str = "concat") -> LoadTrace:
     """Concatenate traces with identical slot durations."""
     if not traces:
