@@ -102,7 +102,10 @@ fi
 
 OUT=$(mktemp)
 BUNDLE="${BUNDLE_DIR:-out/serve-smoke-bundle}"
+TS_DUMP="${TS_DUMP:-out/serve-smoke-timeseries.json}"
 rm -rf "$BUNDLE"
+mkdir -p "$(dirname "$TS_DUMP")"
+rm -f "$TS_DUMP"
 SERVER_PID=""
 
 # Always reap the server: kill alone leaves a zombie until the shell
@@ -131,6 +134,7 @@ python -m repro.cli serve \
     --queue-limit 5 --linger 120 --require-moves 1 \
     --trace-requests \
     --slo "objective=0.9,latency=60000,fast=120,slow=600,burn=2" \
+    --timeseries "$TS_DUMP" --perf \
     --debug-bundle "$BUNDLE" >"$OUT" 2>&1 &
 SERVER_PID=$!
 
@@ -177,7 +181,37 @@ echo "$METRICS" | grep -q '^repro_serve_admit_shed_total{node=' \
     || { echo "/metrics is missing labelled admission counters" >&2; exit 1; }
 echo "$METRICS" | grep -q '^repro_slo_fast_burn ' \
     || { echo "/metrics is missing SLO burn gauges" >&2; exit 1; }
+echo "$METRICS" | grep -q '^repro_perf_engine_tick_ms_count ' \
+    || { echo "/metrics is missing the wall-clock perf families" >&2; exit 1; }
 echo "/metrics: $(echo "$METRICS" | wc -l) lines"
+
+# Live observability surface: the time-series API, the dashboard page
+# and one frame of the terminal top view.
+curl -sf "http://127.0.0.1:$PORT/timeseries" | python -c "
+import json, sys
+doc = json.load(sys.stdin)
+assert 'serve.machines' in doc['series'], doc['series'][:5]
+assert doc['windows'] == [1, 10, 100], doc['windows']
+assert doc['samples'] > 0
+" || { echo "/timeseries index is broken" >&2; exit 1; }
+curl -sf "http://127.0.0.1:$PORT/timeseries?name=serve.machines&window=10" \
+    | python -c "
+import json, sys
+doc = json.load(sys.stdin)
+assert doc['points'], 'no rollup windows for serve.machines'
+" || { echo "/timeseries named query is broken" >&2; exit 1; }
+DASH=$(curl -sf "http://127.0.0.1:$PORT/dashboard")
+case "$DASH" in
+    *"<!doctype html>"*|*"<!DOCTYPE html>"*) ;;
+    *) echo "/dashboard did not return HTML" >&2; exit 1 ;;
+esac
+echo "/dashboard: $(echo "$DASH" | wc -c) bytes"
+TOP=$(python -m repro.cli top --once --url "http://127.0.0.1:$PORT")
+echo "$TOP"
+echo "$TOP" | grep -q 'repro top — status' \
+    || { echo "repro top rendered no status header" >&2; exit 1; }
+echo "$TOP" | grep -q 'serve.machines' \
+    || { echo "repro top rendered no sparkline from the store" >&2; exit 1; }
 
 curl -sf -X POST "http://127.0.0.1:$PORT/shutdown" >/dev/null
 # Under `set -e` a bare `wait` would abort the script on a non-zero
@@ -209,3 +243,90 @@ echo "$EXPLAIN" | grep -q 'fire' \
 echo "$EXPLAIN" | grep -q 'traced requests' \
     || { echo "explain is missing the request-trace summary" >&2; exit 1; }
 echo "debug bundle verified and explained: $BUNDLE"
+
+# The --timeseries PATH dump must have landed and parse as the
+# versioned format (CI uploads it as an artifact).
+[ -f "$TS_DUMP" ] || { echo "no timeseries dump at $TS_DUMP" >&2; exit 1; }
+python -c "
+import json
+doc = json.load(open('$TS_DUMP'))
+assert doc['format'] == 'repro-timeseries/1', doc['format']
+assert doc['points'], 'dump has no points'
+" || { echo "timeseries dump failed validation" >&2; exit 1; }
+echo "timeseries dump verified: $TS_DUMP"
+
+# ----------------------------------------------------------------------
+# Tenant-tagged HTTP traffic: X-Tenant routing, 403 on unknown tenants,
+# and the live views rendering per-tenant state.
+# ----------------------------------------------------------------------
+TENANT_SPEC=$(mktemp) TENANT_OUT=$(mktemp)
+cat >"$TENANT_SPEC" <<'EOF'
+{
+  "tenants": [
+    {"name": "checkout", "profile": "poisson:rate=4", "weight": 3,
+     "latency_slo_ms": 2000.0, "slo_objective": 0.9},
+    {"name": "search", "profile": "poisson:rate=2"}
+  ]
+}
+EOF
+tenant_cleanup() {
+    if [ -n "$SERVER_PID" ]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -f "$OUT" "$TENANT_SPEC" "$TENANT_OUT"
+}
+trap tenant_cleanup EXIT
+
+# Long virtual duration so the run is still in progress while we probe;
+# the shutdown below ends it early via the graceful drain.
+python -m repro.cli serve \
+    --clock virtual --port 0 --duration 86400 \
+    --tenants "$TENANT_SPEC" --control none \
+    --saturation 60 --db-size-mb 20 --nodes 2 --max-nodes 2 \
+    --queue-limit 5 --linger 120 --timeseries >"$TENANT_OUT" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 120); do
+    PORT=$(grep -oE 'http://127\.0\.0\.1:[0-9]+' "$TENANT_OUT" | head -1 | grep -oE '[0-9]+$' || true)
+    if [ -n "$PORT" ] && curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "tenant server exited before becoming healthy:" >&2
+        cat "$TENANT_OUT" >&2
+        exit 1
+    fi
+    sleep 1
+done
+[ -n "$PORT" ] || { echo "tenant server never published a port" >&2; cat "$TENANT_OUT" >&2; exit 1; }
+echo "tenant server healthy on port $PORT"
+
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -H 'X-Tenant: checkout' "http://127.0.0.1:$PORT/txn")
+[ "$CODE" = "200" ] || [ "$CODE" = "503" ] \
+    || { echo "tagged /txn returned $CODE" >&2; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -H 'X-Tenant: mallory' "http://127.0.0.1:$PORT/txn")
+[ "$CODE" = "403" ] \
+    || { echo "unknown tenant must be 403, got $CODE" >&2; exit 1; }
+curl -sf "http://127.0.0.1:$PORT/metrics" \
+    | grep -q '^repro_serve_tenant_rejected_total ' \
+    || { echo "/metrics is missing the tenant rejection counter" >&2; exit 1; }
+TOP=$(python -m repro.cli top --once --url "http://127.0.0.1:$PORT")
+echo "$TOP" | grep -q 'checkout' \
+    || { echo "repro top rendered no per-tenant rows" >&2; exit 1; }
+curl -sf "http://127.0.0.1:$PORT/dashboard" >/dev/null \
+    || { echo "tenant-mode /dashboard failed" >&2; exit 1; }
+echo "tenant traffic smoke passed: tagged 200s, unknown 403, live views render"
+
+curl -sf -X POST "http://127.0.0.1:$PORT/shutdown" >/dev/null
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+SERVER_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "tenant server exited with status $STATUS" >&2
+    cat "$TENANT_OUT" >&2
+    exit "$STATUS"
+fi

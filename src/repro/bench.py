@@ -139,6 +139,33 @@ def _bench_serve_session() -> Callable[[], None]:
     return run
 
 
+def _bench_serve_session_telemetry() -> Callable[[], None]:
+    """The ``serve_session`` workload with the full observability stack
+    on: telemetry registry, per-tick time-series sampling and wall-clock
+    perf spans.  Paired with ``serve_session`` by the
+    ``--overhead-gate`` to bound what instrumentation costs."""
+    from repro.serve import ServerEngine, ServeSession, poisson_arrivals
+    from repro.telemetry import Telemetry, TimeSeriesStore
+    from repro.telemetry.perf import PerfRecorder, perf_session
+
+    config = EngineConfig(max_nodes=4, saturation_rate_per_node=300.0)
+    arrivals = poisson_arrivals(200.0, 300.0, seed=11)
+
+    def run() -> None:
+        engine = ServerEngine(
+            engine_config=config, initial_nodes=2, seed=11,
+            telemetry=Telemetry(),
+        )
+        with perf_session(PerfRecorder()):
+            session = ServeSession(
+                engine, arrivals, timeseries=TimeSeriesStore()
+            )
+            report = session.run(300.0)
+        report.latency_percentile(99.0)
+
+    return run
+
+
 def _bench_soak_session() -> Callable[[], None]:
     """One virtual minute of distributed serving: edge routing + lock-step
     worker shards over real multiprocessing pipes.  The process spawn,
@@ -216,6 +243,7 @@ KERNELS: Dict[str, Callable[[], Callable[[], None]]] = {
     "engine_fleet_steps": _bench_engine_fleet_steps,
     "engine_run_steady_hour": _bench_engine_run_steady_hour,
     "serve_session": _bench_serve_session,
+    "serve_session_telemetry": _bench_serve_session_telemetry,
     "tenant_session": _bench_tenant_session,
     "soak_session": _bench_soak_session,
     "parallel_shard_runs": _bench_parallel_shard_runs,
@@ -235,6 +263,7 @@ KERNEL_REPEATS: Dict[str, int] = {
     "engine_fleet_steps": 5,
     "engine_run_steady_hour": 5,
     "serve_session": 5,
+    "serve_session_telemetry": 5,
     "tenant_session": 3,
     "soak_session": 3,
     "parallel_shard_runs": 3,
@@ -302,6 +331,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="allowed slowdown factor vs the baseline median (default 1.5)",
     )
     parser.add_argument(
+        "--overhead-gate",
+        action="store_true",
+        help="after timing, fail if serve_session_telemetry exceeds "
+             "serve_session by more than --overhead-budget (noise-floored "
+             "like the regression gate)",
+    )
+    parser.add_argument(
+        "--overhead-budget",
+        type=float,
+        default=_OVERHEAD_BUDGET,
+        help="allowed telemetry-on / telemetry-off median ratio "
+             f"(default {_OVERHEAD_BUDGET:g}x; see docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
+        "--trend",
+        action="store_true",
+        help="render the per-kernel median trend across committed "
+             "BENCH_*.json files in --output-dir and exit (no timing run)",
+    )
+    parser.add_argument(
         "--profile",
         choices=sorted(KERNELS),
         default=None,
@@ -318,12 +367,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.tolerance <= 0:
         parser.error("--tolerance must be positive")
+    if args.overhead_budget <= 1.0:
+        parser.error("--overhead-budget must be > 1.0")
+    if args.trend:
+        print(render_trend(args.output_dir))
+        return 0
     if args.profile is not None:
         return profile_kernel(args.profile, args.profile_lines)
 
     kernels = KERNELS
     if args.only:
         kernels = {name: KERNELS[name] for name in args.only}
+    if args.overhead_gate:
+        for name in ("serve_session", "serve_session_telemetry"):
+            if name not in kernels:
+                kernels = dict(kernels)
+                kernels[name] = KERNELS[name]
 
     results: Dict[str, Dict[str, object]] = {}
     for name, setup in kernels.items():
@@ -357,9 +416,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         out_path.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {out_path}")
 
+    exit_code = 0
     if args.compare is not None:
-        return compare_to_baseline(results, args.compare, args.tolerance)
-    return 0
+        exit_code = compare_to_baseline(results, args.compare, args.tolerance)
+    if args.overhead_gate:
+        exit_code = max(
+            exit_code,
+            check_telemetry_overhead(results, budget=args.overhead_budget),
+        )
+    return exit_code
 
 
 def profile_kernel(name: str, lines: int = 25) -> int:
@@ -458,6 +523,85 @@ def compare_to_baseline(
         return 1
     print("bench regression gate: all kernels within tolerance")
     return 0
+
+
+#: Telemetry overhead budget: the fully instrumented serve session
+#: (registry + per-tick time-series sampling + wall-clock perf spans)
+#: may cost at most this factor over the bare one.  Violations only
+#: fail when they also clear the absolute noise floor, mirroring the
+#: regression gate (docs/PERFORMANCE.md documents the budget).
+_OVERHEAD_BUDGET = 1.35
+
+
+def check_telemetry_overhead(
+    results: Dict[str, Dict[str, object]],
+    budget: float = _OVERHEAD_BUDGET,
+    noise_floor_ns: int = _NOISE_FLOOR_NS,
+) -> int:
+    """The telemetry-overhead CI gate over one results dict.
+
+    Compares the ``serve_session_telemetry`` median against
+    ``serve_session``; both kernels run the identical workload, so the
+    whole difference is instrumentation cost.
+    """
+    try:
+        base_ns = float(results["serve_session"]["median_ns"])  # type: ignore[arg-type]
+        tel_ns = float(results["serve_session_telemetry"]["median_ns"])  # type: ignore[arg-type]
+    except KeyError:
+        print("overhead gate: needs serve_session and serve_session_telemetry")
+        return 1
+    ratio = tel_ns / base_ns if base_ns > 0 else float("inf")
+    over_budget = ratio > budget and (tel_ns - base_ns) > noise_floor_ns
+    print(
+        f"\ntelemetry overhead: {tel_ns / 1e6:.3f} ms instrumented vs "
+        f"{base_ns / 1e6:.3f} ms bare ({ratio:.2f}x, budget {budget:g}x)  "
+        f"{'OVER BUDGET' if over_budget else 'ok'}"
+    )
+    return 1 if over_budget else 0
+
+
+def render_trend(directory: Path, limit: int = 8) -> str:
+    """Per-kernel median trend across committed ``BENCH_*.json`` files.
+
+    Columns are the newest ``limit`` baselines in date order; the delta
+    column compares the last two medians available for each kernel, with
+    an arrow for direction (``+`` slower, ``-`` faster, ``=`` within 2%).
+    """
+    paths = sorted(Path(directory).glob("BENCH_*.json"))[-limit:]
+    if not paths:
+        return f"no BENCH_*.json baselines under {directory}"
+    reports: List[Tuple[str, Dict[str, Dict[str, object]]]] = []
+    for path in paths:
+        data = json.loads(path.read_text())
+        reports.append((str(data.get("date", path.stem)), data.get("kernels", {})))
+    names: List[str] = []
+    for _, kernels in reports:
+        for name in kernels:
+            if name not in names:
+                names.append(name)
+    lines = [
+        f"{'kernel':30s}"
+        + "".join(f"{date:>14s}" for date, _ in reports)
+        + f"{'delta':>12s}"
+    ]
+    for name in names:
+        medians: List[Optional[float]] = [
+            float(kernels[name]["median_ns"]) / 1e6 if name in kernels else None  # type: ignore[arg-type]
+            for _, kernels in reports
+        ]
+        cells = "".join(
+            f"{median:14.3f}" if median is not None else f"{'-':>14s}"
+            for median in medians
+        )
+        present = [m for m in medians if m is not None]
+        if len(present) >= 2 and present[-2] > 0:
+            change = (present[-1] - present[-2]) / present[-2]
+            arrow = "=" if abs(change) <= 0.02 else ("+" if change > 0 else "-")
+            delta = f"{change:+9.1%} {arrow}"
+        else:
+            delta = f"{'new':>11s}"
+        lines.append(f"{name:30s}{cells}{delta:>12s}")
+    return "\n".join(lines)
 
 
 if __name__ == "__main__":

@@ -204,6 +204,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.compare is not None:
         bench_argv.extend(["--compare", args.compare])
         bench_argv.extend(["--tolerance", str(args.tolerance)])
+    if args.trend:
+        bench_argv.append("--trend")
+    if args.overhead_gate:
+        bench_argv.append("--overhead-gate")
     if args.profile is not None:
         bench_argv.extend(["--profile", args.profile])
         bench_argv.extend(["--profile-lines", str(args.profile_lines)])
@@ -473,16 +477,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         bundle_dir=args.debug_bundle,
         bundle_config=_args_config(args),
         bundle_report=bundle_report,
-    ) as session_telemetry:
+    ) as session_telemetry, contextlib.ExitStack() as stack:
         # /metrics needs a registry even without --telemetry.
         telemetry = session_telemetry if session_telemetry is not None else Telemetry()
+        perf = None
+        if args.perf:
+            from repro.telemetry.perf import PerfRecorder, perf_session
+
+            perf = PerfRecorder()
+            stack.enter_context(perf_session(perf))
+        timeseries = None
+        if args.timeseries is not None:
+            from repro.telemetry.timeseries import TimeSeriesStore
+
+            timeseries = TimeSeriesStore()
         tenancy = None
         if args.tenants is not None:
             from repro.tenancy import TenantAdmission, TenantRegistry
 
-            if not args.no_http:
-                print("--tenants requires --no-http", file=sys.stderr)
-                return 2
             if args.duration is None:
                 print("--tenants requires --duration", file=sys.stderr)
                 return 2
@@ -542,6 +554,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     tenant_indices=tenant_indices,
                     tenant_names=tenant_names,
                 )
+                # Resume rebuilds the session itself; the (empty) store
+                # just starts sampling from the restored tick onward.
+                session.timeseries = timeseries
                 remaining = args.duration - session.clock.now
                 if remaining <= 0:
                     print(
@@ -564,6 +579,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     checkpoint=checkpoint,
                     tenant_indices=tenant_indices,
                     tenant_names=tenant_names,
+                    timeseries=timeseries,
                 )
                 report = session.run(args.duration)
             if session.checkpoints_written:
@@ -583,6 +599,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 retry=retry,
                 retry_seed=args.seed,
                 checkpoint=checkpoint,
+                tenant_indices=tenant_indices,
+                tenant_names=tenant_names,
+                timeseries=timeseries,
+                perf=perf,
+                cost_per_machine_hour=args.cost_per_machine_hour,
             )
             asyncio.run(
                 app.run(
@@ -595,6 +616,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             report = app.loadgen_report
         _print_serve_outcome(engine, report)
+        if timeseries is not None and args.timeseries:
+            import json
+
+            Path(args.timeseries).write_text(
+                json.dumps(timeseries.dump(), sort_keys=True)
+            )
+            print(
+                f"timeseries: {timeseries.samples_taken} samples -> "
+                f"{args.timeseries}"
+            )
+        if perf is not None:
+            for line in perf.report_lines():
+                print(line)
         bundle_report.update(report.summary())
         bundle_report.update(engine.healthz())
         moves = engine.moves_completed
@@ -638,6 +672,8 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             max_shed_rate=args.max_shed_rate,
             telemetry=session_telemetry is not None,
             trace_requests=args.trace_requests,
+            telemetry_every_ticks=args.telemetry_every,
+            timeseries=args.timeseries,
             slo=args.slo,
             checkpoint_path=args.checkpoint,
             checkpoint_every_s=args.checkpoint_every,
@@ -782,6 +818,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="allowed median slowdown factor vs the baseline (default 1.5)",
     )
     bench_parser.add_argument(
+        "--trend", action="store_true",
+        help="render a per-kernel median trend table across all committed "
+             "BENCH_*.json baselines (no timing run)",
+    )
+    bench_parser.add_argument(
+        "--overhead-gate", action="store_true",
+        help="fail if the fully instrumented serve session exceeds the "
+             "bare one by more than the telemetry overhead budget "
+             "(see docs/PERFORMANCE.md)",
+    )
+    bench_parser.add_argument(
         "--profile", metavar="KERNEL", default=None,
         help="profile one kernel with cProfile and print the hottest "
              "functions (no timing run)",
@@ -825,8 +872,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="multi-tenant serving: load a tenant registry JSON spec, "
              "overlay every tenant's workload into one composite arrival "
              "stream and enforce per-tenant quotas, brownout priorities "
-             "and SLO monitors (requires --no-http and --duration; "
-             "replaces --profile; see docs/SERVING.md)",
+             "and SLO monitors (requires --duration; replaces --profile; "
+             "HTTP clients attribute requests with an X-Tenant header; "
+             "see docs/SERVING.md)",
+    )
+    serve_parser.add_argument(
+        "--timeseries", nargs="?", const="", default=None, metavar="PATH",
+        help="sample every metric into a bounded ring-buffer store once "
+             "per tick (backs GET /timeseries and /dashboard); with PATH, "
+             "also dump the store as JSON at exit",
+    )
+    serve_parser.add_argument(
+        "--perf", action="store_true",
+        help="record wall-clock perf spans (edge dispatch, engine tick, "
+             "planner DP, SPAR fit, transport encode/decode) into "
+             "/metrics repro_perf_* families and a stage report at exit; "
+             "wall times never enter telemetry dumps or debug bundles",
+    )
+    serve_parser.add_argument(
+        "--cost-per-machine-hour", type=float, default=0.0, metavar="DOLLARS",
+        help="report a $-cost estimate (machine-hours x this rate) in "
+             "/healthz and the dashboard (0 hides it)",
     )
     serve_parser.add_argument("--seed", type=int, default=0)
     serve_parser.add_argument("--nodes", type=int, default=1,
@@ -953,6 +1019,16 @@ def main(argv: Optional[List[str]] = None) -> int:
              "into one cross-process trace per request",
     )
     soak_parser.add_argument(
+        "--telemetry-every", type=int, default=0, metavar="TICKS",
+        help="stream worker telemetry deltas to the edge on this tick "
+             "cadence for a live fleet-wide view (0 = end of run only)",
+    )
+    soak_parser.add_argument(
+        "--timeseries", action="store_true",
+        help="sample the edge's fleet view into a bounded ring-buffer "
+             "time-series store once per tick",
+    )
+    soak_parser.add_argument(
         "--slo", action="store_true",
         help="edge-side burn-rate SLO monitoring over the aggregate stream",
     )
@@ -973,6 +1049,27 @@ def main(argv: Optional[List[str]] = None) -> int:
              "run is bit-identical to an uninterrupted one",
     )
     _add_session_flags(soak_parser)
+
+    top_parser = subparsers.add_parser(
+        "top",
+        help="live terminal view of a running server: status, breakers, "
+             "per-tenant rates, SLO burn, perf stages (polls /healthz, "
+             "/metrics and /timeseries)",
+    )
+    top_parser.add_argument("--url", default="http://127.0.0.1:8080")
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (the CI smoke mode)",
+    )
+    top_parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh cadence, real seconds (default 2)",
+    )
+    top_parser.add_argument(
+        "--series", action="append", default=None, metavar="NAME",
+        help="sparkline these time-series names (repeatable; default: "
+             "forecast APE and machine count when available)",
+    )
 
     loadgen_parser = subparsers.add_parser(
         "loadgen", help="fire an open-loop load profile at a running server"
@@ -1001,6 +1098,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "soak":
             return _cmd_soak(args)
+        if args.command == "top":
+            from repro.serve.top import run_top
+
+            return run_top(
+                args.url,
+                once=args.once,
+                interval_s=args.interval,
+                spark_series=args.series,
+            )
         if args.command == "loadgen":
             return _cmd_loadgen(args)
         return _cmd_run(

@@ -217,6 +217,10 @@ class PredictiveController:
                     actual=measured,
                 )
                 tel.counter("controller.forecasts_scored").inc()
+                if measured > 0:
+                    tel.gauge("controller.forecast_ape_pct").set(
+                        100.0 * abs(self._pending_forecast - measured) / measured
+                    )
         self._pending_forecast = None
 
         if sim.migration_active:

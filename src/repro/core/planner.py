@@ -34,6 +34,7 @@ import numpy as np
 import repro.core.capacity as cap_model
 from repro.core.params import SystemParameters
 from repro.errors import ConfigurationError, InfeasiblePlanError
+from repro.telemetry.perf import timed
 
 INFINITY = math.inf
 
@@ -173,6 +174,7 @@ class Planner:
         return float(self._cost[before, after])
 
     # ------------------------------------------------------------------
+    @timed("planner.dp")
     def best_moves(
         self,
         load: Sequence[float],

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import PredictionError
 from repro.prediction.base import Predictor, SeriesLike, as_series
+from repro.telemetry.perf import maybe_span
 
 
 class SPARPredictor(Predictor):
@@ -105,14 +106,15 @@ class SPARPredictor(Predictor):
         return design, series[u], u
 
     def fit(self, training: SeriesLike) -> "SPARPredictor":
-        series = as_series(training)
-        dy = self._deviations(series)
-        self._coef.clear()
-        for tau in range(1, self.max_horizon + 1):
-            design, target, _ = self._design(series, dy, tau)
-            gram = design.T @ design
-            gram[np.diag_indices_from(gram)] += self.ridge * len(design)
-            self._coef[tau] = np.linalg.solve(gram, design.T @ target)
+        with maybe_span("spar.fit"):
+            series = as_series(training)
+            dy = self._deviations(series)
+            self._coef.clear()
+            for tau in range(1, self.max_horizon + 1):
+                design, target, _ = self._design(series, dy, tau)
+                gram = design.T @ design
+                gram[np.diag_indices_from(gram)] += self.ridge * len(design)
+                self._coef[tau] = np.linalg.solve(gram, design.T @ target)
         return self
 
     # ------------------------------------------------------------------

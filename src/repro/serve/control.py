@@ -195,6 +195,11 @@ class OnlineControlLoop:
                     actual=measured_rate,
                 )
                 tel.counter("control.forecasts_scored").inc()
+                if measured_rate > 0:
+                    tel.gauge("control.forecast_ape_pct").set(
+                        100.0 * abs(self._pending_forecast - measured_rate)
+                        / measured_rate
+                    )
         self._pending_forecast = None
         if refitted and tel is not None:
             tel.counter("control.refits").inc()

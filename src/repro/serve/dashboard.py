@@ -1,0 +1,195 @@
+"""Single-file HTML operator dashboard served at ``GET /dashboard``.
+
+The page is deliberately self-contained (inline CSS + JS, no external
+assets — the serving container has no static file tree) and talks only
+to the sibling endpoints on the same origin:
+
+* ``/healthz`` — fleet status, per-node breakers, per-tenant admission
+  and SLO burn;
+* ``/timeseries`` — ring-buffer samples rendered as canvas sparklines;
+* ``/metrics`` — the ``repro_perf_*`` wall-clock histograms, re-deriving
+  p50/p99 from the cumulative buckets client-side.
+
+Everything is pull-based on a 2 s poll: the server stays dumb and the
+dashboard works against any live :class:`~repro.serve.http.ServeApp`,
+including virtual-clock CI smoke runs.
+"""
+
+from __future__ import annotations
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro serve — live dashboard</title>
+<style>
+  body { font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
+         background: #101418; color: #d7dde3; margin: 1.2em; }
+  h1 { font-size: 1.1em; margin: 0 0 .3em; }
+  h2 { font-size: .95em; margin: 1.2em 0 .3em; color: #9fb3c8; }
+  .muted { color: #64748b; }
+  table { border-collapse: collapse; }
+  th, td { padding: .15em .7em; text-align: right; border-bottom: 1px solid #1e293b; }
+  th { color: #9fb3c8; font-weight: normal; }
+  td:first-child, th:first-child { text-align: left; }
+  .ok { color: #4ade80; } .warn { color: #facc15; } .bad { color: #f87171; }
+  .spark { display: inline-block; margin: .3em 1em .3em 0; vertical-align: top; }
+  .spark canvas { display: block; background: #0b0f13; border: 1px solid #1e293b; }
+  .spark .label { color: #9fb3c8; font-size: .85em; }
+  #err { color: #f87171; }
+</style>
+</head>
+<body>
+<h1>repro serve <span class="muted">live dashboard</span>
+    <span id="status"></span></h1>
+<div id="err"></div>
+<div id="summary" class="muted"></div>
+<h2>time series</h2>
+<div id="sparks" class="muted">waiting for /timeseries…</div>
+<h2>tenants</h2>
+<div id="tenants" class="muted">no tenancy configured</div>
+<h2>breakers</h2>
+<div id="breakers" class="muted">no health tracker configured</div>
+<h2>wall-clock perf stages</h2>
+<div id="perf" class="muted">no perf recorder attached</div>
+<script>
+"use strict";
+const $ = (id) => document.getElementById(id);
+const fmt = (v) => (typeof v === "number" && isFinite(v))
+  ? (Math.abs(v) >= 100 ? v.toFixed(0) : v.toPrecision(3)) : String(v);
+
+function statusClass(s) {
+  return s === "ok" ? "ok" : (s === "degraded" ? "bad" : "warn");
+}
+
+function renderHealth(h) {
+  $("status").innerHTML =
+    ' — <span class="' + statusClass(h.status) + '">' + h.status + "</span>";
+  const bits = [
+    "t=" + fmt(h.now) + "s", "machines=" + h.machines,
+    "accepted=" + h.accepted, "rejected=" + h.rejected,
+    "machine-hours=" + fmt(h.machine_hours),
+  ];
+  if (h.cost_dollars !== undefined) bits.push("$" + fmt(h.cost_dollars));
+  $("summary").textContent = bits.join("  |  ");
+  if (h.tenants) {
+    let rows = "<table><tr><th>tenant</th><th>offered</th>" +
+      "<th>quota shed</th><th>brownout shed</th><th>good frac</th>" +
+      "<th>burn fast/slow</th><th>alert</th></tr>";
+    for (const [name, t] of Object.entries(h.tenants)) {
+      const slo = t.slo || {};
+      rows += "<tr><td>" + name + "</td><td>" + (t.offered ?? "-") +
+        "</td><td>" + (t.quota_shed ?? "-") +
+        "</td><td>" + (t.brownout_shed ?? "-") +
+        "</td><td>" + (slo.good_fraction !== undefined
+                       ? (100 * slo.good_fraction).toFixed(2) + "%" : "-") +
+        "</td><td>" + (slo.fast_burn !== undefined
+                       ? fmt(slo.fast_burn) + "/" + fmt(slo.slow_burn) : "-") +
+        '</td><td class="' + (slo.alerting ? "bad" : "ok") + '">' +
+        (slo.alerting ? "FIRING" : "ok") + "</td></tr>";
+    }
+    $("tenants").innerHTML = rows + "</table>";
+  }
+  if (h.breakers) {
+    let rows = "<table><tr><th>node</th><th>state</th></tr>";
+    for (const [node, state] of Object.entries(h.breakers)) {
+      const cls = state === "closed" ? "ok" : (state === "open" ? "bad" : "warn");
+      rows += "<tr><td>" + node + '</td><td class="' + cls + '">' +
+        state + "</td></tr>";
+    }
+    $("breakers").innerHTML = rows + "</table>";
+  }
+}
+
+function sparkline(name, points) {
+  const w = 180, hgt = 42;
+  const holder = document.createElement("div");
+  holder.className = "spark";
+  const canvas = document.createElement("canvas");
+  canvas.width = w; canvas.height = hgt;
+  const vals = points.map((p) => p.mean);
+  const last = vals.length ? vals[vals.length - 1] : 0;
+  const lo = Math.min(...vals), hi = Math.max(...vals), span = (hi - lo) || 1;
+  const ctx = canvas.getContext("2d");
+  ctx.strokeStyle = "#38bdf8"; ctx.lineWidth = 1.25; ctx.beginPath();
+  vals.forEach((v, i) => {
+    const x = vals.length > 1 ? (i / (vals.length - 1)) * (w - 4) + 2 : w / 2;
+    const y = hgt - 4 - ((v - lo) / span) * (hgt - 8);
+    i ? ctx.lineTo(x, y) : ctx.moveTo(x, y);
+  });
+  ctx.stroke();
+  const label = document.createElement("div");
+  label.className = "label";
+  label.textContent = name + " = " + fmt(last);
+  holder.appendChild(label); holder.appendChild(canvas);
+  return holder;
+}
+
+async function renderSparks() {
+  const summary = await (await fetch("/timeseries")).json();
+  const names = summary.series || [];
+  if (!names.length) return;
+  const preferred = names.filter((n) =>
+    /machines$|machine_hours|forecast_ape|latency.*p99|queue|offered/.test(n));
+  const picks = (preferred.length ? preferred : names).slice(0, 8);
+  const box = document.createElement("div");
+  for (const name of picks) {
+    const data = await (await fetch(
+      "/timeseries?name=" + encodeURIComponent(name))).json();
+    if (data.points && data.points.length) {
+      box.appendChild(sparkline(name, data.points));
+    }
+  }
+  if (box.childNodes.length) { $("sparks").replaceChildren(box); }
+}
+
+function quantile(buckets, count, q) {
+  // Cumulative Prometheus buckets -> upper bound of the target bucket.
+  const target = q * count;
+  for (const [le, c] of buckets) if (c >= target) return le;
+  return buckets.length ? buckets[buckets.length - 1][0] : 0;
+}
+
+function renderPerf(text) {
+  const stages = {};
+  for (const line of text.split("\\n")) {
+    let m = line.match(/^repro_perf_(\\w+)_ms_bucket\\{le="([^"]+)"\\} (\\S+)/);
+    if (m) {
+      (stages[m[1]] = stages[m[1]] || {buckets: []}).buckets
+        .push([parseFloat(m[2]), parseFloat(m[3])]);
+      continue;
+    }
+    m = line.match(/^repro_perf_(\\w+)_ms_(count|sum) (\\S+)/);
+    if (m) (stages[m[1]] = stages[m[1]] || {buckets: []})[m[2]] =
+      parseFloat(m[3]);
+  }
+  const names = Object.keys(stages).filter((n) => stages[n].count > 0);
+  if (!names.length) return;
+  let rows = "<table><tr><th>stage</th><th>count</th><th>mean ms</th>" +
+    "<th>p50 ms</th><th>p99 ms</th></tr>";
+  for (const name of names.sort()) {
+    const s = stages[name];
+    rows += "<tr><td>" + name.replace(/_/g, ".") + "</td><td>" + s.count +
+      "</td><td>" + fmt(s.sum / s.count) +
+      "</td><td>" + fmt(quantile(s.buckets, s.count, 0.5)) +
+      "</td><td>" + fmt(quantile(s.buckets, s.count, 0.99)) + "</td></tr>";
+  }
+  $("perf").innerHTML = rows + "</table>";
+}
+
+async function refresh() {
+  try {
+    renderHealth(await (await fetch("/healthz")).json());
+    renderPerf(await (await fetch("/metrics")).text());
+    await renderSparks();
+    $("err").textContent = "";
+  } catch (exc) {
+    $("err").textContent = "poll failed: " + exc;
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"""

@@ -68,7 +68,10 @@ from repro.serve.transport import (
 )
 from repro.serve.worker import _SPAWN, WorkerHandle, WorkerSpec, worker_main
 from repro.telemetry import Span, Telemetry
+from repro.telemetry.merge import DeltaAccumulator, build_fleet_view
+from repro.telemetry.perf import PerfRecorder, maybe_span
 from repro.telemetry.slo import SLOConfig, SLOMonitor
+from repro.telemetry.timeseries import TimeSeriesStore
 
 from dataclasses import replace as _dc_replace
 from typing import TYPE_CHECKING
@@ -116,6 +119,17 @@ class DistributedServeSession:
         tenant_indices: Per-arrival tenant index array parallel to
             ``arrivals`` (from :func:`repro.tenancy.composite_arrivals`).
         tenant_names: Registry names the indices point into.
+        telemetry_every_ticks: When positive, every Nth tick pulls a
+            ``telemetry_delta`` from each worker (absolute new-or-changed
+            state) and rebuilds :attr:`fleet_view` — a live fleet-wide
+            telemetry merge that equals the end-of-run capture merge
+            exactly for metrics and events.  Requires ``telemetry``.
+        timeseries: Optional ring-buffer store sampled once per tick from
+            the freshest fleet view (or the edge's own registry when
+            delta streaming is off).
+        perf: Optional wall-clock recorder; the dispatch loop records an
+            ``edge.dispatch`` span per tick.  Falls back to the process
+            default installed by ``repro.telemetry.perf``.
     """
 
     def __init__(
@@ -137,6 +151,9 @@ class DistributedServeSession:
         tenancy: Optional["TenantAdmission"] = None,
         tenant_indices: Optional[np.ndarray] = None,
         tenant_names: Optional[List[str]] = None,
+        telemetry_every_ticks: int = 0,
+        timeseries: Optional[TimeSeriesStore] = None,
+        perf: Optional[PerfRecorder] = None,
     ) -> None:
         if not specs:
             raise ConfigurationError("need at least one worker spec")
@@ -223,6 +240,22 @@ class DistributedServeSession:
         self._next_trace_id = 1
         self._stitch: Dict[int, Span] = {}
         self._telemetry_collected = False
+        if telemetry_every_ticks < 0:
+            raise ConfigurationError("telemetry_every_ticks must be >= 0")
+        if telemetry_every_ticks > 0 and telemetry is None:
+            raise ConfigurationError(
+                "telemetry_every_ticks needs edge telemetry"
+            )
+        if timeseries is not None and telemetry is None:
+            raise ConfigurationError("a timeseries store needs edge telemetry")
+        self.telemetry_every_ticks = int(telemetry_every_ticks)
+        self.timeseries = timeseries
+        self.perf = perf
+        #: Per-worker absolute telemetry views accumulated from deltas.
+        self._delta_views: Dict[int, DeltaAccumulator] = {}
+        #: Live fleet-wide merge (edge + every worker view); refreshed on
+        #: the delta cadence, ``None`` until the first pull.
+        self.fleet_view: Optional[Telemetry] = None
 
         #: Last capacity advertisement per worker: (machines, queue_s).
         self.advertised: Dict[int, Tuple[float, float]] = {
@@ -427,6 +460,10 @@ class DistributedServeSession:
         root.finish(at=outcome.completed_at, status=status)
 
     def _tick(self) -> None:
+        with maybe_span("edge.dispatch", self.perf):
+            self._dispatch_tick()
+
+    def _dispatch_tick(self) -> None:
         end = self.now + self.dt_s
         arrivals = self.arrivals
         batches: Dict[int, List[List[object]]] = {
@@ -535,6 +572,14 @@ class DistributedServeSession:
                 counts[1] if counts else 0,
             )
         tenant_tick.clear()
+        if (
+            self.telemetry_every_ticks > 0
+            and self._tick_index % self.telemetry_every_ticks == 0
+        ):
+            self.refresh_fleet_view()
+        if self.timeseries is not None and self.telemetry is not None:
+            view = self.fleet_view if self.fleet_view is not None else self.telemetry
+            self.timeseries.sample(view.metrics, end)
         self._maybe_checkpoint()
 
     @staticmethod
@@ -754,32 +799,99 @@ class DistributedServeSession:
     # ------------------------------------------------------------------
     # Telemetry + reporting
     # ------------------------------------------------------------------
+    def _pull_deltas(self) -> None:
+        """One ``telemetry_delta`` round, folded in worker order.
+
+        Deltas carry absolute new-or-changed state, so applying one is
+        assignment — a dead worker simply stops updating its view, and
+        the fleet merge keeps whatever it shipped before dying (the
+        capture path would lose it entirely).
+        """
+        posted: List[WorkerHandle] = []
+        for handle in self.workers:
+            if not handle.alive:
+                continue
+            try:
+                handle.post({"cmd": "telemetry_delta"})
+            except TransportError:
+                continue
+            posted.append(handle)
+        for handle in posted:
+            wid = handle.spec.worker_id
+            try:
+                reply = handle.collect()
+            except TransportError:
+                continue
+            delta = reply.get("delta")
+            if delta:
+                view = self._delta_views.get(wid)
+                if view is None:
+                    view = self._delta_views[wid] = DeltaAccumulator()
+                view.apply(delta)  # type: ignore[arg-type]
+
+    def refresh_fleet_view(self) -> Optional[Telemetry]:
+        """Pull fresh deltas and rebuild :attr:`fleet_view`."""
+        if self.telemetry is None:
+            return None
+        self._pull_deltas()
+        self.fleet_view = build_fleet_view(self.telemetry, self._delta_views)
+        return self.fleet_view
+
     def collect_telemetry(self) -> None:
-        """Merge every reachable worker's telemetry into the edge handle.
+        """Merge every worker's telemetry into the edge handle.
 
         Call once, after the run: merging is additive, so a second call
-        would double-count worker counters (guarded by a flag).
+        would double-count worker counters (guarded by a flag).  With
+        delta streaming on (``telemetry_every_ticks``), metrics and
+        events come from the accumulated per-worker views (one residual
+        pull first), and only spans — which deltas deliberately never
+        carry — are taken from the full capture snapshot; the result is
+        identical to a pure capture merge, but survives a worker dying
+        after its last delta.
         """
         if self.telemetry is None or self._telemetry_collected:
             return
         self._telemetry_collected = True
         from repro.telemetry.merge import merge_snapshot
 
+        streaming = self.telemetry_every_ticks > 0 or bool(self._delta_views)
+        if streaming:
+            self._pull_deltas()
         for handle in self.workers:
-            if not handle.alive:
-                continue
-            try:
-                reply = handle.request({"cmd": "telemetry"})
-            except TransportError:
-                continue
-            snapshot = reply.get("snapshot")
-            if snapshot:
+            wid = handle.spec.worker_id
+            snapshot = None
+            if handle.alive:
+                try:
+                    reply = handle.request({"cmd": "telemetry"})
+                    snapshot = reply.get("snapshot")
+                except TransportError:
+                    snapshot = None
+            if streaming:
+                view = self._delta_views.get(wid)
+                if view is not None:
+                    merge_snapshot(
+                        self.telemetry,
+                        view.snapshot(),
+                        worker=wid,
+                        parts=("metrics", "events"),
+                    )
+                if snapshot:
+                    merge_snapshot(
+                        self.telemetry,
+                        snapshot,  # type: ignore[arg-type]
+                        worker=wid,
+                        stitch=self._stitch,
+                        parts=("spans",),
+                    )
+            elif snapshot:
                 merge_snapshot(
                     self.telemetry,
                     snapshot,  # type: ignore[arg-type]
-                    worker=handle.spec.worker_id,
+                    worker=wid,
                     stitch=self._stitch,
                 )
+        if streaming:
+            self.fleet_view = None  # superseded: the edge handle is now fleet-wide
 
     def healthz(self) -> Dict[str, object]:
         """Aggregate health: edge view plus each live worker's healthz."""

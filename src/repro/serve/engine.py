@@ -38,6 +38,7 @@ from repro.serve.admission import AdmissionConfig, AdmissionController, Admissio
 from repro.serve.resilience import OPEN, NodeHealthMonitor, ResilienceConfig
 from repro.telemetry import Telemetry, resolve_telemetry
 from repro.telemetry.metrics import labeled
+from repro.telemetry.perf import timed
 from repro.telemetry.requesttrace import RequestTracer, TraceContext
 from repro.telemetry.slo import SLOConfig, SLOMonitor
 
@@ -470,6 +471,7 @@ class ServerEngine:
     # ------------------------------------------------------------------
     # Tick path
     # ------------------------------------------------------------------
+    @timed("engine.tick")
     def tick(self) -> Dict[str, float]:
         """Advance one engine step serving the admitted arrivals.
 
@@ -567,6 +569,7 @@ class ServerEngine:
             tel.counter("serve.ticks").inc()
             tel.gauge("serve.node_queue_seconds").set(queue_peak)
             tel.gauge("serve.machines").set(float(self.sim.machines_allocated))
+            tel.gauge("serve.machine_hours").set(self.machine_seconds / 3600.0)
 
         closed = self.monitor.record(float(admitted), dt)
         if closed:

@@ -6,11 +6,19 @@ A deliberately dependency-free HTTP/1.1 server over ``asyncio`` streams
 * ``POST /txn`` (``GET`` also accepted) — submit one transaction.  The
   response resolves on the next engine tick: ``200`` with the sampled
   latency, or ``503`` with a ``Retry-After`` header when admission
-  control sheds the request.
+  control sheds the request.  With tenancy configured an ``X-Tenant``
+  header attributes the request to a registry tenant; unknown names
+  get ``403`` and a ``serve.tenant.rejected`` count.
 * ``GET /healthz`` — liveness/readiness JSON (see
   :meth:`repro.serve.engine.ServerEngine.healthz`).
 * ``GET /metrics`` — Prometheus text exposition of the telemetry
-  registry (:func:`repro.telemetry.export.render_prometheus`).
+  registry (:func:`repro.telemetry.export.render_prometheus`), plus the
+  wall-clock perf stages when a recorder is attached.
+* ``GET /timeseries?name=&window=`` — JSON points from the attached
+  :class:`~repro.telemetry.timeseries.TimeSeriesStore` (no ``name``
+  returns the series index); the live-dashboard data API.
+* ``GET /dashboard`` — single-file HTML operator view polling
+  ``/metrics``, ``/healthz`` and ``/timeseries``.
 * ``POST /shutdown`` — begin a graceful drain: in-flight transactions
   are resolved by one final engine tick, new transactions get ``503``
   with ``Retry-After``, and the server exits once the drain completes
@@ -35,7 +43,7 @@ import heapq
 import json
 from dataclasses import asdict
 from typing import Callable, Dict, List, Optional, Tuple
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
@@ -46,6 +54,8 @@ from repro.serve.engine import ServerEngine, TxnOutcome
 from repro.serve.loadgen import LoadgenReport
 from repro.serve.resilience import ResilientClient, RetryConfig
 from repro.telemetry.export import render_prometheus
+from repro.telemetry.perf import PerfRecorder, render_prometheus_perf
+from repro.telemetry.timeseries import TimeSeriesStore
 
 _MAX_HEADER_LINES = 64
 
@@ -56,9 +66,13 @@ def _http_response(
     content_type: str = "application/json",
     extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
-    reason = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}.get(
-        status, "Error"
-    )
+    reason = {
+        200: "OK",
+        400: "Bad Request",
+        403: "Forbidden",
+        404: "Not Found",
+        503: "Service Unavailable",
+    }.get(status, "Error")
     payload = body.encode("utf-8")
     headers = [
         f"HTTP/1.1 {status} {reason}",
@@ -96,6 +110,18 @@ class ServeApp:
             configured cadence (quiescent tick boundaries only).  The
             snapshot uses the same format as
             :meth:`repro.serve.session.ServeSession.resume` consumes.
+        tenant_indices: Optional per-arrival tenant index array (from
+            :func:`repro.tenancy.composite_arrivals`), parallel to
+            ``arrivals`` — tags the embedded schedule when the engine
+            carries a tenant registry.
+        tenant_names: Registry names the indices point into.
+        timeseries: Optional ring-buffer store sampled from the engine's
+            metrics once per tick; backs ``GET /timeseries`` and the
+            dashboard sparklines.
+        perf: Optional wall-clock recorder rendered into ``/metrics``
+            (``repro_perf_*`` families) — never into debug bundles.
+        cost_per_machine_hour: Dollar rate behind the ``cost_dollars``
+            field of ``/healthz`` (0 hides the estimate).
     """
 
     def __init__(
@@ -112,6 +138,11 @@ class ServeApp:
         retry: Optional[RetryConfig] = None,
         retry_seed: int = 0,
         checkpoint: Optional[CheckpointConfig] = None,
+        tenant_indices: Optional[np.ndarray] = None,
+        tenant_names: Optional[List[str]] = None,
+        timeseries: Optional[TimeSeriesStore] = None,
+        perf: Optional[PerfRecorder] = None,
+        cost_per_machine_hour: float = 0.0,
     ) -> None:
         self.engine = engine
         self.host = host
@@ -124,6 +155,26 @@ class ServeApp:
             np.asarray(arrivals, dtype=np.float64) if arrivals is not None else None
         )
         self._arrival_index = 0
+        if (tenant_indices is None) != (tenant_names is None):
+            raise ConfigurationError("tenant_indices and tenant_names go together")
+        self._tenant_indices = (
+            np.asarray(tenant_indices, dtype=np.int64)
+            if tenant_indices is not None
+            else None
+        )
+        if self._tenant_indices is not None and (
+            self._arrivals is None
+            or len(self._tenant_indices) != len(self._arrivals)
+        ):
+            raise ConfigurationError(
+                "tenant_indices must parallel the embedded arrival schedule"
+            )
+        self._tenant_names = list(tenant_names) if tenant_names is not None else None
+        if timeseries is not None and engine.telemetry is None:
+            raise ConfigurationError("a timeseries store needs engine telemetry")
+        self.timeseries = timeseries
+        self.perf = perf
+        self.cost_per_machine_hour = float(cost_per_machine_hour)
         self.loadgen_report = LoadgenReport()
         # Engine-time timers for retry/hedge expiries: (when, seq, fn),
         # drained alongside the embedded arrivals before each tick.
@@ -176,13 +227,26 @@ class ServeApp:
                 _, _, fn = heapq.heappop(self._timers)
                 fn()
                 continue
+            index = self._arrival_index
             self._arrival_index += 1
+            tenant = ""
+            if self._tenant_indices is not None and self._tenant_names is not None:
+                tenant = self._tenant_names[int(self._tenant_indices[index])]
             if self.client is not None:
-                self.client.submit(when)
+                self.client.submit(when, tenant=tenant)
             else:
                 tracer = self.engine.request_tracer
                 trace = tracer.mint("loadgen") if tracer is not None else None
-                self.engine.submit(self.loadgen_report.record, now=when, trace=trace)
+                if tenant:
+                    self.loadgen_report.offer(tenant)
+                    self.engine.submit(
+                        self.loadgen_report.finish, now=when, trace=trace,
+                        tenant=tenant,
+                    )
+                else:
+                    self.engine.submit(
+                        self.loadgen_report.record, now=when, trace=trace
+                    )
 
     def _maybe_checkpoint(self) -> None:
         if self.checkpoint is None or self._checkpoint_due is None:
@@ -222,6 +286,12 @@ class ServeApp:
         while self._checkpoint_due <= self.engine.now + 1e-9:
             self._checkpoint_due += self.checkpoint.every_s
 
+    def _sample_timeseries(self) -> None:
+        if self.timeseries is not None:
+            self.timeseries.sample(
+                self.engine.telemetry.metrics, self.engine.now
+            )
+
     async def _ticker(self) -> None:
         dt = self.engine.sim.config.dt_seconds
         try:
@@ -241,11 +311,13 @@ class ServeApp:
                         pass
                 self._fire_embedded(until=self.engine.now + dt)
                 self.engine.tick()
+                self._sample_timeseries()
                 self._maybe_checkpoint()
             if self.engine.pending_requests:
                 # Graceful drain: one final tick resolves every admitted
                 # in-flight request before the server stops answering.
                 self.engine.tick()
+                self._sample_timeseries()
             self.run_complete = True
             if self.duration_s is not None:
                 self.loadgen_report.duration_s = min(self.duration_s, self.engine.now)
@@ -275,16 +347,19 @@ class ServeApp:
             if header in (b"\r\n", b"\n", b""):
                 break
             name, _, value = header.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            key = name.strip().lower()
+            if key == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     content_length = 0
+            elif key == "x-tenant":
+                request["tenant"] = value.strip()
         if content_length > 0:
             await reader.readexactly(min(content_length, 1 << 20))
         return request
 
-    async def _submit_txn(self) -> bytes:
+    async def _submit_txn(self, tenant: str = "") -> bytes:
         draining = _http_response(
             503, json.dumps({"error": "server is draining"}),
             extra_headers={"Retry-After": "1"},
@@ -302,7 +377,9 @@ class ServeApp:
 
         tracer = self.engine.request_tracer
         trace = tracer.mint("http") if tracer is not None else None
-        self.engine.submit(complete, now=self.engine.now, trace=trace)
+        self.engine.submit(
+            complete, now=self.engine.now, trace=trace, tenant=tenant
+        )
         # The tick that resolves the future may never come if the run
         # ends first — race it against the stop event.
         stop_waiter = asyncio.ensure_future(self._stop.wait())
@@ -322,6 +399,8 @@ class ServeApp:
             }
             if outcome.trace_id is not None:
                 payload["trace_id"] = outcome.trace_id
+            if outcome.tenant:
+                payload["tenant"] = outcome.tenant
             return _http_response(200, json.dumps(payload))
         shed: Dict[str, object] = {
             "status": "shed",
@@ -336,6 +415,52 @@ class ServeApp:
             extra_headers={"Retry-After": str(int(outcome.retry_after_s) + 1)},
         )
 
+    def _resolve_tenant(
+        self, header: str
+    ) -> Tuple[str, Optional[bytes]]:
+        """Map an ``X-Tenant`` header to a registry tenant.
+
+        Returns ``(tenant, None)`` on success (empty tenant when no
+        header was sent) or ``("", 403 response)`` when the name is not
+        in the registry — counted as ``serve.tenant.rejected``.
+        """
+        if not header:
+            return "", None
+        tenancy = self.engine.tenancy
+        if tenancy is not None and header in tenancy.registry.names():
+            return header, None
+        tel = self.engine.telemetry
+        if tel is not None:
+            tel.counter("serve.tenant.rejected").inc()
+        known = tenancy.registry.names() if tenancy is not None else []
+        return "", _http_response(
+            403,
+            json.dumps({"error": f"unknown tenant {header!r}", "tenants": known}),
+        )
+
+    def _timeseries_response(self, query: str) -> bytes:
+        if self.timeseries is None:
+            return _http_response(
+                404, json.dumps({"error": "no timeseries store attached"})
+            )
+        params = parse_qs(query)
+        name = params.get("name", [""])[0]
+        if not name:
+            return _http_response(200, json.dumps(self.timeseries.summary()))
+        try:
+            window = int(params.get("window", ["1"])[0])
+        except ValueError:
+            return _http_response(
+                400, json.dumps({"error": "window must be an integer tick count"})
+            )
+        try:
+            points = self.timeseries.query(name, window=window)
+        except ConfigurationError as exc:
+            return _http_response(400, json.dumps({"error": str(exc)}))
+        return _http_response(
+            200, json.dumps({"name": name, "window": window, "points": points})
+        )
+
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -343,11 +468,17 @@ class ServeApp:
             request = await asyncio.wait_for(self._read_request(reader), timeout=30.0)
             if request is None:
                 return
-            path = request["path"].split("?", 1)[0]
+            split = urlsplit(request["path"])
+            path = split.path
             if path == "/healthz":
                 health = dict(self.engine.healthz())
                 health["run_complete"] = self.run_complete
                 health["draining"] = self.draining
+                health["machine_hours"] = round(self.engine.machine_hours, 6)
+                if self.cost_per_machine_hour > 0:
+                    health["cost_dollars"] = round(
+                        self.engine.machine_hours * self.cost_per_machine_hour, 4
+                    )
                 response = _http_response(200, json.dumps(health))
             elif path == "/metrics":
                 text = (
@@ -355,11 +486,24 @@ class ServeApp:
                     if self.engine.telemetry is not None
                     else "# no telemetry registry installed\n"
                 )
+                if self.perf is not None:
+                    text += render_prometheus_perf(self.perf)
                 response = _http_response(
                     200, text, content_type="text/plain; version=0.0.4"
                 )
+            elif path == "/timeseries":
+                response = self._timeseries_response(split.query)
+            elif path == "/dashboard":
+                from repro.serve.dashboard import DASHBOARD_HTML
+
+                response = _http_response(
+                    200, DASHBOARD_HTML, content_type="text/html; charset=utf-8"
+                )
             elif path == "/txn":
-                response = await self._submit_txn()
+                tenant, reject = self._resolve_tenant(request.get("tenant", ""))
+                response = reject if reject is not None else (
+                    await self._submit_txn(tenant)
+                )
             elif path == "/shutdown" and request["method"] == "POST":
                 response = _http_response(
                     200, json.dumps({"status": "stopping", "draining": True})

@@ -35,6 +35,7 @@ from repro.serve.clock import VirtualClock
 from repro.serve.engine import ServerEngine
 from repro.serve.loadgen import LoadGenerator, LoadgenReport
 from repro.serve.resilience import RetryConfig
+from repro.telemetry.timeseries import TimeSeriesStore
 
 
 class ServeSession:
@@ -59,6 +60,12 @@ class ServeSession:
             :func:`repro.tenancy.composite_arrivals`), parallel to
             ``arrivals``.
         tenant_names: Registry names the indices point into.
+        timeseries: Optional
+            :class:`~repro.telemetry.timeseries.TimeSeriesStore` sampled
+            from the engine's metrics registry once per tick.  Sampling
+            is read-only: it never touches the engine RNG or the
+            telemetry record streams, so a sampled run stays
+            bit-identical to an unsampled one.
     """
 
     def __init__(
@@ -72,6 +79,7 @@ class ServeSession:
         checkpoint: Optional[CheckpointConfig] = None,
         tenant_indices: Optional[np.ndarray] = None,
         tenant_names: Optional[List[str]] = None,
+        timeseries: Optional["TimeSeriesStore"] = None,
     ) -> None:
         self.engine = engine
         self.clock = clock or VirtualClock()
@@ -79,6 +87,9 @@ class ServeSession:
             engine, arrivals, self.clock, retry=retry, retry_seed=retry_seed,
             tenant_indices=tenant_indices, tenant_names=tenant_names,
         )
+        if timeseries is not None and engine.telemetry is None:
+            raise ConfigurationError("a timeseries store needs engine telemetry")
+        self.timeseries = timeseries
         self.checkpoint = checkpoint
         self.checkpoints_written = 0
         self._checkpoint_due = (
@@ -105,6 +116,10 @@ class ServeSession:
 
         def tick() -> None:
             self.engine.tick()
+            if self.timeseries is not None:
+                self.timeseries.sample(
+                    self.engine.telemetry.metrics, self.clock.now
+                )
             self._maybe_checkpoint()
             if self.clock.now < end - 1e-9:
                 self.clock.call_later(dt, tick)

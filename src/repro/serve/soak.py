@@ -52,6 +52,12 @@ class SoakConfig:
         max_p99_ms: Gate — p99 latency ceiling (0 disables).
         max_shed_rate: Gate — shed-fraction ceiling (1 disables).
         telemetry / trace_requests: Edge observability toggles.
+        telemetry_every_ticks: Pull worker telemetry deltas on this tick
+            cadence so the edge holds a live fleet-wide view (0 = end of
+            run only); implies telemetry.
+        timeseries: Sample the edge's fleet view into a bounded
+            ring-buffer :class:`~repro.telemetry.timeseries.
+            TimeSeriesStore` once per tick; implies telemetry.
         checkpoint_path / checkpoint_every_s: Optional mid-soak
             distributed snapshots.
     """
@@ -72,6 +78,8 @@ class SoakConfig:
     max_shed_rate: float = 0.2
     telemetry: bool = False
     trace_requests: bool = False
+    telemetry_every_ticks: int = 0
+    timeseries: bool = False
     slo: bool = False
     checkpoint_path: Optional[str] = None
     checkpoint_every_s: float = 600.0
@@ -79,6 +87,8 @@ class SoakConfig:
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigurationError("soak needs at least one worker")
+        if self.telemetry_every_ticks < 0:
+            raise ConfigurationError("telemetry_every_ticks must be >= 0")
         if self.rate_per_s <= 0 or self.duration_s <= 0:
             raise ConfigurationError("soak rate and duration must be positive")
         if self.mode not in TRANSPORT_MODES:
@@ -104,7 +114,12 @@ class SoakConfig:
                 # make every shard draw identical latency streams.
                 seed=self.seed + index,
                 trace_requests=self.trace_requests,
-                collect_telemetry=self.telemetry or self.trace_requests,
+                collect_telemetry=(
+                    self.telemetry
+                    or self.trace_requests
+                    or self.telemetry_every_ticks > 0
+                    or self.timeseries
+                ),
             )
             for index in range(self.workers)
         ]
@@ -235,8 +250,16 @@ def _session_recipe(
         checkpoint = CheckpointConfig(
             path=config.checkpoint_path, every_s=config.checkpoint_every_s
         )
-    if telemetry is None and (config.telemetry or config.trace_requests):
+    streaming = config.telemetry_every_ticks > 0 or config.timeseries
+    if telemetry is None and (
+        config.telemetry or config.trace_requests or streaming
+    ):
         telemetry = Telemetry()
+    timeseries = None
+    if config.timeseries:
+        from repro.telemetry.timeseries import TimeSeriesStore
+
+        timeseries = TimeSeriesStore()
     return {
         "mode": config.mode,
         "edge_queue_limit_s": config.edge_queue_limit_s,
@@ -248,6 +271,8 @@ def _session_recipe(
         "low_priority_fraction": config.low_priority_fraction,
         "trace_requests": config.trace_requests,
         "telemetry": telemetry,
+        "telemetry_every_ticks": config.telemetry_every_ticks,
+        "timeseries": timeseries,
         "seed": config.seed,
         "checkpoint": checkpoint,
     }

@@ -33,6 +33,7 @@ import time
 from typing import Callable, Dict, Optional, TypeVar
 
 from repro.errors import TransportError
+from repro.telemetry.perf import maybe_span
 
 #: Default per-reply wait; a worker that takes longer than this to
 #: answer one tick is treated as dead (the soak ticks are milliseconds).
@@ -90,7 +91,7 @@ class PipeTransport:
 
     def send(self, message: Dict[str, object]) -> None:
         try:
-            self.conn.send_bytes(json.dumps(message).encode("utf-8"))
+            self.conn.send_bytes(_encode(message))
         except (OSError, ValueError, BrokenPipeError) as exc:
             raise TransportError(f"pipe send failed: {exc}") from exc
 
@@ -124,7 +125,7 @@ class TcpTransport:
         sock.settimeout(timeout_s)
 
     def send(self, message: Dict[str, object]) -> None:
-        payload = json.dumps(message).encode("utf-8")
+        payload = _encode(message)
         try:
             self.sock.sendall(_LEN.pack(len(payload)) + payload)
         except OSError as exc:
@@ -167,11 +168,19 @@ class TcpTransport:
             pass
 
 
+def _encode(message: Dict[str, object]) -> bytes:
+    # The perf span times serialization only, never the socket wait —
+    # idle blocking would drown the signal the span exists to surface.
+    with maybe_span("transport.encode"):
+        return json.dumps(message).encode("utf-8")
+
+
 def _decode(payload: bytes) -> Dict[str, object]:
-    try:
-        message = json.loads(payload.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise TransportError(f"malformed frame: {exc}") from exc
+    with maybe_span("transport.decode"):
+        try:
+            message = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TransportError(f"malformed frame: {exc}") from exc
     if not isinstance(message, dict):
         raise TransportError(f"expected a JSON object frame, got {type(message).__name__}")
     return message

@@ -20,6 +20,7 @@ The command protocol (JSON over :mod:`repro.serve.transport`)::
     {"cmd": "capture"}                    -> engine+control snapshot
     {"cmd": "restore", "state": {...}}    -> ok (fresh engines only)
     {"cmd": "telemetry"}                  -> metrics/spans/events snapshot
+    {"cmd": "telemetry_delta"}            -> new-or-changed metrics/events
     {"cmd": "shutdown"}                   -> ok; the process exits
 
 Every reply carries ``"ok"``; handler errors come back as
@@ -50,6 +51,8 @@ from repro.serve.transport import (
     connect_transport,
 )
 from repro.telemetry import Telemetry
+from repro.telemetry.merge import TelemetryDeltaTracker
+from repro.telemetry.perf import maybe_span
 from repro.telemetry.requesttrace import TraceContext
 
 #: Transport modes a distributed session can run its workers over.
@@ -166,6 +169,7 @@ class WorkerServer:
             Telemetry() if spec.collect_telemetry else None
         )
         self.engine = build_worker_engine(spec, self.telemetry)
+        self._delta_tracker: Optional[TelemetryDeltaTracker] = None
 
     # ------------------------------------------------------------------
     def _capacity_ad(self) -> Dict[str, object]:
@@ -192,6 +196,8 @@ class WorkerServer:
                 reply = self._cmd_restore(message)
             elif cmd == "telemetry":
                 reply = self._cmd_telemetry()
+            elif cmd == "telemetry_delta":
+                reply = self._cmd_telemetry_delta()
             elif cmd == "shutdown":
                 reply = {"ok": True, "bye": True}
             else:
@@ -202,6 +208,10 @@ class WorkerServer:
         return reply
 
     def _cmd_step(self, message: Dict[str, object]) -> Dict[str, object]:
+        with maybe_span("worker.step"):
+            return self._run_step(message)
+
+    def _run_step(self, message: Dict[str, object]) -> Dict[str, object]:
         engine = self.engine
         outcomes: List[object] = []
         tracing = engine.request_tracer is not None
@@ -262,6 +272,14 @@ class WorkerServer:
         from repro.telemetry.merge import snapshot_telemetry
 
         return {"ok": True, "snapshot": snapshot_telemetry(self.telemetry)}
+
+    def _cmd_telemetry_delta(self) -> Dict[str, object]:
+        """Incremental telemetry since the last delta (live fleet view)."""
+        if self.telemetry is None:
+            return {"ok": True, "delta": None}
+        if self._delta_tracker is None:
+            self._delta_tracker = TelemetryDeltaTracker()
+        return {"ok": True, "delta": self._delta_tracker.delta(self.telemetry)}
 
 
 def worker_main(spec_dict: Dict[str, object], mode: str, endpoint) -> None:

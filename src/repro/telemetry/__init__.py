@@ -109,6 +109,15 @@ from repro.telemetry.runtime import (  # noqa: E402  (re-export after class def)
     set_default_telemetry,
     telemetry_session,
 )
+from repro.telemetry.perf import (  # noqa: E402
+    PerfRecorder,
+    active_perf,
+    maybe_span,
+    perf_session,
+    set_default_perf,
+    timed,
+)
+from repro.telemetry.timeseries import TimeSeriesStore  # noqa: E402
 
 __all__ = [
     "DEFAULT_BUCKETS_MS",
@@ -117,13 +126,20 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PerfRecorder",
     "Span",
     "Telemetry",
+    "TimeSeriesStore",
     "TimelineRecorder",
     "Tracer",
+    "active_perf",
     "active_telemetry",
     "default_telemetry",
+    "maybe_span",
+    "perf_session",
     "resolve_telemetry",
+    "set_default_perf",
     "set_default_telemetry",
     "telemetry_session",
+    "timed",
 ]

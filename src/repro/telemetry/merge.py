@@ -24,7 +24,7 @@ unchanged on a multi-process session:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.telemetry import Telemetry
@@ -33,6 +33,9 @@ from repro.telemetry.tracer import Span
 
 #: Snapshot schema version; bump on incompatible layout changes.
 SNAPSHOT_FORMAT = "repro-telemetry-snapshot/1"
+
+#: Incremental-delta schema version (see :class:`TelemetryDeltaTracker`).
+DELTA_FORMAT = "repro-telemetry-delta/1"
 
 
 def snapshot_telemetry(telemetry: Telemetry) -> Dict[str, object]:
@@ -56,6 +59,7 @@ def merge_snapshot(
     *,
     worker: int,
     stitch: Optional[Dict[int, Span]] = None,
+    parts: Tuple[str, ...] = ("metrics", "events", "spans"),
 ) -> None:
     """Fold one worker's snapshot into the edge telemetry (see module doc).
 
@@ -63,15 +67,171 @@ def merge_snapshot(
     engine keeps its own per-tick series on the same clock, and
     interleaving them would double-count offered/served in the run
     reports.  The edge session records its own aggregate timeline.
+
+    ``parts`` restricts the merge to a subset of record families.  The
+    live-delta path uses ``("spans",)`` at capture time: metrics and
+    events already arrived incrementally, and re-merging them from the
+    full snapshot would double-count.
     """
     if snapshot.get("format") != SNAPSHOT_FORMAT:
         raise ConfigurationError(
             f"telemetry snapshot has format {snapshot.get('format')!r}; "
             f"expected {SNAPSHOT_FORMAT!r}"
         )
-    _merge_metrics(target, snapshot, worker)
-    _merge_events(target, snapshot, worker)
-    _merge_spans(target, snapshot, worker, stitch or {})
+    if "metrics" in parts:
+        _merge_metrics(target, snapshot, worker)
+    if "events" in parts:
+        _merge_events(target, snapshot, worker)
+    if "spans" in parts:
+        _merge_spans(target, snapshot, worker, stitch or {})
+
+
+class TelemetryDeltaTracker:
+    """Worker-side cursor producing incremental telemetry deltas.
+
+    Each call to :meth:`delta` ships only metrics that are *new or
+    changed* since the previous call, plus events past the last shipped
+    index — but the shipped values are **absolute** cumulative state,
+    not increments.  Applying deltas is therefore assignment, not
+    addition: repeated application is idempotent, and the accumulated
+    worker view at the edge is bit-for-bit the worker's own registry
+    state, so a fleet view rebuilt from deltas equals the end-of-run
+    capture merge *exactly* (same merge code, same float operations,
+    same order).  Spans are deliberately excluded: a span open in one
+    delta and closed in the next cannot be patched incrementally, so
+    they ship once, at capture time, via
+    ``merge_snapshot(..., parts=("spans",))``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauge_updates: Dict[str, int] = {}
+        self._hist_counts: Dict[str, List[int]] = {}
+        self._event_index = 0
+
+    def delta(self, telemetry: Telemetry) -> Dict[str, object]:
+        """New-or-changed metrics (absolute values) and new events."""
+        metrics = telemetry.metrics
+        counters = []
+        for name, counter in metrics.counters().items():
+            if self._counters.get(name) != counter.value:
+                counters.append(counter.as_record())
+                self._counters[name] = counter.value
+        gauges = []
+        for name, gauge in metrics.gauges().items():
+            if self._gauge_updates.get(name) != gauge.updates:
+                gauges.append(gauge.as_record())
+                self._gauge_updates[name] = gauge.updates
+        histograms = []
+        for name, histogram in metrics.histograms().items():
+            if self._hist_counts.get(name) != histogram.counts:
+                histograms.append(histogram.as_record())
+                self._hist_counts[name] = list(histogram.counts)
+        events = [
+            dict(event)
+            for event in telemetry.timeline.events[self._event_index:]
+        ]
+        self._event_index = len(telemetry.timeline.events)
+        return {
+            "format": DELTA_FORMAT,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "events": events,
+        }
+
+
+class DeltaAccumulator:
+    """Edge-side absolute view of one worker, built from deltas.
+
+    :meth:`apply` folds a :class:`TelemetryDeltaTracker` delta in by
+    assignment (idempotent); :meth:`snapshot` re-emits the accumulated
+    state in :data:`SNAPSHOT_FORMAT` so the ordinary
+    :func:`merge_snapshot` path can fold it into a fleet view.  Metric
+    order is preserved as first-shipped order, which matches the worker
+    registry's creation order — the same iteration order
+    :func:`snapshot_telemetry` produces, keeping the live merge
+    bit-identical to the capture merge.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Dict[str, object]] = {}
+        self.gauges: Dict[str, Dict[str, object]] = {}
+        self.histograms: Dict[str, Dict[str, object]] = {}
+        self.events: List[Dict[str, object]] = []
+        self.deltas_applied = 0
+
+    def apply(self, delta: Dict[str, object]) -> None:
+        if delta.get("format") != DELTA_FORMAT:
+            raise ConfigurationError(
+                f"telemetry delta has format {delta.get('format')!r}; "
+                f"expected {DELTA_FORMAT!r}"
+            )
+        for record in delta.get("counters", ()):  # type: ignore[union-attr]
+            self.counters[str(record["name"])] = dict(record)
+        for record in delta.get("gauges", ()):  # type: ignore[union-attr]
+            self.gauges[str(record["name"])] = dict(record)
+        for record in delta.get("histograms", ()):  # type: ignore[union-attr]
+            self.histograms[str(record["name"])] = dict(record)
+        self.events.extend(dict(e) for e in delta.get("events", ()))  # type: ignore[union-attr]
+        self.deltas_applied += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "meta": {},
+            "ticks": [],
+            "events": list(self.events),
+            "spans": [],
+            "counters": list(self.counters.values()),
+            "gauges": list(self.gauges.values()),
+            "histograms": list(self.histograms.values()),
+        }
+
+
+def copy_telemetry_into(target: Telemetry, source: Telemetry) -> None:
+    """Verbatim copy of ``source`` metrics/meta/events into ``target``.
+
+    Unlike :func:`merge_snapshot` this does *not* re-label gauges or tag
+    events with a worker — it seeds a fleet view with the edge's own
+    state, exactly as that state sits in the edge registry before worker
+    snapshots are folded on top.
+    """
+    for name, counter in source.metrics.counters().items():
+        target.counter(name).value = counter.value
+    for name, gauge in source.metrics.gauges().items():
+        copy = target.gauge(name)
+        copy.value = gauge.value
+        copy.updates = gauge.updates
+    for name, histogram in source.metrics.histograms().items():
+        copy = target.histogram(name, histogram.buckets)
+        copy.counts = list(histogram.counts)
+        copy.total = histogram.total
+        copy.count = histogram.count
+    target.timeline.meta.update(source.timeline.meta)
+    target.timeline.events.extend(dict(e) for e in source.timeline.events)
+
+
+def build_fleet_view(
+    own: Telemetry, views: "Dict[int, DeltaAccumulator]"
+) -> Telemetry:
+    """The live fleet-wide telemetry: edge state + every worker view.
+
+    Rebuilt from scratch each refresh so the result is exactly what the
+    end-of-run capture merge produces for metrics and events: the edge's
+    registry first (identity copy), then each worker's absolute state
+    folded in worker order with the same :func:`merge_snapshot` code.
+    """
+    fleet = Telemetry()
+    copy_telemetry_into(fleet, own)
+    for worker_id in views:
+        merge_snapshot(
+            fleet,
+            views[worker_id].snapshot(),
+            worker=worker_id,
+            parts=("metrics", "events"),
+        )
+    return fleet
 
 
 def _worker_labeled(name: str, worker: int) -> str:

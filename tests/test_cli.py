@@ -142,6 +142,54 @@ class TestBenchSubcommand:
         assert code == 1
         assert "REGRESSION" in capsys.readouterr().out
 
+    def test_trend_renders_across_baselines(self, tmp_path, capsys):
+        for date, median in (("2026-01-01", 10**7), ("2026-01-02", 2 * 10**7)):
+            (tmp_path / f"BENCH_{date}.json").write_text(json.dumps({
+                "date": date,
+                "kernels": {
+                    "schedule_construction": {"median_ns": median},
+                    "fresh_kernel" if date == "2026-01-02" else "old_kernel": {
+                        "median_ns": 5 * 10**6
+                    },
+                },
+            }))
+        code = main(["bench", "--trend", "--output-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2026-01-01" in out and "2026-01-02" in out
+        # schedule_construction doubled: flagged as slower.
+        line = next(ln for ln in out.splitlines() if ln.startswith("schedule_construction"))
+        assert "+100.0% +" in line
+        # fresh_kernel has one point: no delta to report.
+        fresh = next(ln for ln in out.splitlines() if ln.startswith("fresh_kernel"))
+        assert "new" in fresh
+
+    def test_trend_with_no_baselines(self, tmp_path, capsys):
+        code = main(["bench", "--trend", "--output-dir", str(tmp_path)])
+        assert code == 0
+        assert "no BENCH_" in capsys.readouterr().out
+
+    def test_overhead_gate_logic(self, capsys):
+        from repro.bench import check_telemetry_overhead
+
+        def results(base_ms, tel_ms):
+            return {
+                "serve_session": {"median_ns": int(base_ms * 1e6)},
+                "serve_session_telemetry": {"median_ns": int(tel_ms * 1e6)},
+            }
+
+        # Within budget: fine.
+        assert check_telemetry_overhead(results(100.0, 120.0), budget=1.35) == 0
+        assert "ok" in capsys.readouterr().out
+        # Over budget and over the noise floor: gate fails.
+        assert check_telemetry_overhead(results(100.0, 160.0), budget=1.35) == 1
+        assert "OVER BUDGET" in capsys.readouterr().out
+        # Huge ratio but tiny absolute delta: noise-floored, passes.
+        assert check_telemetry_overhead(results(0.1, 1.0), budget=1.35) == 0
+        capsys.readouterr()
+        # Missing kernels: fail loudly rather than silently skip.
+        assert check_telemetry_overhead({}, budget=1.35) == 1
+
 
 class TestServeSubcommand:
     SERVE_ARGS = [
@@ -206,6 +254,46 @@ class TestServeSubcommand:
         assert parsed.counters["serve.ticks"] == 300
         assert parsed.counters["serve.admitted"] > 0
 
+    def test_timeseries_dump_and_perf_report(self, tmp_path, capsys):
+        dump = tmp_path / "ts.json"
+        code = main(
+            self.SERVE_ARGS
+            + [
+                "--profile", "poisson:rate=6",
+                "--timeseries", str(dump),
+                "--perf",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(dump.read_text())
+        assert doc["format"] == "repro-timeseries/1"
+        assert doc["samples"] == 300
+        assert "serve.machines" in doc["series"]
+        assert doc["points"]["serve.machines"]["1"], "raw tier must have points"
+        # --perf prints the wall-clock stage table after the run report.
+        assert "wall-clock stages (ms):" in out
+        assert "engine.tick" in out
+        assert "measurement overhead:" in out
+
+    def test_tenants_with_http_no_longer_rejected(self, tmp_path, capsys):
+        spec = tmp_path / "tenants.json"
+        spec.write_text(json.dumps({
+            "tenants": [
+                {"name": "checkout", "profile": "poisson:rate=4"},
+                {"name": "search", "profile": "poisson:rate=2"},
+            ]
+        }))
+        code = main([
+            "serve", "--clock", "virtual", "--port", "0", "--duration", "120",
+            "--saturation", "12", "--db-size-mb", "5", "--control", "none",
+            "--tenants", str(spec), "--linger", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving on http://127.0.0.1:" in out
+        assert "tenant checkout:" in out
+
     def test_bad_spar_spec_rejected(self, capsys):
         code = main(self.SERVE_ARGS[:-1] + ["period=oops"])
         assert code == 2
@@ -264,6 +352,63 @@ class TestSoakSubcommand:
         code = main(["soak", "--workers", "0"])
         assert code == 2
         assert "worker" in capsys.readouterr().err
+
+
+class TestTopSubcommand:
+    def test_top_once_renders_live_frame(self, capsys):
+        import asyncio
+        import threading
+        import time
+        import urllib.request
+
+        from repro.engine.simulator import EngineConfig
+        from repro.serve import ServerEngine, poisson_arrivals
+        from repro.serve.http import ServeApp
+        from repro.telemetry import Telemetry, TimeSeriesStore
+
+        engine = ServerEngine(
+            EngineConfig(max_nodes=4, saturation_rate_per_node=60.0),
+            initial_nodes=2,
+            telemetry=Telemetry(),
+        )
+        app = ServeApp(
+            engine,
+            virtual=True,
+            duration_s=60.0,
+            linger_s=30.0,
+            arrivals=poisson_arrivals(20.0, 60.0, seed=2),
+            timeseries=TimeSeriesStore(),
+        )
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=lambda: asyncio.run(app.run(on_ready=lambda _: ready.set())),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(10), "server never bound"
+        url = f"http://127.0.0.1:{app.port}"
+        try:
+            for _ in range(200):
+                with urllib.request.urlopen(url + "/healthz") as response:
+                    if json.load(response)["run_complete"]:
+                        break
+                time.sleep(0.05)
+            code = main(["top", "--once", "--url", url])
+            out = capsys.readouterr().out
+        finally:
+            request = urllib.request.Request(url + "/shutdown", method="POST")
+            urllib.request.urlopen(request)
+            thread.join(10)
+        assert code == 0
+        assert "repro top — status ok" in out
+        assert "machines 2" in out
+        # The sparkline section picked up the time-series store.
+        assert "serve.machines:" in out
+
+    def test_top_against_unreachable_server_exits_2(self, capsys):
+        code = main(["top", "--once", "--url", "http://127.0.0.1:1"])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
 
 
 class TestLoadgenSubcommand:

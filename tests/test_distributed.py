@@ -31,7 +31,6 @@ from repro.serve import (
 )
 from repro.serve.checkpoint import CheckpointConfig
 from repro.serve.transport import (
-    TcpTransport,
     accept_transport,
     bind_listener,
     connect_transport,
@@ -260,6 +259,39 @@ class TestProcessBoundary:
         assert inproc.summary() == pipe.summary()
         assert inproc.latencies_ms == pipe.latencies_ms
 
+    @pytest.mark.parametrize("mode", ["pipe", "tcp"])
+    def test_streaming_fleet_view_matches_capture_across_processes(self, mode):
+        """The live delta view equals the capture merge with real worker
+        processes on both transports, not just the inproc fast path."""
+        telemetry = Telemetry()
+        arrivals = poisson_arrivals(150.0, 15.0, seed=5)
+        with DistributedServeSession(
+            specs(2, collect_telemetry=True),
+            arrivals,
+            mode=mode,
+            seed=5,
+            telemetry=telemetry,
+            telemetry_every_ticks=5,
+        ) as session:
+            session.run(15.0)
+            live = session.refresh_fleet_view()
+            assert live is not None
+            live_counters = {
+                n: c.value for n, c in live.metrics.counters().items()
+            }
+            live_hists = {
+                n: (list(h.counts), h.total, h.count)
+                for n, h in live.metrics.histograms().items()
+            }
+            session.collect_telemetry()
+        assert live_counters == {
+            n: c.value for n, c in telemetry.metrics.counters().items()
+        }
+        assert live_hists == {
+            n: (list(h.counts), h.total, h.count)
+            for n, h in telemetry.metrics.histograms().items()
+        }
+
 
 # ----------------------------------------------------------------------
 # Trace stitching across the process boundary
@@ -318,6 +350,126 @@ class TestTraceStitching:
             before = len(telemetry.tracer.records())
             session.collect_telemetry()  # second call must not re-merge
             assert len(telemetry.tracer.records()) == before
+
+
+# ----------------------------------------------------------------------
+# Streaming telemetry deltas: the live fleet view
+# ----------------------------------------------------------------------
+class TestStreamingTelemetry:
+    def _metric_state(self, telemetry):
+        metrics = telemetry.metrics
+        return (
+            {n: c.value for n, c in metrics.counters().items()},
+            {n: g.value for n, g in metrics.gauges().items()},
+            {
+                n: (list(h.counts), h.total, h.count)
+                for n, h in metrics.histograms().items()
+            },
+        )
+
+    def _streaming_session(self, telemetry, mode="inproc", duration=20.0):
+        arrivals = poisson_arrivals(150.0, duration, seed=3)
+        return DistributedServeSession(
+            specs(2, collect_telemetry=True),
+            arrivals,
+            mode=mode,
+            seed=3,
+            telemetry=telemetry,
+            telemetry_every_ticks=5,
+        )
+
+    def test_streaming_requires_edge_telemetry(self):
+        with pytest.raises(ConfigurationError, match="telemetry"):
+            make_session(telemetry_every_ticks=5)
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            make_session(telemetry=Telemetry(), telemetry_every_ticks=-1)
+
+    def test_live_fleet_view_matches_capture_merge(self):
+        """The delta-built fleet view equals the end-of-run capture
+        merge exactly — same counter floats, same histogram counts."""
+        telemetry = Telemetry()
+        with self._streaming_session(telemetry) as session:
+            session.run(20.0)
+            live = session.refresh_fleet_view()
+            assert live is not None
+            assert all(
+                v.deltas_applied > 0 for v in session._delta_views.values()
+            )
+            live_state = self._metric_state(live)
+            session.collect_telemetry()
+        assert live_state == self._metric_state(telemetry)
+        # Counters merged unlabelled, gauges split per worker.
+        assert telemetry.metrics.counter("serve.admitted").value > 0
+        gauges = telemetry.metrics.gauges()
+        assert 'serve.machines{worker="0"}' in gauges
+        assert 'serve.machines{worker="1"}' in gauges
+
+    def test_streaming_capture_equals_nonstreaming_capture(self):
+        """Delta streaming must not change what the run reports: the
+        final merged registry matches a capture-only run of the same
+        workload, and so does the report."""
+
+        def once(every):
+            telemetry = Telemetry()
+            arrivals = poisson_arrivals(150.0, 20.0, seed=3)
+            with DistributedServeSession(
+                specs(2, collect_telemetry=True),
+                arrivals,
+                mode="inproc",
+                seed=3,
+                telemetry=telemetry,
+                telemetry_every_ticks=every,
+            ) as session:
+                report = session.run(20.0)
+                session.collect_telemetry()
+            return report, self._metric_state(telemetry)
+
+        streamed_report, streamed = once(5)
+        captured_report, captured = once(0)
+        assert streamed_report.summary() == captured_report.summary()
+        assert streamed == captured
+
+    def test_fleet_view_mid_run_is_partial_but_consistent(self):
+        telemetry = Telemetry()
+        with self._streaming_session(telemetry) as session:
+            session.run(20.0)
+            view = session.fleet_view
+            # The dispatch loop refreshed the view on the delta cadence.
+            assert view is not None
+            admitted = view.metrics.counter("serve.admitted").value
+            assert admitted > 0
+            session.collect_telemetry()
+            # Final merge supersedes the live view.
+            assert session.fleet_view is None
+        assert telemetry.metrics.counter("serve.admitted").value >= admitted
+
+    def test_timeseries_store_samples_fleet_view(self):
+        from repro.telemetry import TimeSeriesStore
+
+        telemetry = Telemetry()
+        store = TimeSeriesStore()
+        arrivals = poisson_arrivals(150.0, 20.0, seed=3)
+        with DistributedServeSession(
+            specs(2, collect_telemetry=True),
+            arrivals,
+            mode="inproc",
+            seed=3,
+            telemetry=telemetry,
+            telemetry_every_ticks=5,
+            timeseries=store,
+        ) as session:
+            session.run(20.0)
+            session.collect_telemetry()
+        assert store.samples_taken > 0
+        assert store.query("serve.admitted")
+        # Worker-labelled gauges reach the store via the fleet view.
+        assert any("worker=" in name for name in store.names())
+
+    def test_timeseries_requires_edge_telemetry(self):
+        from repro.telemetry import TimeSeriesStore
+
+        with pytest.raises(ConfigurationError, match="telemetry"):
+            make_session(timeseries=TimeSeriesStore())
 
 
 # ----------------------------------------------------------------------
@@ -448,3 +600,24 @@ class TestSoak:
             assert len(session.workers) == 2
         finally:
             session.close()
+
+    def test_build_session_wires_streaming_and_timeseries(self):
+        config = SoakConfig(
+            workers=2,
+            mode="inproc",
+            duration_s=20.0,
+            telemetry_every_ticks=5,
+            timeseries=True,
+        )
+        assert all(s.collect_telemetry for s in config.worker_specs())
+        session = build_soak_session(config)
+        try:
+            assert session.telemetry is not None
+            assert session.telemetry_every_ticks == 5
+            assert session.timeseries is not None
+        finally:
+            session.close()
+
+    def test_streaming_soak_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoakConfig(telemetry_every_ticks=-1)

@@ -452,3 +452,70 @@ class TestServeEndToEnd:
         assert telemetry.counter("control.refits").value == loop.refits
         assert telemetry.counter("control.decisions").value == len(loop.decision_log)
         assert telemetry.histogram("serve.latency_ms").count == report.accepted
+
+
+class TestObservabilityBitIdentity:
+    """Sampling and perf spans must be invisible to the simulation.
+
+    Two identical workloads — one instrumented with a time-series store,
+    an active perf recorder and a checkpoint cadence, one bare — must
+    produce byte-identical results everywhere the run can be observed:
+    the loadgen report, the latency stream, the telemetry records and
+    the checkpoint digest.  This is the invariant that lets operators
+    leave live observability on in production runs.
+    """
+
+    def _run(self, tmp_path, tag, *, instrumented):
+        import json
+
+        from repro.serve.checkpoint import CheckpointConfig
+        from repro.telemetry import PerfRecorder, TimeSeriesStore, perf_session
+
+        engine = ServerEngine(
+            small_config(),
+            initial_nodes=2,
+            admission=AdmissionConfig(queue_limit_seconds=2.0),
+            seed=11,
+            telemetry=Telemetry(),
+        )
+        arrivals = poisson_arrivals(240.0, 120.0, seed=13)
+        path = str(tmp_path / f"{tag}.ckpt")
+        store = TimeSeriesStore() if instrumented else None
+        session = ServeSession(
+            engine,
+            arrivals,
+            checkpoint=CheckpointConfig(path, every_s=60.0),
+            timeseries=store,
+        )
+        perf = PerfRecorder() if instrumented else None
+        with perf_session(perf):
+            report = session.run(120.0)
+        if instrumented:
+            assert store.samples_taken > 0, "sampling must actually run"
+            assert perf.stage("engine.tick") is not None
+        with open(path) as f:
+            checkpoint = json.load(f)
+        return report, engine, checkpoint
+
+    def test_instrumented_run_is_bit_identical(self, tmp_path):
+        bare_report, bare_engine, bare_ckpt = self._run(
+            tmp_path, "bare", instrumented=False
+        )
+        inst_report, inst_engine, inst_ckpt = self._run(
+            tmp_path, "inst", instrumented=True
+        )
+        assert inst_report.summary() == bare_report.summary()
+        assert inst_report.latencies_ms == bare_report.latencies_ms
+
+        def scrub(records):
+            # The checkpoint event embeds the file path, which necessarily
+            # differs between the two runs; everything else must match.
+            return [
+                {k: ("<path>" if k == "path" else v) for k, v in r.items()}
+                for r in records
+            ]
+
+        assert scrub(inst_engine.telemetry.records()) == scrub(
+            bare_engine.telemetry.records()
+        )
+        assert inst_ckpt["sha256"] == bare_ckpt["sha256"]

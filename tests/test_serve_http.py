@@ -27,10 +27,13 @@ def make_engine(**kwargs):
     return ServerEngine(**defaults)
 
 
-async def http_request(port, method="GET", path="/", host="127.0.0.1"):
+async def http_request(port, method="GET", path="/", host="127.0.0.1", headers=None):
     reader, writer = await asyncio.open_connection(host, port)
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     writer.write(
-        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n{extra}"
         "Content-Length: 0\r\nConnection: close\r\n\r\n".encode("ascii")
     )
     await writer.drain()
@@ -218,6 +221,256 @@ class TestAdminEndpoints:
             assert status == 503
             assert json.loads(body)["error"] == "server is draining"
             assert headers["retry-after"] == "1"
+            await http_request(app.port, method="POST", path="/shutdown")
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+
+class TestObservabilityEndpoints:
+    def _observable_app(self, **kwargs):
+        from repro.telemetry import PerfRecorder, TimeSeriesStore
+
+        defaults = dict(
+            virtual=True,
+            duration_s=60.0,
+            linger_s=30.0,
+            arrivals=poisson_arrivals(30.0, 60.0, seed=4),
+            timeseries=TimeSeriesStore(),
+            perf=PerfRecorder(),
+        )
+        defaults.update(kwargs)
+        return ServeApp(make_engine(), **defaults)
+
+    async def _wait_complete(self, app):
+        for _ in range(200):
+            _, _, body = await http_request(app.port, path="/healthz")
+            health = json.loads(body)
+            if health["run_complete"]:
+                return health
+            await asyncio.sleep(0.05)
+        raise AssertionError("virtual run never completed")
+
+    def test_timeseries_endpoint(self):
+        async def scenario():
+            app = self._observable_app()
+            task = await start_app(app)
+            await self._wait_complete(app)
+
+            # Index: series names plus the rollup windows.
+            status, headers, body = await http_request(
+                app.port, path="/timeseries"
+            )
+            assert status == 200
+            assert headers["content-type"].startswith("application/json")
+            summary = json.loads(body)
+            assert "serve.admitted" in summary["series"]
+            assert summary["windows"] == [1, 10, 100]
+            assert summary["samples"] == 60
+
+            # Named series at a rollup tier.
+            status, _, body = await http_request(
+                app.port, path="/timeseries?name=serve.machines&window=10"
+            )
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["name"] == "serve.machines"
+            assert payload["window"] == 10
+            assert len(payload["points"]) == 6
+            assert all(
+                set(p) == {"t", "min", "max", "mean", "last"}
+                for p in payload["points"]
+            )
+
+            # Bad window values are 400s, not stack traces.
+            for query in ("name=serve.machines&window=7",
+                          "name=serve.machines&window=soon"):
+                status, _, body = await http_request(
+                    app.port, path=f"/timeseries?{query}"
+                )
+                assert status == 400
+                assert "error" in json.loads(body)
+
+            # Unknown series: valid query, empty data.
+            status, _, body = await http_request(
+                app.port, path="/timeseries?name=no.such.series"
+            )
+            assert status == 200
+            assert json.loads(body)["points"] == []
+
+            await http_request(app.port, method="POST", path="/shutdown")
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+    def test_timeseries_404_when_store_disabled(self):
+        async def scenario():
+            app = ServeApp(
+                make_engine(), virtual=True, duration_s=10.0, linger_s=30.0
+            )
+            task = await start_app(app)
+            status, _, body = await http_request(app.port, path="/timeseries")
+            assert status == 404
+            assert "timeseries" in json.loads(body)["error"]
+            await http_request(app.port, method="POST", path="/shutdown")
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+    def test_dashboard_serves_html(self):
+        async def scenario():
+            app = self._observable_app()
+            task = await start_app(app)
+            status, headers, body = await http_request(app.port, path="/dashboard")
+            assert status == 200
+            assert headers["content-type"].startswith("text/html")
+            text = body.decode()
+            assert "<!doctype html>" in text.lower()
+            for endpoint in ("/healthz", "/metrics", "/timeseries"):
+                assert endpoint in text, f"dashboard must poll {endpoint}"
+            await http_request(app.port, method="POST", path="/shutdown")
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+    def test_metrics_include_perf_families(self):
+        import re
+
+        from repro.telemetry import PerfRecorder, perf_session
+
+        async def scenario():
+            perf = PerfRecorder()
+            # Instrumentation sites resolve the recorder through the
+            # scoped default, exactly like `repro serve --perf` does.
+            with perf_session(perf):
+                app = self._observable_app(perf=perf)
+                task = await start_app(app)
+                await self._wait_complete(app)
+                status, _, body = await http_request(app.port, path="/metrics")
+                assert status == 200
+                text = body.decode()
+                assert "# TYPE repro_perf_engine_tick_ms histogram" in text
+                match = re.search(r"repro_perf_engine_tick_ms_count (\d+)", text)
+                assert match and int(match.group(1)) >= 60
+                assert "repro_perf_overhead_ms" in text
+                await http_request(app.port, method="POST", path="/shutdown")
+                await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+    def test_healthz_reports_machine_hours_and_cost(self):
+        async def scenario():
+            app = self._observable_app(cost_per_machine_hour=1.5)
+            task = await start_app(app)
+            health = await self._wait_complete(app)
+            # 2 machines for 60 simulated seconds = 1/30 machine-hour
+            # (reported rounded to 6 decimal places).
+            assert health["machine_hours"] == pytest.approx(
+                2 * 60 / 3600.0, abs=1e-6
+            )
+            assert health["cost_dollars"] == pytest.approx(
+                1.5 * health["machine_hours"], abs=1e-4
+            )
+            await http_request(app.port, method="POST", path="/shutdown")
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+
+class TestTenantHeader:
+    def _tenant_engine(self):
+        from repro.tenancy import TenantAdmission, TenantRegistry, TenantSpec
+
+        registry = TenantRegistry(
+            tenants=[
+                TenantSpec(name="checkout", profile="poisson:rate=5"),
+                TenantSpec(name="search", profile="poisson:rate=5"),
+            ]
+        )
+        return make_engine(tenancy=TenantAdmission(registry))
+
+    def test_known_tenant_is_tagged_on_the_outcome(self):
+        async def scenario():
+            app = ServeApp(
+                self._tenant_engine(),
+                speedup=20.0,
+                duration_s=600.0,
+                linger_s=30.0,
+            )
+            task = await start_app(app)
+            status, _, body = await http_request(
+                app.port,
+                method="POST",
+                path="/txn",
+                headers={"X-Tenant": "checkout"},
+            )
+            assert status == 200
+            assert json.loads(body)["tenant"] == "checkout"
+            await http_request(app.port, method="POST", path="/shutdown")
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+    def test_unknown_tenant_is_403_and_counted(self):
+        async def scenario():
+            engine = self._tenant_engine()
+            app = ServeApp(
+                engine, speedup=20.0, duration_s=600.0, linger_s=30.0
+            )
+            task = await start_app(app)
+            status, _, body = await http_request(
+                app.port,
+                method="POST",
+                path="/txn",
+                headers={"X-Tenant": "mallory"},
+            )
+            assert status == 403
+            payload = json.loads(body)
+            assert "mallory" in payload["error"]
+            assert payload["tenants"] == ["checkout", "search"]
+            counter = engine.telemetry.metrics.counter("serve.tenant.rejected")
+            assert counter.value == 1.0
+            # The request never reached admission.
+            assert engine.admission.total == 0
+            await http_request(app.port, method="POST", path="/shutdown")
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+    def test_tenant_header_without_tenancy_is_403(self):
+        async def scenario():
+            app = ServeApp(
+                make_engine(), speedup=20.0, duration_s=600.0, linger_s=30.0
+            )
+            task = await start_app(app)
+            status, _, body = await http_request(
+                app.port,
+                method="POST",
+                path="/txn",
+                headers={"X-Tenant": "checkout"},
+            )
+            assert status == 403
+            assert json.loads(body)["tenants"] == []
+            await http_request(app.port, method="POST", path="/shutdown")
+            await asyncio.wait_for(task, timeout=10)
+
+        asyncio.run(scenario())
+
+    def test_no_header_serves_default_tenant(self):
+        async def scenario():
+            app = ServeApp(
+                self._tenant_engine(),
+                speedup=20.0,
+                duration_s=600.0,
+                linger_s=30.0,
+            )
+            task = await start_app(app)
+            status, _, body = await http_request(
+                app.port, method="POST", path="/txn"
+            )
+            assert status == 200
+            # Untagged traffic lands on the first registered tenant.
+            assert json.loads(body)["tenant"] == "checkout"
             await http_request(app.port, method="POST", path="/shutdown")
             await asyncio.wait_for(task, timeout=10)
 

@@ -1,0 +1,221 @@
+"""Telemetry merge and streaming-delta edge cases.
+
+The live fleet view must equal the end-of-run capture merge *exactly*
+(same floats, same ordering), so these tests pin the corner cases the
+distributed suite's end-to-end runs would only hit by luck: gauge
+relabel collisions, histograms observed into disjoint buckets, repeated
+delta application, and list-level equality between the two merge paths.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import Telemetry
+from repro.telemetry.merge import (
+    DELTA_FORMAT,
+    DeltaAccumulator,
+    TelemetryDeltaTracker,
+    build_fleet_view,
+    copy_telemetry_into,
+    merge_snapshot,
+    snapshot_telemetry,
+)
+
+
+def worker_telemetry(seed, observations):
+    tel = Telemetry()
+    tel.counter("serve.admitted").inc(10.0 * seed)
+    tel.gauge("serve.machines").set(float(seed))
+    hist = tel.histogram("serve.latency_ms")
+    for value in observations:
+        hist.observe(value)
+    tel.event("scale", t=1.0 * seed, machines=seed)
+    return tel
+
+
+class TestMergeSnapshot:
+    def test_counters_add_and_gauges_relabel(self):
+        edge = Telemetry()
+        edge.counter("serve.admitted").inc(5.0)
+        for worker in (0, 1):
+            tel = worker_telemetry(worker + 1, [10.0])
+            merge_snapshot(edge, snapshot_telemetry(tel), worker=worker)
+        assert edge.metrics.counter("serve.admitted").value == 5.0 + 10.0 + 20.0
+        gauges = edge.metrics.gauges()
+        assert gauges['serve.machines{worker="0"}'].value == 1.0
+        assert gauges['serve.machines{worker="1"}'].value == 2.0
+        assert "serve.machines" not in gauges
+
+    def test_gauge_relabel_collision_is_last_write_wins(self):
+        """Two snapshots from the *same* worker id collide on the
+        relabelled name; the later one must win like any gauge set."""
+        edge = Telemetry()
+        first = Telemetry()
+        first.gauge("serve.machines").set(3.0)
+        second = Telemetry()
+        second.gauge("serve.machines").set(7.0)
+        second.gauge("serve.machines").set(8.0)
+        merge_snapshot(edge, snapshot_telemetry(first), worker=0)
+        merge_snapshot(edge, snapshot_telemetry(second), worker=0)
+        gauge = edge.metrics.gauges()['serve.machines{worker="0"}']
+        assert gauge.value == 8.0
+        # Update counts accumulate honestly across both merges.
+        assert gauge.updates == 3
+
+    def test_worker_labeled_gauge_keeps_existing_labels(self):
+        edge = Telemetry()
+        tel = Telemetry()
+        tel.gauge('queue.depth{node="2"}').set(4.0)
+        merge_snapshot(edge, snapshot_telemetry(tel), worker=1)
+        assert 'queue.depth{node="2",worker="1"}' in edge.metrics.gauges()
+
+    def test_disjoint_histogram_observations_merge_bucketwise(self):
+        """Workers that saw entirely different latency regimes still sum
+        into one correct fleet histogram."""
+        edge = Telemetry()
+        fast = Telemetry()
+        for _ in range(4):
+            fast.histogram("serve.latency_ms").observe(1.5)  # low buckets
+        slow = Telemetry()
+        for _ in range(3):
+            slow.histogram("serve.latency_ms").observe(900.0)  # tail buckets
+        merge_snapshot(edge, snapshot_telemetry(fast), worker=0)
+        merge_snapshot(edge, snapshot_telemetry(slow), worker=1)
+        merged = edge.metrics.histograms()["serve.latency_ms"]
+        assert merged.count == 7
+        assert merged.total == pytest.approx(4 * 1.5 + 3 * 900.0)
+        reference = Telemetry().histogram("serve.latency_ms")
+        for _ in range(4):
+            reference.observe(1.5)
+        for _ in range(3):
+            reference.observe(900.0)
+        assert merged.counts == reference.counts
+
+    def test_mismatched_histogram_buckets_refuse_to_merge(self):
+        edge = Telemetry()
+        edge.histogram("serve.latency_ms", buckets=(1.0, 2.0)).observe(0.5)
+        tel = Telemetry()
+        tel.histogram("serve.latency_ms").observe(0.5)
+        with pytest.raises(ConfigurationError, match="bucket layout"):
+            merge_snapshot(edge, snapshot_telemetry(tel), worker=0)
+
+    def test_rejects_unknown_snapshot_format(self):
+        with pytest.raises(ConfigurationError, match="format"):
+            merge_snapshot(Telemetry(), {"format": "bogus/9"}, worker=0)
+
+
+class TestDeltaTracker:
+    def test_delta_ships_only_changed_metrics(self):
+        tel = worker_telemetry(1, [10.0])
+        tracker = TelemetryDeltaTracker()
+        first = tracker.delta(tel)
+        assert {c["name"] for c in first["counters"]} == {"serve.admitted"}
+        assert len(first["events"]) == 1
+        # Nothing changed: the next delta is empty.
+        second = tracker.delta(tel)
+        assert second["counters"] == []
+        assert second["gauges"] == []
+        assert second["histograms"] == []
+        assert second["events"] == []
+
+    def test_delta_values_are_absolute_not_increments(self):
+        tel = Telemetry()
+        tracker = TelemetryDeltaTracker()
+        tel.counter("jobs").inc(3.0)
+        tracker.delta(tel)
+        tel.counter("jobs").inc(4.0)
+        (record,) = tracker.delta(tel)["counters"]
+        assert record["value"] == 7.0  # cumulative, not the +4 increment
+
+    def test_gauge_reship_keyed_on_updates_not_value(self):
+        """A gauge set back to its previous value still ships: liveness
+        is tracked by the update count, not the float."""
+        tel = Telemetry()
+        tracker = TelemetryDeltaTracker()
+        tel.gauge("machines").set(2.0)
+        tracker.delta(tel)
+        tel.gauge("machines").set(2.0)  # same value, new write
+        delta = tracker.delta(tel)
+        assert [g["name"] for g in delta["gauges"]] == ["machines"]
+
+
+class TestDeltaAccumulator:
+    def test_apply_is_idempotent(self):
+        tel = worker_telemetry(1, [10.0, 20.0])
+        delta = TelemetryDeltaTracker().delta(tel)
+        acc = DeltaAccumulator()
+        acc.apply(delta)
+        once = acc.snapshot()
+        acc.apply(delta)  # re-applying the same absolute state
+        twice = acc.snapshot()
+        assert once["counters"] == twice["counters"]
+        assert once["gauges"] == twice["gauges"]
+        assert once["histograms"] == twice["histograms"]
+        assert acc.deltas_applied == 2
+        # Events are append-only and *not* idempotent by design; the
+        # edge applies each delta exactly once.
+        assert len(twice["events"]) == 2 * len(once["events"]) or not once["events"]
+
+    def test_rejects_unknown_delta_format(self):
+        with pytest.raises(ConfigurationError, match=DELTA_FORMAT.split("/")[0]):
+            DeltaAccumulator().apply({"format": "bogus/1"})
+
+    def test_accumulated_state_matches_worker_registry(self):
+        tel = Telemetry()
+        tracker = TelemetryDeltaTracker()
+        acc = DeltaAccumulator()
+        for step in range(5):
+            tel.counter("jobs").inc(1.0 + step)
+            tel.histogram("latency_ms").observe(10.0 * (step + 1))
+            acc.apply(tracker.delta(tel))
+        snapshot = acc.snapshot()
+        direct = snapshot_telemetry(tel)
+        assert snapshot["counters"] == direct["counters"]
+        assert snapshot["gauges"] == direct["gauges"]
+        assert snapshot["histograms"] == direct["histograms"]
+
+
+class TestFleetView:
+    def test_delta_merged_equals_capture_merged_exactly(self):
+        """The headline invariant: a fleet view rebuilt from streamed
+        deltas is list-equal (names, floats, counts) to the end-of-run
+        capture merge over full snapshots."""
+        edge_own = Telemetry()
+        edge_own.counter("serve.offered").inc(100.0)
+        edge_own.gauge("edge.queue").set(3.0)
+
+        workers = {
+            0: worker_telemetry(1, [10.0, 55.0, 350.0]),
+            1: worker_telemetry(2, [2.0, 700.0]),
+        }
+
+        # Live path: stream three rounds of deltas per worker.
+        trackers = {w: TelemetryDeltaTracker() for w in workers}
+        views = {w: DeltaAccumulator() for w in workers}
+        for round_index in range(3):
+            for w, tel in workers.items():
+                tel.counter("serve.admitted").inc(float(round_index))
+                tel.histogram("serve.latency_ms").observe(25.0 * (w + 1))
+                views[w].apply(trackers[w].delta(tel))
+        live = build_fleet_view(edge_own, views)
+
+        # Capture path: one full-snapshot merge at the end.
+        capture = Telemetry()
+        copy_telemetry_into(capture, edge_own)
+        for w, tel in workers.items():
+            merge_snapshot(
+                capture, snapshot_telemetry(tel), worker=w,
+                parts=("metrics", "events"),
+            )
+
+        assert live.records() == capture.records()
+
+    def test_copy_telemetry_into_does_not_relabel(self):
+        source = Telemetry()
+        source.gauge("serve.machines").set(4.0)
+        source.event("scale", t=2.0, machines=4)
+        target = Telemetry()
+        copy_telemetry_into(target, source)
+        assert "serve.machines" in target.metrics.gauges()
+        (event,) = target.timeline.events
+        assert "worker" not in event
